@@ -1,0 +1,341 @@
+(* clocksync — command-line front end for the simulator.
+
+   Subcommands:
+     run    simulate a scenario and print per-algorithm accuracy/resources
+     sweep  sweep one parameter (nodes, drift, loss, period) and tabulate
+
+   Examples:
+     clocksync run --topology star --nodes 6 --traffic poll --duration 30
+     clocksync run --topology ntp:3x3 --ntp --driftfree --loss 0.2
+     clocksync sweep --param drift --values 10,100,1000 --traffic poll *)
+
+open Cmdliner
+
+let parse_topology s ~nodes =
+  match String.split_on_char ':' s with
+  | [ "line" ] -> Ok (nodes, Topology.line nodes)
+  | [ "ring" ] -> Ok (nodes, Topology.ring nodes)
+  | [ "star" ] -> Ok (nodes, Topology.star nodes)
+  | [ "tree" ] -> Ok (nodes, Topology.binary_tree nodes)
+  | [ "complete" ] -> Ok (nodes, Topology.complete nodes)
+  | [ "grid"; dims ] -> (
+    match String.split_on_char 'x' dims with
+    | [ w; h ] -> (
+      try
+        let w = int_of_string w and h = int_of_string h in
+        Ok (w * h, Topology.grid w h)
+      with _ -> Error (`Msg "grid dimensions must be WxH"))
+    | _ -> Error (`Msg "grid dimensions must be WxH"))
+  | [ "ntp"; dims ] -> (
+    match String.split_on_char 'x' dims with
+    | [ levels; width ] -> (
+      try
+        let levels = int_of_string levels and width = int_of_string width in
+        let n, links = Topology.ntp_hierarchy ~levels ~width ~fanout:2 in
+        Ok (n, links)
+      with _ -> Error (`Msg "ntp dimensions must be LEVELSxWIDTH"))
+    | _ -> Error (`Msg "ntp dimensions must be LEVELSxWIDTH"))
+  | [ "random" ] ->
+    let rng = Rng.create 99 in
+    Ok (nodes, Topology.random_connected rng ~n:nodes ~extra:2)
+  | _ ->
+    Error
+      (`Msg
+        "unknown topology (line|ring|star|tree|complete|grid:WxH|ntp:LxW|random)")
+
+let parse_traffic s ~period =
+  match s with
+  | "poll" -> Ok (Scenario.Ntp_poll { period })
+  | "gossip" -> Ok (Scenario.Gossip { mean_gap = Q.div_int period 4 })
+  | "token" -> Ok (Scenario.Ring_token { gap = Q.div_int period 10 })
+  | "burst" ->
+    Ok (Scenario.Burst { check_period = period; width_target = Scenario.ms 5 })
+  | _ -> Error (`Msg "unknown traffic (poll|gossip|token|burst)")
+
+let build_scenario ~topology ~nodes ~traffic ~duration ~drift_ppm ~lo_ms ~hi_ms
+    ~period_s ~loss ~seed ~ntp ~cristian ~driftfree ~validate =
+  Result.bind (parse_topology topology ~nodes) (fun (n, links) ->
+      let spec =
+        System_spec.uniform ~n ~source:0 ~drift:(Drift.of_ppm drift_ppm)
+          ~transit:(Transit.of_q (Scenario.ms lo_ms) (Scenario.ms hi_ms))
+          ~links
+      in
+      let period = Q.of_ints (int_of_float (period_s *. 1000.)) 1000 in
+      Result.map
+        (fun traffic ->
+          {
+            (Scenario.default ~spec ~traffic) with
+            Scenario.duration = Scenario.sec duration;
+            seed;
+            loss_prob = loss;
+            run_ntp = ntp;
+            run_cristian = cristian;
+            run_driftfree = driftfree;
+            validate;
+          })
+        (parse_traffic traffic ~period))
+
+let print_result r =
+  Format.printf "simulated %s time units; %d messages (%d lost); %d events@.@."
+    (Q.to_string r.Engine.rt_end) r.Engine.messages_sent r.Engine.messages_lost
+    r.Engine.events_total;
+  let rows =
+    List.map
+      (fun (name, a) ->
+        [
+          name;
+          string_of_int a.Engine.samples;
+          Printf.sprintf "%d/%d" a.Engine.contained a.Engine.samples;
+          Table.fq a.Engine.mean_width;
+          Table.fq a.Engine.max_width;
+        ])
+      r.Engine.per_algo
+  in
+  Table.print
+    ~header:[ "algorithm"; "samples"; "contained"; "mean width"; "max width" ]
+    rows;
+  Format.printf "@.per-node resources (optimal algorithm):@.";
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun p ns ->
+           [
+             Printf.sprintf "p%d" p;
+             string_of_int ns.Engine.peak_live;
+             string_of_int ns.Engine.peak_history;
+             string_of_int ns.Engine.events_processed;
+             string_of_int ns.Engine.relaxations;
+           ])
+         r.Engine.per_node)
+  in
+  Table.print
+    ~header:[ "node"; "peak L"; "peak |H|"; "events"; "agdp relaxations" ]
+    rows;
+  if r.Engine.validation_failures > 0 then begin
+    Format.printf "@.VALIDATION FAILURES: %d@." r.Engine.validation_failures;
+    exit 1
+  end
+
+(* ---- shared options ---- *)
+
+let topology =
+  Arg.(value & opt string "star" & info [ "topology"; "t" ] ~docv:"TOPO"
+         ~doc:"Topology: line|ring|star|tree|complete|grid:WxH|ntp:LxW|random.")
+
+let nodes =
+  Arg.(value & opt int 5 & info [ "nodes"; "n" ] ~docv:"N"
+         ~doc:"Number of processors (ignored for grid/ntp topologies).")
+
+let traffic =
+  Arg.(value & opt string "poll" & info [ "traffic" ] ~docv:"PATTERN"
+         ~doc:"Traffic pattern: poll|gossip|token|burst.")
+
+let duration =
+  Arg.(value & opt int 30 & info [ "duration"; "d" ] ~docv:"SECONDS"
+         ~doc:"Simulated real-time duration.")
+
+let drift_ppm =
+  Arg.(value & opt int 100 & info [ "drift" ] ~docv:"PPM"
+         ~doc:"Clock drift bound in parts per million.")
+
+let lo_ms =
+  Arg.(value & opt int 1 & info [ "min-delay" ] ~docv:"MS"
+         ~doc:"Link transit lower bound (milliseconds).")
+
+let hi_ms =
+  Arg.(value & opt int 10 & info [ "max-delay" ] ~docv:"MS"
+         ~doc:"Link transit upper bound (milliseconds).")
+
+let period_s =
+  Arg.(value & opt float 1.0 & info [ "period" ] ~docv:"SECONDS"
+         ~doc:"Traffic period (poll interval / burst check period).")
+
+let loss =
+  Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P"
+         ~doc:"Per-message loss probability (Section 3.3).")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let ntp_flag =
+  Arg.(value & flag & info [ "ntp" ] ~doc:"Also run the NTP-style baseline.")
+
+let cristian_flag =
+  Arg.(value & flag & info [ "cristian" ] ~doc:"Also run Cristian's baseline.")
+
+let driftfree_flag =
+  Arg.(value & flag & info [ "driftfree" ]
+         ~doc:"Also run the drift-free + fudge baseline.")
+
+let validate_flag =
+  Arg.(value & flag & info [ "validate" ]
+         ~doc:"Check every estimate against the reference optimal algorithm \
+               (slow).")
+
+let csv_prefix =
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PREFIX"
+         ~doc:"Write PREFIX-series.csv, PREFIX-nodes.csv and \
+               PREFIX-summary.csv with the run's data.")
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let action topology nodes traffic duration drift_ppm lo_ms hi_ms period_s
+      loss seed ntp cristian driftfree validate csv =
+    match
+      build_scenario ~topology ~nodes ~traffic ~duration ~drift_ppm ~lo_ms
+        ~hi_ms ~period_s ~loss ~seed ~ntp ~cristian ~driftfree ~validate
+    with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok scenario ->
+      let r = Engine.run scenario in
+      print_result r;
+      Option.iter
+        (fun prefix ->
+          Export.write_file ~path:(prefix ^ "-series.csv") (Export.series_csv r);
+          Export.write_file ~path:(prefix ^ "-nodes.csv") (Export.nodes_csv r);
+          Export.write_file ~path:(prefix ^ "-summary.csv")
+            (Export.summary_csv r);
+          Format.printf "@.wrote %s-{series,nodes,summary}.csv@." prefix)
+        csv;
+      `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ topology $ nodes $ traffic $ duration $ drift_ppm
+       $ lo_ms $ hi_ms $ period_s $ loss $ seed $ ntp_flag $ cristian_flag
+       $ driftfree_flag $ validate_flag $ csv_prefix))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate one scenario and print accuracy/resources.")
+    term
+
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let param =
+    Arg.(value & opt string "drift" & info [ "param" ] ~docv:"PARAM"
+           ~doc:"Swept parameter: drift|nodes|loss|period.")
+  in
+  let values =
+    Arg.(value & opt string "10,100,1000" & info [ "values" ] ~docv:"V1,V2,.."
+           ~doc:"Comma-separated values for the swept parameter.")
+  in
+  let action param values topology nodes traffic duration drift_ppm lo_ms hi_ms
+      period_s loss seed ntp cristian driftfree =
+    let vals = String.split_on_char ',' values in
+    let build v =
+      let nodes, drift_ppm, loss, period_s =
+        match param with
+        | "drift" -> (nodes, int_of_string v, loss, period_s)
+        | "nodes" -> (int_of_string v, drift_ppm, loss, period_s)
+        | "loss" -> (nodes, drift_ppm, float_of_string v, period_s)
+        | "period" -> (nodes, drift_ppm, loss, float_of_string v)
+        | _ -> failwith "unknown sweep parameter (drift|nodes|loss|period)"
+      in
+      build_scenario ~topology ~nodes ~traffic ~duration ~drift_ppm ~lo_ms
+        ~hi_ms ~period_s ~loss ~seed ~ntp ~cristian ~driftfree ~validate:false
+    in
+    try
+      let rows =
+        List.map
+          (fun v ->
+            match build v with
+            | Error (`Msg m) -> failwith m
+            | Ok scenario ->
+              let r = Engine.run scenario in
+              let opt = List.assoc "optimal" r.Engine.per_algo in
+              let peak_l =
+                Array.fold_left
+                  (fun acc ns -> max acc ns.Engine.peak_live)
+                  0 r.Engine.per_node
+              in
+              v
+              :: string_of_int r.Engine.messages_sent
+              :: Printf.sprintf "%d/%d" opt.Engine.contained opt.Engine.samples
+              :: Table.fq opt.Engine.mean_width
+              :: string_of_int peak_l
+              :: List.concat_map
+                   (fun (name, a) ->
+                     if name = "optimal" then []
+                     else [ name ^ "=" ^ Table.fq a.Engine.mean_width ])
+                   r.Engine.per_algo)
+          vals
+      in
+      Table.print
+        ~header:[ param; "messages"; "contained"; "optimal width"; "peak L";
+                  "baselines" ]
+        rows;
+      `Ok ()
+    with Failure m -> `Error (false, m)
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ param $ values $ topology $ nodes $ traffic $ duration
+       $ drift_ppm $ lo_ms $ hi_ms $ period_s $ loss $ seed $ ntp_flag
+       $ cristian_flag $ driftfree_flag))
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Sweep one parameter and tabulate results.") term
+
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let seeds =
+    Arg.(value & opt int 5 & info [ "runs" ] ~docv:"N"
+           ~doc:"Number of randomized validation runs.")
+  in
+  let action seeds duration =
+    let failures = ref 0 and checks = ref 0 in
+    for seed = 1 to seeds do
+      let rng = Rng.create (1000 + seed) in
+      let n = 3 + Rng.int rng 4 in
+      let links = Topology.random_connected rng ~n ~extra:(Rng.int rng 3) in
+      let spec =
+        System_spec.uniform ~n ~source:0
+          ~drift:(Drift.of_ppm (1 + Rng.int rng 500))
+          ~transit:(Transit.of_q (Scenario.ms 1) (Scenario.ms (2 + Rng.int rng 20)))
+          ~links
+      in
+      let traffic =
+        match Rng.int rng 3 with
+        | 0 -> Scenario.Ntp_poll { period = Scenario.sec 1 }
+        | 1 -> Scenario.Gossip { mean_gap = Scenario.ms 300 }
+        | _ -> Scenario.Ntp_poll { period = Scenario.ms 500 }
+      in
+      let r =
+        Engine.run
+          {
+            (Scenario.default ~spec ~traffic) with
+            Scenario.duration = Scenario.sec duration;
+            seed;
+            validate = true;
+            clock_policy = (if seed mod 2 = 0 then `Adversarial else `Random);
+            delay = (if seed mod 3 = 0 then `Alternate else `Uniform);
+          }
+      in
+      let opt = List.assoc "optimal" r.Engine.per_algo in
+      checks := !checks + opt.Engine.samples;
+      failures := !failures + r.Engine.validation_failures;
+      Format.printf "run %d: n=%d, %d checks, %d failures@." seed n
+        opt.Engine.samples r.Engine.validation_failures
+    done;
+    Format.printf "@.total: %d checks, %d failures@." !checks !failures;
+    if !failures > 0 then `Error (false, "validation failed") else `Ok ()
+  in
+  let term = Term.(ret (const action $ seeds $ duration)) in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Run randomized scenarios checking, at every event, that the \
+          efficient algorithm equals the reference optimal algorithm and \
+          contains the true time.")
+    term
+
+let () =
+  let doc =
+    "optimal external clock synchronization under drifting clocks \
+     (Ostrovsky & Patt-Shamir, PODC 1999)"
+  in
+  let info = Cmd.info "clocksync" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; verify_cmd ]))

@@ -1,0 +1,1 @@
+examples/adversarial_drift.ml: Drift Engine Event Format Interval List Option Q Reference Scenario System_spec Table Topology Transit View Witness

@@ -1,0 +1,1 @@
+examples/message_loss.ml: Array Drift Engine Format List Printf Scenario System_spec Table Topology Transit

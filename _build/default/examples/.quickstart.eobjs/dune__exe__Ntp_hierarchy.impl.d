@@ -1,0 +1,1 @@
+examples/ntp_hierarchy.ml: Array Drift Engine Format List Printf Q Scenario System_spec Table Topology Transit

@@ -1,0 +1,1 @@
+examples/ntp_hierarchy.mli:

@@ -1,0 +1,1 @@
+examples/probabilistic_sync.ml: Drift Engine Format List Q Scenario System_spec Table Topology Transit

@@ -1,0 +1,1 @@
+examples/probabilistic_sync.mli:

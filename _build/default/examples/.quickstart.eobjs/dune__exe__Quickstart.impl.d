@@ -1,0 +1,1 @@
+examples/quickstart.ml: Csa Drift Format Interval Q System_spec Transit

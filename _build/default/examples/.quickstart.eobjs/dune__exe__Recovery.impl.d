@@ -1,0 +1,1 @@
+examples/recovery.ml: Csa Drift Format Interval Q String System_spec Transit

@@ -1,0 +1,56 @@
+(* Message loss (Section 3.3 of the paper).
+
+   With lossy links, send events of lost messages would stay "live"
+   forever and leak state; the paper assumes a detection mechanism that
+   eventually flags lost messages.  This example runs the same polling
+   workload at increasing loss rates and shows (a) soundness is never
+   compromised, (b) live points stay bounded thanks to the loss flags,
+   and (c) accuracy degrades gracefully as information is destroyed.
+
+   Run with:  dune exec examples/message_loss.exe *)
+
+let () =
+  Format.printf "== message loss (Section 3.3) ==@.@.";
+  let spec =
+    System_spec.uniform ~n:4 ~source:0
+      ~drift:(Drift.of_ppm 100)
+      ~transit:(Transit.of_q (Scenario.ms 1) (Scenario.ms 10))
+      ~links:(Topology.star 4)
+  in
+  let run loss =
+    let scenario =
+      {
+        (Scenario.default ~spec
+           ~traffic:(Scenario.Ntp_poll { period = Scenario.sec 1 }))
+        with
+        Scenario.duration = Scenario.sec 60;
+        loss_prob = loss;
+        loss_detect = Scenario.ms 200;
+        seed = 21;
+      }
+    in
+    let r = Engine.run scenario in
+    let opt = List.assoc "optimal" r.Engine.per_algo in
+    let peak_live =
+      Array.fold_left
+        (fun acc ns -> max acc ns.Engine.peak_live)
+        0 r.Engine.per_node
+    in
+    [
+      Printf.sprintf "%.0f%%" (100. *. loss);
+      string_of_int r.Engine.messages_sent;
+      string_of_int r.Engine.messages_lost;
+      Printf.sprintf "%d/%d" opt.Engine.contained opt.Engine.samples;
+      Table.fq opt.Engine.mean_width;
+      string_of_int peak_live;
+    ]
+  in
+  let rows = List.map run [ 0.0; 0.1; 0.3; 0.5 ] in
+  Table.print
+    ~header:
+      [ "loss"; "sent"; "lost"; "contained"; "mean width"; "peak live pts" ]
+    rows;
+  Format.printf
+    "@.soundness holds at every loss rate; live points stay bounded because@.";
+  Format.printf
+    "the detection oracle un-livens the send events of lost messages.@."

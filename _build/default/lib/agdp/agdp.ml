@@ -1,0 +1,173 @@
+exception Negative_cycle
+
+(* The live nodes occupy slots [0 .. count-1] of a square matrix [d] that
+   stores exact pairwise distances of the accumulated graph.  [kill] swaps
+   the victim's slot with the last one, so the matrix stays compact.  The
+   matrix doubles in capacity when full. *)
+type t = {
+  mutable d : Ext.t array array;
+  mutable keys : int array; (* slot -> key *)
+  slot_of : (int, int) Hashtbl.t; (* key -> slot *)
+  mutable count : int;
+  mutable relax_count : int;
+  mutable peak : int;
+}
+
+let initial_capacity = 8
+
+let create () =
+  {
+    d = Array.make_matrix initial_capacity initial_capacity Ext.Inf;
+    keys = Array.make initial_capacity (-1);
+    slot_of = Hashtbl.create 16;
+    count = 0;
+    relax_count = 0;
+    peak = 0;
+  }
+
+let mem t key = Hashtbl.mem t.slot_of key
+let size t = t.count
+let relaxations t = t.relax_count
+let peak_size t = t.peak
+
+let live_keys t =
+  List.init t.count (fun i -> t.keys.(i)) |> List.sort compare
+
+let slot_exn t key =
+  match Hashtbl.find_opt t.slot_of key with
+  | Some s -> s
+  | None ->
+    invalid_arg (Printf.sprintf "Agdp: node %d is not live" key)
+
+let dist t x y =
+  let sx = slot_exn t x and sy = slot_exn t y in
+  t.d.(sx).(sy)
+
+let grow t =
+  let cap = Array.length t.keys in
+  let cap' = 2 * cap in
+  let d' = Array.make_matrix cap' cap' Ext.Inf in
+  for i = 0 to t.count - 1 do
+    Array.blit t.d.(i) 0 d'.(i) 0 t.count
+  done;
+  let keys' = Array.make cap' (-1) in
+  Array.blit t.keys 0 keys' 0 t.count;
+  t.d <- d';
+  t.keys <- keys'
+
+let insert t ~key ~in_edges ~out_edges =
+  if mem t key then
+    invalid_arg (Printf.sprintf "Agdp.insert: duplicate key %d" key);
+  List.iter
+    (fun (x, _) ->
+      if x = key then invalid_arg "Agdp.insert: self-loop edge")
+    (in_edges @ out_edges);
+  (* resolve endpoints before mutating anything, so a failed insert
+     leaves the structure untouched *)
+  let in_edges = List.map (fun (x, w) -> (slot_exn t x, w)) in_edges
+  and out_edges = List.map (fun (y, w) -> (slot_exn t y, w)) out_edges in
+  if t.count = Array.length t.keys then grow t;
+  let k = t.count in
+  t.count <- k + 1;
+  t.keys.(k) <- key;
+  Hashtbl.replace t.slot_of key k;
+  if t.count > t.peak then t.peak <- t.count;
+  let d = t.d in
+  (* fresh row/column *)
+  for i = 0 to k do
+    d.(i).(k) <- Ext.Inf;
+    d.(k).(i) <- Ext.Inf
+  done;
+  d.(k).(k) <- Ext.zero;
+  (* Distances to/from the new node: every path i ⇝ k decomposes as
+     i ⇝ a plus an edge (a, k), with i ⇝ a entirely over old nodes whose
+     pairwise distances are already exact; symmetrically for k ⇝ i. *)
+  for i = 0 to k - 1 do
+    List.iter
+      (fun (a, w) ->
+        t.relax_count <- t.relax_count + 1;
+        let cand = Ext.add d.(i).(a) (Ext.Fin w) in
+        if Ext.lt cand d.(i).(k) then d.(i).(k) <- cand)
+      in_edges;
+    List.iter
+      (fun (b, w) ->
+        t.relax_count <- t.relax_count + 1;
+        let cand = Ext.add (Ext.Fin w) d.(b).(i) in
+        if Ext.lt cand d.(k).(i) then d.(k).(i) <- cand)
+      out_edges
+  done;
+  (* a path through k and back would be a cycle: detect negative ones *)
+  for i = 0 to k - 1 do
+    t.relax_count <- t.relax_count + 1;
+    if Ext.lt (Ext.add d.(k).(i) d.(i).(k)) Ext.zero then raise Negative_cycle
+  done;
+  (* relax all pairs through the new node: O(L²) *)
+  for i = 0 to k - 1 do
+    let dik = d.(i).(k) in
+    if Ext.is_fin dik then
+      for j = 0 to k - 1 do
+        t.relax_count <- t.relax_count + 1;
+        let cand = Ext.add dik d.(k).(j) in
+        if Ext.lt cand d.(i).(j) then d.(i).(j) <- cand
+      done
+  done;
+  for i = 0 to k - 1 do
+    if Ext.lt d.(i).(i) Ext.zero then raise Negative_cycle
+  done
+
+type snapshot = {
+  s_keys : int array;
+  s_dist : Ext.t array array;
+  s_relaxations : int;
+  s_peak : int;
+}
+
+let snapshot t =
+  {
+    s_keys = Array.sub t.keys 0 t.count;
+    s_dist =
+      Array.init t.count (fun i -> Array.sub t.d.(i) 0 t.count);
+    s_relaxations = t.relax_count;
+    s_peak = t.peak;
+  }
+
+let restore s =
+  let count = Array.length s.s_keys in
+  let cap = max initial_capacity count in
+  let t =
+    {
+      d = Array.make_matrix cap cap Ext.Inf;
+      keys = Array.make cap (-1);
+      slot_of = Hashtbl.create (max 16 count);
+      count;
+      relax_count = s.s_relaxations;
+      peak = s.s_peak;
+    }
+  in
+  Array.blit s.s_keys 0 t.keys 0 count;
+  Array.iteri (fun i key -> Hashtbl.replace t.slot_of key i) s.s_keys;
+  for i = 0 to count - 1 do
+    Array.blit s.s_dist.(i) 0 t.d.(i) 0 count
+  done;
+  t
+
+let kill t key =
+  let s = slot_exn t key in
+  let last = t.count - 1 in
+  let d = t.d in
+  if s <> last then begin
+    (* move the last slot into s *)
+    for j = 0 to last do
+      d.(s).(j) <- d.(last).(j)
+    done;
+    for i = 0 to last do
+      d.(i).(s) <- d.(i).(last)
+    done;
+    d.(s).(s) <- d.(last).(last);
+    let moved_key = t.keys.(last) in
+    t.keys.(s) <- moved_key;
+    Hashtbl.replace t.slot_of moved_key s
+  end;
+  t.keys.(last) <- -1;
+  Hashtbl.remove t.slot_of key;
+  t.count <- last

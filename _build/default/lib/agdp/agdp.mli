@@ -1,0 +1,73 @@
+(** The Accumulated Graph Distance Problem (Section 3.2 of the paper).
+
+    The input is a growing weighted digraph Γ: in each step a new node is
+    added together with edges that connect {e live} nodes to it (in either
+    direction), after which some nodes may be marked dead.  The structure
+    maintains a succinct graph [G] over the live nodes only, such that the
+    weight of edge [(x, y)] in [G] equals the exact distance [d_Γ(x, y)]
+    (Lemma 3.4).  An insertion costs [O(L²)] time where [L] is the number
+    of live nodes (Lemma 3.5), using the incremental all-pairs update of
+    Ausiello et al.
+
+    Nodes are identified by client-chosen integer keys. *)
+
+type t
+
+exception Negative_cycle
+(** Raised by {!insert} when the accumulated graph acquires a
+    negative-weight cycle (for synchronization graphs this means the view
+    admits no execution). *)
+
+val create : unit -> t
+
+val insert :
+  t ->
+  key:int ->
+  in_edges:(int * Q.t) list ->
+  out_edges:(int * Q.t) list ->
+  unit
+(** Add a node.  [in_edges] are [(x, w)] edges [x → key]; [out_edges] are
+    [(y, w)] edges [key → y]; every endpoint must be a live node.
+    @raise Invalid_argument on duplicate keys or dead/unknown endpoints. *)
+
+val kill : t -> int -> unit
+(** Remove a node from the live set, discarding its row and column.
+    Distances between the remaining live nodes are unchanged (Lemma 3.4).
+    @raise Invalid_argument when the key is not live. *)
+
+val mem : t -> int -> bool
+(** Whether the key is currently live. *)
+
+val dist : t -> int -> int -> Ext.t
+(** Exact distance in the accumulated graph between two live nodes.
+    @raise Invalid_argument when either key is not live. *)
+
+val size : t -> int
+(** Number of live nodes [L]. *)
+
+val live_keys : t -> int list
+
+val relaxations : t -> int
+(** Total number of matrix-cell relaxation attempts performed by this
+    structure so far — the machine-independent cost measure for
+    Lemma 3.5's [O(L²)]-per-insert claim. *)
+
+val peak_size : t -> int
+(** Maximum number of live nodes ever held — the space measure for
+    Theorem 3.6's [O(L²)] claim. *)
+
+(** {1 Snapshots}
+
+    The full state of the structure, for crash-recovery persistence
+    ({!Csa.snapshot}).  [restore (snapshot t)] behaves identically to
+    [t]. *)
+
+type snapshot = {
+  s_keys : int array;  (** live keys in slot order *)
+  s_dist : Ext.t array array;  (** distance matrix over those slots *)
+  s_relaxations : int;
+  s_peak : int;
+}
+
+val snapshot : t -> snapshot
+val restore : snapshot -> t

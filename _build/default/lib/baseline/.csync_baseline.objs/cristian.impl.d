@@ -1,0 +1,1 @@
+lib/baseline/cristian.ml: Rtt_estimator

@@ -1,0 +1,1 @@
+lib/baseline/driftfree.ml: Array Bellman_ford Digraph Drift Event Ext Hashtbl Interval List Option Payload Q System_spec Transit

@@ -1,0 +1,1 @@
+lib/baseline/driftfree.mli: Event Interval Payload Q System_spec

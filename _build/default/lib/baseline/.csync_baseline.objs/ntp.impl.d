@@ -1,0 +1,1 @@
+lib/baseline/ntp.ml: Rtt_estimator

@@ -1,0 +1,1 @@
+lib/baseline/ntp.mli: Event Interval Q Rtt_estimator System_spec

@@ -1,0 +1,1 @@
+lib/baseline/rtt_estimator.ml: Drift Event Ext Hashtbl Interval Q System_spec Transit

@@ -1,0 +1,1 @@
+lib/baseline/rtt_estimator.mli: Event Ext Interval Q System_spec

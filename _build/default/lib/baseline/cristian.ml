@@ -1,0 +1,13 @@
+type wire = Rtt_estimator.wire
+type t = Rtt_estimator.t
+
+let name = "cristian"
+
+let create ~rtt_threshold spec ~me ~lt0 =
+  Rtt_estimator.create (Rtt_estimator.cristian_policy ~rtt_threshold) spec ~me ~lt0
+
+let on_send = Rtt_estimator.on_send
+let on_recv = Rtt_estimator.on_recv
+let estimate_at = Rtt_estimator.estimate_at
+let samples_accepted = Rtt_estimator.samples_accepted
+let samples_rejected = Rtt_estimator.samples_rejected

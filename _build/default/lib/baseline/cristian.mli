@@ -1,0 +1,19 @@
+(** Cristian's probabilistic clock synchronization baseline [5].
+
+    The client keeps only its best (tightest) round-trip sample and accepts
+    a sample only when the round trip was quick — below [rtt_threshold].
+    Coupled with the burst traffic pattern (retry until a quick round trip
+    succeeds), this reproduces the behaviour Section 4 analyzes: with high
+    probability a burst terminates quickly, and the estimate quality is
+    governed by the threshold. *)
+
+type wire = Rtt_estimator.wire
+type t
+
+val create : rtt_threshold:Q.t -> System_spec.t -> me:Event.proc -> lt0:Q.t -> t
+val name : string
+val on_send : t -> dst:Event.proc -> msg:int -> lt:Q.t -> wire
+val on_recv : t -> src:Event.proc -> msg:int -> lt:Q.t -> wire -> unit
+val estimate_at : t -> lt:Q.t -> Interval.t
+val samples_accepted : t -> int
+val samples_rejected : t -> int

@@ -1,0 +1,18 @@
+(** NTP-flavoured baseline (Mills [15, 16], interval form).
+
+    Every round trip yields a sound interval via {!Rtt_estimator}; samples
+    from all peers and drift-widened memory are combined by intersection,
+    mimicking NTP's clock-filter/combine stages at the granularity this
+    model supports.  Stratum propagation is implicit: a peer's wire carries
+    its own current interval, so accuracy degrades hop by hop from the
+    source, like NTP's root distance. *)
+
+type wire = Rtt_estimator.wire
+type t
+
+val create : System_spec.t -> me:Event.proc -> lt0:Q.t -> t
+val name : string
+val on_send : t -> dst:Event.proc -> msg:int -> lt:Q.t -> wire
+val on_recv : t -> src:Event.proc -> msg:int -> lt:Q.t -> wire -> unit
+val estimate_at : t -> lt:Q.t -> Interval.t
+val samples_accepted : t -> int

@@ -1,0 +1,152 @@
+type wire = { t3 : Q.t; est : Interval.t; echo : echo option }
+and echo = { msg : int; t1 : Q.t; t2 : Q.t }
+
+type policy = { accept_rtt : Ext.t; intersect : bool }
+
+let ntp_policy = { accept_rtt = Ext.Inf; intersect = true }
+
+let cristian_policy ~rtt_threshold =
+  { accept_rtt = Ext.Fin rtt_threshold; intersect = false }
+
+type t = {
+  policy : policy;
+  spec : System_spec.t;
+  me : Event.proc;
+  sent : (int, Q.t) Hashtbl.t; (* my message id -> t1 *)
+  pending_echo : (Event.proc, echo) Hashtbl.t; (* peer -> echo to attach *)
+  mutable anchor : (Q.t * Interval.t) option; (* (lt, interval at lt) *)
+  mutable accepted : int;
+  mutable rejected : int;
+}
+
+let create policy spec ~me ~lt0 =
+  let anchor =
+    if me = System_spec.source spec then Some (lt0, Interval.point lt0)
+    else None
+  in
+  {
+    policy;
+    spec;
+    me;
+    sent = Hashtbl.create 16;
+    pending_echo = Hashtbl.create 8;
+    anchor;
+    accepted = 0;
+    rejected = 0;
+  }
+
+let me t = t.me
+let samples_accepted t = t.accepted
+let samples_rejected t = t.rejected
+
+(* Propagate an anchor interval forward: if the source time at the anchor
+   instant was in [lo, hi] and my clock has advanced by Δ since, the real
+   elapse is in [rmin·Δ, rmax·Δ], so the source time now lies in
+   [lo + rmin·Δ, hi + rmax·Δ]. *)
+let widen_to t (anchor_lt, interval) lt =
+  let d = System_spec.drift t.spec t.me in
+  let delta = Q.sub lt anchor_lt in
+  if Q.sign delta < 0 then invalid_arg "Rtt_estimator: query before anchor";
+  Interval.widen
+    (Interval.shift interval delta)
+    ~lo_by:(Q.mul (Q.sub Q.one d.Drift.rmin) delta)
+    ~hi_by:(Q.mul (Q.sub d.Drift.rmax Q.one) delta)
+
+let estimate_at t ~lt =
+  if t.me = System_spec.source t.spec then Interval.point lt
+  else
+    match t.anchor with
+    | None -> Interval.full
+    | Some a -> widen_to t a lt
+
+let on_send t ~dst ~msg ~lt =
+  Hashtbl.replace t.sent msg lt;
+  let echo = Hashtbl.find_opt t.pending_echo dst in
+  { t3 = lt; est = estimate_at t ~lt; echo }
+
+(* Interval for the source time at t4 derived from one round trip; see the
+   interface comment for the bound. *)
+let sample_interval t ~src ~t1 ~t2 ~(wire : wire) ~t4 =
+  let req = System_spec.transit_exn t.spec t.me src in
+  let resp = System_spec.transit_exn t.spec src t.me in
+  let me_drift = System_spec.drift t.spec t.me in
+  let peer_drift = System_spec.drift t.spec src in
+  let rtt = Q.sub t4 t1 in
+  let hold = Q.max Q.zero (Q.sub wire.t3 t2) in
+  if Q.sign rtt < 0 then None
+  else begin
+    let open Drift in
+    let open Transit in
+    let rt_budget =
+      Q.sub
+        (Q.sub (Q.mul me_drift.rmax rtt) req.lo)
+        (Q.mul peer_drift.rmin hold)
+    in
+    let resp_hi =
+      match resp.hi with
+      | Ext.Inf -> rt_budget
+      | Ext.Fin h -> Q.min h rt_budget
+    in
+    if Q.(resp_hi < resp.lo) then None
+    else begin
+      let lo =
+        match Interval.lo wire.est with
+        | Interval.Neg_inf -> Interval.Neg_inf
+        | Interval.B a -> Interval.B (Q.add a resp.lo)
+        | Interval.Pos_inf -> Interval.Pos_inf
+      in
+      let hi =
+        match Interval.hi wire.est with
+        | Interval.Pos_inf -> Interval.Pos_inf
+        | Interval.B b -> Interval.B (Q.add b resp_hi)
+        | Interval.Neg_inf -> Interval.Neg_inf
+      in
+      Some (Interval.make lo hi)
+    end
+  end
+
+let on_recv t ~src ~msg ~lt wire =
+  (* remember what to echo on the next send to this peer *)
+  Hashtbl.replace t.pending_echo src { msg; t1 = wire.t3; t2 = lt };
+  if t.me <> System_spec.source t.spec then begin
+    match wire.echo with
+    | Some { msg = my_msg; t2; _ } -> begin
+      match Hashtbl.find_opt t.sent my_msg with
+      | None -> ()
+      | Some t1 ->
+        Hashtbl.remove t.sent my_msg;
+        let t4 = lt in
+        let rtt = Q.sub t4 t1 in
+        let fast_enough = Ext.le (Ext.Fin rtt) t.policy.accept_rtt in
+        if not fast_enough then t.rejected <- t.rejected + 1
+        else begin
+          match sample_interval t ~src ~t1 ~t2 ~wire ~t4 with
+          | None -> t.rejected <- t.rejected + 1
+          | Some sample ->
+            t.accepted <- t.accepted + 1;
+            let current =
+              match t.anchor with
+              | None -> Interval.full
+              | Some a -> widen_to t a t4
+            in
+            let updated =
+              if t.policy.intersect then
+                match Interval.inter current sample with
+                | Some i -> i
+                | None ->
+                  (* both are sound, so with exact arithmetic this cannot
+                     happen; keep the fresh sample defensively *)
+                  sample
+              else begin
+                (* best-single-sample policy: keep whichever is tighter *)
+                let better =
+                  Ext.lt (Interval.width sample) (Interval.width current)
+                in
+                if better then sample else current
+              end
+            in
+            t.anchor <- Some (t4, updated)
+        end
+    end
+    | None -> ()
+  end

@@ -1,0 +1,56 @@
+(** Shared round-trip interval estimation used by the practical baselines
+    (Section 4 of the paper discusses both).
+
+    A node timestamps its request ([t1]), the peer echoes its receive time
+    ([t2]) and reply time ([t3]) together with the peer's own interval
+    estimate of the source time at [t3], and the node reads its clock at
+    arrival ([t4]).  From the link's transit bounds and both clocks' drift
+    bounds this yields a {e sound} interval for the source time at [t4]:
+
+    source at t4 ∈ [est.lo + lo_resp,
+                    est.hi + min(hi_resp, rmax·(t4−t1) − lo_req − rmin_peer·(t3−t2))]
+
+    Unlike the paper's optimal algorithm, this uses only the latest
+    round-trip sample per peer (plus drift-widened memory) — no global
+    synchronization-graph reasoning — which is exactly what makes NTP-style
+    estimators suboptimal. *)
+
+type wire = {
+  t3 : Q.t;  (** sender's transmit local time *)
+  est : Interval.t;  (** sender's source-time interval at [t3] *)
+  echo : echo option;  (** acknowledgment of the last message from the peer *)
+}
+
+and echo = {
+  msg : int;  (** the peer's message id being echoed *)
+  t1 : Q.t;  (** that message's transmit time (peer clock) *)
+  t2 : Q.t;  (** its receive time (sender clock) *)
+}
+
+type policy = {
+  accept_rtt : Ext.t;
+      (** accept a sample only when the local round trip is at most this
+          (Cristian's quick-round-trip filter); [Inf] accepts all *)
+  intersect : bool;
+      (** combine each accepted sample with drift-widened memory by
+          intersection (NTP-flavoured) instead of keeping the best single
+          sample *)
+}
+
+val ntp_policy : policy
+val cristian_policy : rtt_threshold:Q.t -> policy
+
+type t
+
+val create : policy -> System_spec.t -> me:Event.proc -> lt0:Q.t -> t
+val me : t -> Event.proc
+
+val on_send : t -> dst:Event.proc -> msg:int -> lt:Q.t -> wire
+
+val on_recv : t -> src:Event.proc -> msg:int -> lt:Q.t -> wire -> unit
+
+val estimate_at : t -> lt:Q.t -> Interval.t
+(** Sound interval for the source time at local time [lt]. *)
+
+val samples_accepted : t -> int
+val samples_rejected : t -> int

@@ -1,0 +1,1 @@
+lib/core/csa.ml: Agdp Array Buffer Codec Drift Edges Event Ext Format Hashtbl History Interval List Payload Printf Q System_spec

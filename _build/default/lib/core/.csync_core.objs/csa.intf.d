@@ -1,0 +1,1 @@
+lib/core/csa.mli: Event Ext Interval Payload Q System_spec

@@ -1,0 +1,1 @@
+lib/core/mirror.ml: Event Payload System_spec View

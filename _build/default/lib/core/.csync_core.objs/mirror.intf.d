@@ -1,0 +1,1 @@
+lib/core/mirror.mli: Event Payload Q System_spec View

@@ -1,0 +1,1 @@
+lib/core/naive.ml: Event List Payload Q Reference System_spec View

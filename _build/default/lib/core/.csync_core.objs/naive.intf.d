@@ -1,0 +1,1 @@
+lib/core/naive.mli: Event Interval Payload Q System_spec

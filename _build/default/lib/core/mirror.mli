@@ -1,0 +1,24 @@
+(** Test oracle: reconstructs a processor's full local view from the same
+    inputs its {!Csa} instance sees.
+
+    The efficient algorithm deliberately forgets dead events; to check its
+    output against the {e reference} optimal algorithm (which needs the
+    whole view), drive a [Mirror.t] alongside each [Csa.t] with identical
+    calls and hand [view] to {!Reference.estimate}.  Event construction
+    (sequence numbering) matches [Csa] exactly. *)
+
+type t
+
+val create : System_spec.t -> me:Event.proc -> lt0:Q.t -> t
+val view : t -> View.t
+val me : t -> Event.proc
+
+val last_id : t -> Event.id
+(** The id of this processor's latest event. *)
+
+val local_event : t -> lt:Q.t -> unit
+
+val send : t -> payload:Payload.t -> unit
+(** Mirror a send: the payload returned by [Csa.send]. *)
+
+val receive : t -> msg:int -> lt:Q.t -> payload:Payload.t -> unit

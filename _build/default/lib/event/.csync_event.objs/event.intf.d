@@ -1,0 +1,1 @@
+lib/event/event.mli: Format Hashtbl Q Set

@@ -1,0 +1,1 @@
+lib/event/hb.ml: Event List View

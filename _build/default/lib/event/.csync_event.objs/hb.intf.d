@@ -1,0 +1,1 @@
+lib/event/hb.mli: Event View

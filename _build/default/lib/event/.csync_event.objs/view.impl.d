@@ -1,0 +1,1 @@
+lib/event/view.ml: Array Event Format Hashtbl List Q

@@ -1,0 +1,1 @@
+lib/event/view.mli: Event

@@ -1,0 +1,41 @@
+(* Backward reachability over view edges.  Predecessors of an event are its
+   same-processor predecessor and, for a receive, the matching send. *)
+
+let preds (e : Event.t) =
+  let prev = match Event.prev_id e with None -> [] | Some p -> [ p ] in
+  match e.kind with
+  | Event.Recv { send; _ } -> send :: prev
+  | Event.Init | Event.Internal | Event.Send _ -> prev
+
+let causal_past view target =
+  let visited = Event.Id_tbl.create 16 in
+  let order = ref [] in
+  let rec dfs id =
+    if not (Event.Id_tbl.mem visited id) then begin
+      Event.Id_tbl.replace visited id ();
+      let e = View.find_exn view id in
+      List.iter dfs (preds e);
+      order := e :: !order
+    end
+  in
+  dfs target;
+  List.rev !order
+
+let happened_before view p q =
+  if Event.id_equal p q then true
+  else begin
+    let visited = Event.Id_tbl.create 16 in
+    let rec dfs id =
+      Event.id_equal id p
+      ||
+      if Event.Id_tbl.mem visited id then false
+      else begin
+        Event.Id_tbl.replace visited id ();
+        List.exists dfs (preds (View.find_exn view id))
+      end
+    in
+    dfs q
+  end
+
+let concurrent view p q =
+  (not (happened_before view p q)) && not (happened_before view q p)

@@ -1,0 +1,16 @@
+(** Lamport's happened-before relation over a view.
+
+    [p → q] holds iff there is a (possibly empty) directed path from [p] to
+    [q] in the execution graph, whose edges are (i) send → receive of the
+    same message and (ii) consecutive events at the same processor.  Used
+    by tests and by the complexity instrumentation ("live messages" are
+    sends whose delivery did not happen before the observation point). *)
+
+val happened_before : View.t -> Event.id -> Event.id -> bool
+(** Reflexive: [happened_before v p p = true]. *)
+
+val causal_past : View.t -> Event.id -> Event.t list
+(** All events [q] with [q → p], in a topological order. *)
+
+val concurrent : View.t -> Event.id -> Event.id -> bool
+(** Neither [p → q] nor [q → p]. *)

@@ -1,0 +1,53 @@
+(** Views of executions (Section 2 of the paper).
+
+    A view is an execution with the real-time attributes projected away: a
+    causally closed set of events.  This module maintains a view as events
+    are learned, enforcing that an event is only added after its
+    dependencies (the previous event at its processor, and — for a receive —
+    the matching send).
+
+    Liveness follows Definition 3.1: a point [p] of a view is {e live} when
+    [p] is the last point of some processor, or [p] is a send whose receive
+    is not in the view. *)
+
+type t
+
+val create : n_procs:int -> t
+val n_procs : t -> int
+
+val add : t -> Event.t -> unit
+(** @raise Invalid_argument when a dependency is missing, the event is
+    already present, or its local time regresses w.r.t. its predecessor. *)
+
+val mem : t -> Event.id -> bool
+val find : t -> Event.id -> Event.t option
+val find_exn : t -> Event.id -> Event.t
+val last_of : t -> Event.proc -> Event.t option
+val events_of : t -> Event.proc -> Event.t list
+(** Events of one processor in sequence order. *)
+
+val size : t -> int
+val iter : t -> (Event.t -> unit) -> unit
+(** Iterates in insertion order (a topological order of the view). *)
+
+val fold : t -> init:'a -> f:('a -> Event.t -> 'a) -> 'a
+val to_list : t -> Event.t list
+
+val recv_of_msg : t -> int -> Event.id option
+(** The receive event of a message id, when it is in the view. *)
+
+val is_live : t -> Event.id -> bool
+(** Definition 3.1. @raise Invalid_argument when the event is absent. *)
+
+val live_points : t -> Event.t list
+
+val topo_sort_batch : t -> Event.t list -> Event.t list
+(** Orders a batch of new events so that each event's dependencies are
+    either already in the view or earlier in the returned list.
+    @raise Invalid_argument when the batch is not causally closed w.r.t.
+    the view (a dependency is nowhere to be found). *)
+
+val merge_batch : t -> Event.t list -> Event.t list
+(** [merge_batch t batch] topologically sorts [batch], drops events already
+    known, adds the rest to the view, and returns them in insertion
+    order. *)

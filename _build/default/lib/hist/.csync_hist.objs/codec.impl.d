@@ -1,0 +1,1 @@
+lib/hist/codec.ml: Array Bigint Buffer Char Event List Payload Q String

@@ -1,0 +1,1 @@
+lib/hist/codec.mli: Bigint Buffer Event Payload Q

@@ -1,0 +1,1 @@
+lib/hist/history.ml: Array Event Format Hashtbl List Payload Printf

@@ -1,0 +1,1 @@
+lib/hist/history.mli: Event Payload

@@ -1,0 +1,1 @@
+lib/hist/payload.ml: Bigint Event Format List Q

@@ -1,0 +1,1 @@
+lib/hist/payload.mli: Event Format

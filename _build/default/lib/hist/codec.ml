@@ -1,0 +1,159 @@
+(* LEB128 varints; bigints as sign byte plus
+   base-256 little-endian magnitude derived from the decimal string (going
+   through Bigint's public interface only). *)
+
+let add_varint buf n =
+  if n < 0 then invalid_arg "Codec.add_varint: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+(* magnitude of a non-negative bigint as base-256 bytes (little-endian),
+   via repeated divmod by 256 *)
+let add_bigint buf b =
+  let sign = Bigint.sign b in
+  Buffer.add_char buf (Char.chr (sign + 1));
+  let mag = Bigint.abs b in
+  let bytes = Buffer.create 8 in
+  let byte = Bigint.of_int 256 in
+  let rec go v =
+    if not (Bigint.is_zero v) then begin
+      let q, r = Bigint.divmod v byte in
+      Buffer.add_char bytes (Char.chr (Bigint.to_int_exn r));
+      go q
+    end
+  in
+  go mag;
+  add_varint buf (Buffer.length bytes);
+  Buffer.add_buffer buf bytes
+
+let add_q buf q =
+  add_bigint buf (Q.num q);
+  add_bigint buf (Q.den q)
+
+let add_event buf (e : Event.t) =
+  add_varint buf e.id.proc;
+  add_varint buf e.id.seq;
+  add_q buf e.lt;
+  match e.kind with
+  | Event.Init -> add_varint buf 0
+  | Event.Internal -> add_varint buf 1
+  | Event.Send { msg; dst } ->
+    add_varint buf 2;
+    add_varint buf msg;
+    add_varint buf dst
+  | Event.Recv { msg; src; send } ->
+    add_varint buf 3;
+    add_varint buf msg;
+    add_varint buf src;
+    add_varint buf send.proc;
+    add_varint buf send.seq
+
+let encode (p : Payload.t) =
+  let buf = Buffer.create 256 in
+  add_varint buf (List.length p.events);
+  List.iter (add_event buf) p.events;
+  let index =
+    let rec find i = function
+      | [] -> failwith "Codec.encode: send event not in payload"
+      | (e : Event.t) :: rest ->
+        if Event.id_equal e.id p.send_event.id then i else find (i + 1) rest
+    in
+    find 0 p.events
+  in
+  add_varint buf index;
+  Buffer.contents buf
+
+(* --- decoding ------------------------------------------------------- *)
+
+type reader = { s : string; mutable pos : int }
+
+let byte r =
+  if r.pos >= String.length r.s then failwith "Codec.decode: truncated";
+  let c = Char.code r.s.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let read_varint r =
+  let rec go shift acc =
+    if shift > 62 then failwith "Codec.decode: varint overflow";
+    let b = byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_bigint r =
+  let sign = byte r - 1 in
+  if sign < -1 || sign > 1 then failwith "Codec.decode: bad sign";
+  let len = read_varint r in
+  (* reject length bombs before allocating *)
+  if len > String.length r.s - r.pos then failwith "Codec.decode: truncated";
+  let bytes = Array.make (max len 1) 0 in
+  for i = 0 to len - 1 do
+    bytes.(i) <- byte r
+  done;
+  let v = ref Bigint.zero in
+  for i = len - 1 downto 0 do
+    v := Bigint.add_int (Bigint.mul_int !v 256) bytes.(i)
+  done;
+  let v = if sign < 0 then Bigint.neg !v else !v in
+  if Bigint.sign v <> sign && not (Bigint.is_zero v && sign = 0) then
+    failwith "Codec.decode: sign mismatch";
+  v
+
+let read_q r =
+  let num = read_bigint r in
+  let den = read_bigint r in
+  if Bigint.sign den <= 0 then failwith "Codec.decode: bad denominator";
+  Q.make num den
+
+let read_event r =
+  let proc = read_varint r in
+  let seq = read_varint r in
+  let lt = read_q r in
+  let kind =
+    match read_varint r with
+    | 0 -> Event.Init
+    | 1 -> Event.Internal
+    | 2 ->
+      let msg = read_varint r in
+      let dst = read_varint r in
+      Event.Send { msg; dst }
+    | 3 ->
+      let msg = read_varint r in
+      let src = read_varint r in
+      let sproc = read_varint r in
+      let sseq = read_varint r in
+      Event.Recv { msg; src; send = { proc = sproc; seq = sseq } }
+    | _ -> failwith "Codec.decode: bad kind tag"
+  in
+  { Event.id = { proc; seq }; lt; kind }
+
+let reader_of_string s = { s; pos = 0 }
+let at_end r = r.pos >= String.length r.s
+
+let decode s =
+  let r = reader_of_string s in
+  let count = read_varint r in
+  if count <= 0 then failwith "Codec.decode: empty payload";
+  let events = ref [] in
+  for _ = 1 to count do
+    events := read_event r :: !events
+  done;
+  let events = List.rev !events in
+  let index = read_varint r in
+  if r.pos <> String.length s then failwith "Codec.decode: trailing bytes";
+  match List.nth_opt events index with
+  | None -> failwith "Codec.decode: bad send index"
+  | Some send_event ->
+    if not (Event.is_send send_event) then
+      failwith "Codec.decode: send index does not reference a send";
+    { Payload.send_event; events }
+
+let size p = String.length (encode p)

@@ -1,0 +1,38 @@
+(** Binary wire format for piggybacked payloads.
+
+    The paper measures message size in events and words; this codec makes
+    the measurement concrete: varint-encoded event records with exact
+    rational timestamps (sign, magnitude bytes of numerator and
+    denominator).  Round-tripping is property-tested.
+
+    Format (all integers LEB128 varints):
+    - event count, then each event (proc, seq, lt, kind tag + fields),
+    - the index of the carrying send event within the list. *)
+
+val encode : Payload.t -> string
+
+val decode : string -> Payload.t
+(** @raise Failure on malformed input. *)
+
+val size : Payload.t -> int
+(** [String.length (encode p)] — bytes on the wire. *)
+
+(** {1 Low-level primitives}
+
+    Shared with the state-snapshot serializers ({!Csa.snapshot}); all
+    readers raise [Failure] on malformed input. *)
+
+type reader
+
+val reader_of_string : string -> reader
+val at_end : reader -> bool
+val add_varint : Buffer.t -> int -> unit
+(** Non-negative integers only. *)
+
+val read_varint : reader -> int
+val add_bigint : Buffer.t -> Bigint.t -> unit
+val read_bigint : reader -> Bigint.t
+val add_q : Buffer.t -> Q.t -> unit
+val read_q : reader -> Q.t
+val add_event : Buffer.t -> Event.t -> unit
+val read_event : reader -> Event.t

@@ -1,0 +1,1 @@
+lib/num/bigint.ml: Array Buffer Char Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/num/ext.ml: Format Q

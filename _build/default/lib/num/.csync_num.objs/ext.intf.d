@@ -1,0 +1,1 @@
+lib/num/ext.mli: Format Q

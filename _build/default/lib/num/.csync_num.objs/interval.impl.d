@@ -1,0 +1,1 @@
+lib/num/interval.ml: Ext Float Format Printf Q

@@ -1,0 +1,1 @@
+lib/num/interval.mli: Ext Format Q

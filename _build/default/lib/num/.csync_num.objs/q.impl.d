@@ -1,0 +1,1 @@
+lib/num/q.ml: Bigint Format String

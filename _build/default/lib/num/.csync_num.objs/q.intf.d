@@ -1,0 +1,1 @@
+lib/num/q.mli: Bigint Format

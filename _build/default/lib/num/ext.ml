@@ -1,0 +1,40 @@
+type t =
+  | Fin of Q.t
+  | Inf
+
+let zero = Fin Q.zero
+let of_q q = Fin q
+let of_int n = Fin (Q.of_int n)
+
+let is_fin = function Fin _ -> true | Inf -> false
+
+let fin_exn = function
+  | Fin q -> q
+  | Inf -> invalid_arg "Ext.fin_exn: infinite"
+
+let add a b =
+  match a, b with
+  | Fin x, Fin y -> Fin (Q.add x y)
+  | _ -> Inf
+
+let neg_fin = function
+  | Fin x -> Fin (Q.neg x)
+  | Inf -> Inf
+
+let compare a b =
+  match a, b with
+  | Fin x, Fin y -> Q.compare x y
+  | Fin _, Inf -> -1
+  | Inf, Fin _ -> 1
+  | Inf, Inf -> 0
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let lt a b = compare a b < 0
+let le a b = compare a b <= 0
+
+let to_string = function
+  | Fin q -> Q.to_string q
+  | Inf -> "inf"
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

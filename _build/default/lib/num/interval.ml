@@ -1,0 +1,74 @@
+type bound =
+  | Neg_inf
+  | B of Q.t
+  | Pos_inf
+
+type t = { lo : bound; hi : bound }
+
+let compare_bound a b =
+  match a, b with
+  | Neg_inf, Neg_inf | Pos_inf, Pos_inf -> 0
+  | Neg_inf, _ | _, Pos_inf -> -1
+  | _, Neg_inf | Pos_inf, _ -> 1
+  | B x, B y -> Q.compare x y
+
+let make lo hi =
+  if compare_bound lo hi > 0 then invalid_arg "Interval.make: empty interval";
+  { lo; hi }
+
+let of_q lo hi = make (B lo) (B hi)
+let full = { lo = Neg_inf; hi = Pos_inf }
+let point q = { lo = B q; hi = B q }
+let lo i = i.lo
+let hi i = i.hi
+
+let mem q i =
+  compare_bound i.lo (B q) <= 0 && compare_bound (B q) i.hi <= 0
+
+let width i =
+  match i.lo, i.hi with
+  | B a, B b -> Ext.Fin (Q.sub b a)
+  | _ -> Ext.Inf
+
+let shift_bound b q =
+  match b with
+  | Neg_inf -> Neg_inf
+  | Pos_inf -> Pos_inf
+  | B x -> B (Q.add x q)
+
+let shift i q = { lo = shift_bound i.lo q; hi = shift_bound i.hi q }
+
+let widen i ~lo_by ~hi_by =
+  if Q.sign lo_by < 0 || Q.sign hi_by < 0 then
+    invalid_arg "Interval.widen: negative slack";
+  { lo = shift_bound i.lo (Q.neg lo_by); hi = shift_bound i.hi hi_by }
+
+let inter a b =
+  let lo = if compare_bound a.lo b.lo >= 0 then a.lo else b.lo in
+  let hi = if compare_bound a.hi b.hi <= 0 then a.hi else b.hi in
+  if compare_bound lo hi > 0 then None else Some { lo; hi }
+
+let subset a b = compare_bound b.lo a.lo <= 0 && compare_bound a.hi b.hi <= 0
+
+let equal a b = compare_bound a.lo b.lo = 0 && compare_bound a.hi b.hi = 0
+
+let string_of_bound = function
+  | Neg_inf -> "-inf"
+  | Pos_inf -> "+inf"
+  | B q -> Q.to_string q
+
+let to_string i =
+  "[" ^ string_of_bound i.lo ^ ", " ^ string_of_bound i.hi ^ "]"
+
+let pp fmt i = Format.pp_print_string fmt (to_string i)
+
+let approx_of_bound = function
+  | Neg_inf -> "-inf"
+  | Pos_inf -> "+inf"
+  | B q ->
+    let f = Q.to_float q in
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.6g" f
+
+let to_string_approx i =
+  "[" ^ approx_of_bound i.lo ^ ", " ^ approx_of_bound i.hi ^ "]"

@@ -1,0 +1,51 @@
+(** Closed intervals over the extended rational line.
+
+    A clock synchronization algorithm outputs an interval
+    [[ext_L, ext_U]] guaranteed to contain the source time.  Before any
+    information about the source has arrived, the interval is the whole
+    line. *)
+
+type bound =
+  | Neg_inf
+  | B of Q.t
+  | Pos_inf
+
+type t = private { lo : bound; hi : bound }
+
+val make : bound -> bound -> t
+(** @raise Invalid_argument when the interval would be empty
+    ([lo > hi]). *)
+
+val of_q : Q.t -> Q.t -> t
+val full : t
+val point : Q.t -> t
+val lo : t -> bound
+val hi : t -> bound
+val mem : Q.t -> t -> bool
+
+val width : t -> Ext.t
+(** [hi - lo], or [Inf] when either endpoint is infinite. *)
+
+val shift : t -> Q.t -> t
+(** Translate both endpoints. *)
+
+val widen : t -> lo_by:Q.t -> hi_by:Q.t -> t
+(** [widen i ~lo_by ~hi_by] is [[lo - lo_by, hi + hi_by]];
+    the slack arguments must be non-negative. *)
+
+val inter : t -> t -> t option
+(** Intersection, or [None] when disjoint. *)
+
+val subset : t -> t -> bool
+(** [subset a b] iff [a ⊆ b]. *)
+
+val equal : t -> t -> bool
+
+val compare_bound : bound -> bound -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val to_string_approx : t -> string
+(** Human-friendly decimal rendering, e.g. ["[21.9989, 26.0011]"]; exact
+    rationals are available via {!to_string}. *)

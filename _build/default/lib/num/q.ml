@@ -1,0 +1,98 @@
+module B = Bigint
+
+type t = { n : B.t; d : B.t }
+(* Invariants: d > 0; gcd(|n|, d) = 1; n = 0 implies d = 1. *)
+
+let mk_raw n d = { n; d }
+
+let make num den =
+  if B.is_zero den then raise Division_by_zero
+  else if B.is_zero num then mk_raw B.zero B.one
+  else begin
+    let num, den = if B.sign den < 0 then B.neg num, B.neg den else num, den in
+    let g = B.gcd num den in
+    if B.equal g B.one then mk_raw num den
+    else mk_raw (B.div num g) (B.div den g)
+  end
+
+let zero = mk_raw B.zero B.one
+let one = mk_raw B.one B.one
+let minus_one = mk_raw B.minus_one B.one
+let of_bigint n = mk_raw n B.one
+let of_int n = of_bigint (B.of_int n)
+let of_ints n d = make (B.of_int n) (B.of_int d)
+let num q = q.n
+let den q = q.d
+
+let add a b =
+  if B.is_zero a.n then b
+  else if B.is_zero b.n then a
+  else make (B.add (B.mul a.n b.d) (B.mul b.n a.d)) (B.mul a.d b.d)
+
+let neg a = mk_raw (B.neg a.n) a.d
+let sub a b = add a (neg b)
+let mul a b = make (B.mul a.n b.n) (B.mul a.d b.d)
+
+let inv a =
+  if B.is_zero a.n then raise Division_by_zero
+  else if B.sign a.n < 0 then mk_raw (B.neg a.d) (B.neg a.n)
+  else mk_raw a.d a.n
+
+let div a b = mul a (inv b)
+let abs a = if B.sign a.n < 0 then neg a else a
+let mul_int a k = make (B.mul_int a.n k) a.d
+let div_int a k = make a.n (B.mul_int a.d k)
+
+let compare a b = B.compare (B.mul a.n b.d) (B.mul b.n a.d)
+let equal a b = B.equal a.n b.n && B.equal a.d b.d
+let hash a = (B.hash a.n * 31) + B.hash a.d
+let sign a = B.sign a.n
+let is_zero a = B.is_zero a.n
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let to_float a = B.to_float a.n /. B.to_float a.d
+
+let to_string a =
+  if B.equal a.d B.one then B.to_string a.n
+  else B.to_string a.n ^ "/" ^ B.to_string a.d
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+let of_decimal_string s =
+  let s = String.trim s in
+  if String.length s = 0 then invalid_arg "Q.of_decimal_string: empty string";
+  (* split off exponent *)
+  let mantissa, exponent =
+    match String.index_opt s 'e', String.index_opt s 'E' with
+    | Some i, _ | None, Some i ->
+      ( String.sub s 0 i,
+        int_of_string (String.sub s (i + 1) (String.length s - i - 1)) )
+    | None, None -> s, 0
+  in
+  let int_part, frac_part =
+    match String.index_opt mantissa '.' with
+    | Some i ->
+      ( String.sub mantissa 0 i,
+        String.sub mantissa (i + 1) (String.length mantissa - i - 1) )
+    | None -> mantissa, ""
+  in
+  let digits = int_part ^ frac_part in
+  if digits = "" || digits = "-" || digits = "+" then
+    invalid_arg "Q.of_decimal_string: no digits";
+  let n = B.of_string digits in
+  let scale = String.length frac_part in
+  let base = make n (B.pow10 scale) in
+  if exponent = 0 then base
+  else if exponent > 0 then mul base (of_bigint (B.pow10 exponent))
+  else div base (of_bigint (B.pow10 (-exponent)))
+
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let ( = ) a b = equal a b
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div

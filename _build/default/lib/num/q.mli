@@ -1,0 +1,73 @@
+(** Exact rational numbers over {!Bigint}.
+
+    All timestamps, clock rates, transit bounds, and synchronization-graph
+    edge weights in this library are exact rationals, so the containment
+    invariant ("the source time lies in [[ext_L, ext_U]]") can be tested
+    with no rounding slack. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero when [den] is zero. *)
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+val of_ints : int -> int -> t
+(** [of_ints n d] is [n/d]. @raise Division_by_zero when [d = 0]. *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+(** The denominator is always positive; [num]/[den] is in lowest terms. *)
+
+val of_decimal_string : string -> t
+(** Parses decimal literals such as ["1.0001"], ["-0.5"], ["3"], and
+    scientific notation ["1.5e-3"]. @raise Invalid_argument on malformed
+    input. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** @raise Division_by_zero when the divisor is zero. *)
+
+val neg : t -> t
+val abs : t -> t
+
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val mul_int : t -> int -> t
+val div_int : t -> int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val sign : t -> int
+val is_zero : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( = ) : t -> t -> bool
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+
+val to_float : t -> float
+(** Nearest float approximation; for display and statistics only. *)
+
+val to_string : t -> string
+(** ["num/den"], or just ["num"] when the denominator is 1. *)
+
+val pp : Format.formatter -> t -> unit

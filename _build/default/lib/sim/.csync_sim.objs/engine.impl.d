@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Clock Codec Cristian Csa Driftfree Event Ext Format Fun Hashtbl Heap Interval List Mirror Ntp Option Payload Q Reference Rng Scenario String System_spec Topology Transit

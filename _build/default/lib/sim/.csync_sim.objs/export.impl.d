@@ -1,0 +1,1 @@
+lib/sim/export.ml: Array Buffer Engine Float Fun List Option Printf String

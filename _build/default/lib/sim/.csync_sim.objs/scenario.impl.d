@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Clock Q System_spec

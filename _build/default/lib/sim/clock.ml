@@ -1,0 +1,94 @@
+type policy = [ `Fixed of Q.t | `Random | `Adversarial | `Sawtooth of int ]
+
+(* Segments are delimited by LOCAL duration, not real duration: the local
+   boundary readings form an exact arithmetic progression (tiny rational
+   denominators), and the real boundaries accumulate as sums
+   rt_{k+1} = rt_k + seg·r_k — sums keep denominators bounded by the
+   common denominator of the rate grid, whereas the naive real-duration
+   segmentation compounds one rate denominator per segment and produces
+   thousand-digit rationals within minutes of simulated time. *)
+type segment = { rt0 : Q.t; lt0 : Q.t; inv_rate : Q.t (* dRT/dLT *) }
+
+type t = {
+  drift : Drift.t;
+  policy : policy;
+  seg_len : Q.t; (* local-time length of one segment *)
+  rng : Rng.t;
+  mutable segments : segment list; (* newest first; never empty *)
+  mutable n_segments : int;
+}
+
+let rate_for t i =
+  let open Drift in
+  let d = t.drift in
+  match t.policy with
+  | `Fixed r -> r
+  | `Random ->
+    (* a coarse grid keeps rate numerators small: every local reading
+       carries one rate-numerator factor in its denominator, and distance
+       computations collect one factor per traversed segment *)
+    let k = Rng.int t.rng 65 in
+    Q.add d.rmin (Q.mul (Q.sub d.rmax d.rmin) (Q.of_ints k 64))
+  | `Adversarial -> if i mod 2 = 0 then d.rmax else d.rmin
+  | `Sawtooth k ->
+    let k = max 2 k in
+    let step = Q.div_int (Q.sub d.rmax d.rmin) (k - 1) in
+    Q.add d.rmin (Q.mul_int step (i mod k))
+
+let create ~drift ~policy ~segment ~lt0 ~rng =
+  if Q.(segment <= zero) then invalid_arg "Clock.create: segment must be positive";
+  (match policy with
+  | `Fixed r ->
+    let open Drift in
+    if Q.(r < drift.rmin) || Q.(r > drift.rmax) then
+      invalid_arg "Clock.create: fixed rate outside drift bound"
+  | `Random | `Adversarial | `Sawtooth _ -> ());
+  let t =
+    { drift; policy; seg_len = segment; rng; segments = []; n_segments = 0 }
+  in
+  t.segments <- [ { rt0 = Q.zero; lt0; inv_rate = rate_for t 0 } ];
+  t.n_segments <- 1;
+  t
+
+let drift t = t.drift
+
+let extend t =
+  match t.segments with
+  | [] -> assert false
+  | last :: _ ->
+    let rt0 = Q.add last.rt0 (Q.mul t.seg_len last.inv_rate) in
+    let lt0 = Q.add last.lt0 t.seg_len in
+    let seg = { rt0; lt0; inv_rate = rate_for t t.n_segments } in
+    t.segments <- seg :: t.segments;
+    t.n_segments <- t.n_segments + 1
+
+let rt_end s seg_len = Q.add s.rt0 (Q.mul seg_len s.inv_rate)
+
+let lt_of_rt t rt =
+  if Q.sign rt < 0 then invalid_arg "Clock.lt_of_rt: negative real time";
+  let rec ensure () =
+    match t.segments with
+    | last :: _ when Q.(rt_end last t.seg_len <= rt) ->
+      extend t;
+      ensure ()
+    | _ -> ()
+  in
+  ensure ();
+  let seg = List.find (fun s -> Q.(s.rt0 <= rt)) t.segments in
+  Q.add seg.lt0 (Q.div (Q.sub rt seg.rt0) seg.inv_rate)
+
+let rt_of_lt t lt =
+  let rec ensure () =
+    match t.segments with
+    | last :: _ when Q.(Q.add last.lt0 t.seg_len <= lt) ->
+      extend t;
+      ensure ()
+    | _ -> ()
+  in
+  ensure ();
+  let seg =
+    match List.find_opt (fun s -> Q.(s.lt0 <= lt)) t.segments with
+    | Some s -> s
+    | None -> invalid_arg "Clock.rt_of_lt: local time before clock start"
+  in
+  Q.add seg.rt0 (Q.mul (Q.sub lt seg.lt0) seg.inv_rate)

@@ -1,0 +1,38 @@
+(** Drifting hardware clocks for the simulator.
+
+    A clock is a piecewise-linear monotone map between real time and local
+    time whose inverse rate [dRT/dLT] stays within the processor's drift
+    bound on every segment — i.e. the simulated hardware always satisfies
+    the specification the synchronization algorithm assumes, which is what
+    makes the containment experiments meaningful.
+
+    Rate policies:
+    - [`Fixed r]: constant inverse rate [r];
+    - [`Random]: a fresh uniform rate in [[rmin, rmax]] per segment;
+    - [`Adversarial]: alternate between the extreme rates [rmin] and
+      [rmax] each segment (maximizes accumulated uncertainty);
+    - [`Sawtooth k]: cycle through [k] evenly spaced rates. *)
+
+type policy = [ `Fixed of Q.t | `Random | `Adversarial | `Sawtooth of int ]
+
+type t
+
+val create :
+  drift:Drift.t ->
+  policy:policy ->
+  segment:Q.t ->
+  lt0:Q.t ->
+  rng:Rng.t ->
+  t
+(** [segment] is the local-time length of each constant-rate segment;
+    [lt0] is the local reading at real time 0.
+    @raise Invalid_argument when the segment is not positive or a fixed
+    rate violates the drift bound. *)
+
+val drift : t -> Drift.t
+
+val lt_of_rt : t -> Q.t -> Q.t
+(** Local reading at a real time [>= 0]. *)
+
+val rt_of_lt : t -> Q.t -> Q.t
+(** Real time at which the clock shows a local reading [>= lt0]. *)

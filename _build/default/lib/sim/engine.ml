@@ -1,0 +1,508 @@
+type algo_summary = {
+  samples : int;
+  contained : int;
+  finite : int;
+  mean_width : float;
+  max_width : float;
+  final_widths : float array;
+}
+
+type node_summary = {
+  peak_live : int;
+  peak_history : int;
+  relaxations : int;
+  events_processed : int;
+  events_reported : int;
+}
+
+type result = {
+  rt_end : Q.t;
+  messages_sent : int;
+  messages_lost : int;
+  events_total : int;
+  payload_events_total : int;
+  payload_events_max : int;
+  payload_bytes_total : int;
+  per_algo : (string * algo_summary) list;
+  per_node : node_summary array;
+  series : (float * (string * float) list) list;
+  validation_failures : int;
+}
+
+(* ------------------------------------------------------------------ *)
+
+type app = Request | Response | Token | Chat
+
+type envelope = {
+  wire : string; (* Codec-encoded payload: real wire format end to end *)
+  ntp_w : Ntp.wire option;
+  cris_w : Cristian.wire option;
+  app : app;
+}
+
+type node = {
+  proc : Event.proc;
+  clock : Clock.t;
+  csa : Csa.t;
+  mirror : Mirror.t option;
+  driftfree : Driftfree.t option;
+  ntp : Ntp.t option;
+  cristian : Cristian.t option;
+  parents : Event.proc list;
+}
+
+type sim_event =
+  | Deliver of { msg : int; src : Event.proc; dst : Event.proc; env : envelope }
+  | Lost_notify of { msg : int }
+  | Poll of { p : Event.proc }
+  | Gossip_tick
+  | Token_send of { p : Event.proc }
+  | Burst_check of { p : Event.proc }
+
+type stat_acc = {
+  mutable n : int;
+  mutable contained_n : int;
+  mutable finite_n : int;
+  mutable width_sum : float;
+  mutable width_max : float;
+}
+
+type state = {
+  scenario : Scenario.t;
+  rng : Rng.t;
+  nodes : node array;
+  agenda : sim_event Heap.t;
+  mutable now : Q.t;
+  mutable next_msg : int;
+  mutable messages_sent : int;
+  mutable messages_lost : int;
+  mutable payload_events_total : int;
+  mutable payload_events_max : int;
+  mutable payload_bytes_total : int;
+  last_delivery : (int, Q.t) Hashtbl.t; (* directed link key -> last arrival *)
+  stats : (string, stat_acc) Hashtbl.t;
+  mutable series : (float * (string * float) list) list; (* newest first *)
+  mutable series_n : int;
+  mutable series_stride : int;
+  mutable series_tick : int;
+  mutable validation_failures : int;
+}
+
+let algo_names st =
+  "optimal"
+  ::
+  (if st.scenario.Scenario.run_driftfree then [ Driftfree.name ] else [])
+  @ (if st.scenario.Scenario.run_ntp then [ Ntp.name ] else [])
+  @ if st.scenario.Scenario.run_cristian then [ Cristian.name ] else []
+
+let stat st name =
+  match Hashtbl.find_opt st.stats name with
+  | Some s -> s
+  | None ->
+    let s =
+      { n = 0; contained_n = 0; finite_n = 0; width_sum = 0.; width_max = 0. }
+    in
+    Hashtbl.replace st.stats name s;
+    s
+
+let link_key st u v = (u * System_spec.n st.scenario.Scenario.spec) + v
+
+let lt_now st node = Clock.lt_of_rt node.clock st.now
+
+(* estimates of all enabled algorithms at the node's current local time *)
+let estimates st node =
+  let lt = lt_now st node in
+  ("optimal", Csa.estimate_at node.csa ~lt)
+  :: List.filter_map Fun.id
+       [
+         Option.map
+           (fun df -> (Driftfree.name, Driftfree.estimate_at df ~lt))
+           node.driftfree;
+         Option.map (fun a -> (Ntp.name, Ntp.estimate_at a ~lt)) node.ntp;
+         Option.map
+           (fun a -> (Cristian.name, Cristian.estimate_at a ~lt))
+           node.cristian;
+       ]
+
+let float_width i =
+  match Interval.width i with
+  | Ext.Fin w -> Q.to_float w
+  | Ext.Inf -> infinity
+
+let record_sample st node =
+  let ests = estimates st node in
+  List.iter
+    (fun (name, interval) ->
+      let s = stat st name in
+      s.n <- s.n + 1;
+      if Interval.mem st.now interval then s.contained_n <- s.contained_n + 1
+      else if name = "optimal" then st.validation_failures <- st.validation_failures + 1;
+      match Interval.width interval with
+      | Ext.Fin w ->
+        let wf = Q.to_float w in
+        s.finite_n <- s.finite_n + 1;
+        s.width_sum <- s.width_sum +. wf;
+        if wf > s.width_max then s.width_max <- wf
+      | Ext.Inf -> ())
+    ests;
+  (* subsampled time series *)
+  st.series_tick <- st.series_tick + 1;
+  if st.series_tick mod st.series_stride = 0 then begin
+    st.series <-
+      (Q.to_float st.now, List.map (fun (n, i) -> (n, float_width i)) ests)
+      :: st.series;
+    st.series_n <- st.series_n + 1;
+    if st.series_n > st.scenario.Scenario.series_cap then begin
+      (* decimate: keep every other sample, double the stride *)
+      let rec every_other = function
+        | a :: _ :: rest -> a :: every_other rest
+        | rest -> rest
+      in
+      st.series <- every_other st.series;
+      st.series_n <- (st.series_n + 1) / 2;
+      st.series_stride <- st.series_stride * 2
+    end
+  end
+
+let validate st node =
+  if st.scenario.Scenario.validate then
+    match node.mirror with
+    | None -> ()
+    | Some mirror ->
+      let expected =
+        Reference.estimate st.scenario.Scenario.spec (Mirror.view mirror)
+          ~at:(Mirror.last_id mirror)
+      in
+      if not (Interval.equal expected (Csa.estimate node.csa)) then
+        st.validation_failures <- st.validation_failures + 1
+
+(* ------------------------------------------------------------------ *)
+
+let choose_delay st ~src ~dst =
+  let tr = System_spec.transit_exn st.scenario.Scenario.spec src dst in
+  let lo = tr.Transit.lo in
+  let cap_hi cap =
+    match tr.Transit.hi with
+    | Ext.Fin h -> Q.min h (Q.add lo cap)
+    | Ext.Inf -> Q.add lo cap
+  in
+  match st.scenario.Scenario.delay with
+  | `Min -> lo
+  | `Max -> (
+    match tr.Transit.hi with Ext.Fin h -> h | Ext.Inf -> Q.add lo Q.one)
+  | `Alternate ->
+    if st.messages_sent mod 2 = 0 then lo
+    else (match tr.Transit.hi with Ext.Fin h -> h | Ext.Inf -> Q.add lo Q.one)
+  | `Uniform -> (
+    match tr.Transit.hi with
+    | Ext.Fin h -> Rng.q_between st.rng lo h
+    | Ext.Inf -> Rng.q_between st.rng lo (Q.add lo Q.one))
+  | `Capped cap -> Rng.q_between st.rng lo (cap_hi cap)
+
+let lossy st = st.scenario.Scenario.loss_prob > 0.
+
+let send st ~src ~dst ~app =
+  let node = st.nodes.(src) in
+  let lt = lt_now st node in
+  let msg = st.next_msg in
+  st.next_msg <- msg + 1;
+  st.messages_sent <- st.messages_sent + 1;
+  let payload = Csa.send node.csa ~dst ~msg ~lt in
+  Option.iter (fun m -> Mirror.send m ~payload) node.mirror;
+  Option.iter (fun df -> Driftfree.on_send df ~payload) node.driftfree;
+  let ntp_w = Option.map (fun a -> Ntp.on_send a ~dst ~msg ~lt) node.ntp in
+  let cris_w =
+    Option.map (fun a -> Cristian.on_send a ~dst ~msg ~lt) node.cristian
+  in
+  st.payload_events_total <- st.payload_events_total + Payload.size payload;
+  if Payload.size payload > st.payload_events_max then
+    st.payload_events_max <- Payload.size payload;
+  let wire = Codec.encode payload in
+  st.payload_bytes_total <- st.payload_bytes_total + String.length wire;
+  let env = { wire; ntp_w; cris_w; app } in
+  if Rng.bernoulli st.rng ~p:st.scenario.Scenario.loss_prob then begin
+    st.messages_lost <- st.messages_lost + 1;
+    Heap.push st.agenda
+      ~at:(Q.add st.now st.scenario.Scenario.loss_detect)
+      (Lost_notify { msg })
+  end
+  else begin
+    let delay = choose_delay st ~src ~dst in
+    let at = Q.add st.now delay in
+    (* FIFO per directed link: no overtaking, still within [lo, hi]
+       because the previous delivery respected its (earlier) send's hi *)
+    let at =
+      match Hashtbl.find_opt st.last_delivery (link_key st src dst) with
+      | Some prev -> Q.max at prev
+      | None -> at
+    in
+    Hashtbl.replace st.last_delivery (link_key st src dst) at;
+    Heap.push st.agenda ~at (Deliver { msg; src; dst; env })
+  end
+
+let deliver st ~msg ~src ~dst ~env =
+  let node = st.nodes.(dst) in
+  let lt = lt_now st node in
+  (* messages travel in their encoded form; decode exactly once here *)
+  let payload = Codec.decode env.wire in
+  Csa.receive node.csa ~msg ~lt payload;
+  if lossy st then Csa.on_msg_delivered st.nodes.(src).csa ~msg;
+  Option.iter (fun m -> Mirror.receive m ~msg ~lt ~payload) node.mirror;
+  Option.iter (fun df -> Driftfree.on_recv df ~msg ~lt ~payload) node.driftfree;
+  (match node.ntp, env.ntp_w with
+  | Some a, Some w -> Ntp.on_recv a ~src ~msg ~lt w
+  | _ -> ());
+  (match node.cristian, env.cris_w with
+  | Some a, Some w -> Cristian.on_recv a ~src ~msg ~lt w
+  | _ -> ());
+  validate st node;
+  record_sample st node;
+  (* application behaviour *)
+  match env.app with
+  | Request -> send st ~src:dst ~dst:src ~app:Response
+  | Token ->
+    let gap =
+      match st.scenario.Scenario.traffic with
+      | Scenario.Ring_token { gap } -> gap
+      | _ -> Q.one
+    in
+    Heap.push st.agenda ~at:(Q.add st.now gap) (Token_send { p = dst })
+  | Response | Chat -> ()
+
+let lost_notify st ~msg =
+  Array.iter (fun node -> Csa.on_msg_lost node.csa ~msg) st.nodes
+
+let schedule_local st node ~after_lt ev =
+  (* fire when the node's clock shows (now_lt + after_lt) *)
+  let target_lt = Q.add (lt_now st node) after_lt in
+  let rt = Clock.rt_of_lt node.clock target_lt in
+  Heap.push st.agenda ~at:(Q.max rt st.now) ev
+
+let poll st ~p =
+  let node = st.nodes.(p) in
+  List.iter (fun parent -> send st ~src:p ~dst:parent ~app:Request) node.parents;
+  match st.scenario.Scenario.traffic with
+  | Scenario.Ntp_poll { period } ->
+    schedule_local st node ~after_lt:period (Poll { p })
+  | _ -> ()
+
+let gossip_tick st =
+  let spec = st.scenario.Scenario.spec in
+  let n = System_spec.n spec in
+  let candidates =
+    List.filter (fun p -> System_spec.neighbors spec p <> []) (List.init n Fun.id)
+  in
+  (match candidates with
+  | [] -> ()
+  | _ ->
+    let src = Rng.pick st.rng candidates in
+    let dst = Rng.pick st.rng (System_spec.neighbors spec src) in
+    send st ~src ~dst ~app:Chat);
+  match st.scenario.Scenario.traffic with
+  | Scenario.Gossip { mean_gap } ->
+    let half = Q.div_int mean_gap 2 in
+    let gap = Rng.q_between st.rng half (Q.add mean_gap half) in
+    Heap.push st.agenda ~at:(Q.add st.now gap) Gossip_tick
+  | _ -> ()
+
+let token_send st ~p =
+  let spec = st.scenario.Scenario.spec in
+  let n = System_spec.n spec in
+  let dst = (p + 1) mod n in
+  if System_spec.transit spec p dst <> None then send st ~src:p ~dst ~app:Token
+
+let burst_check st ~p =
+  let node = st.nodes.(p) in
+  match st.scenario.Scenario.traffic with
+  | Scenario.Burst { check_period; width_target } ->
+    let lt = lt_now st node in
+    let width =
+      match node.cristian with
+      | Some a -> Interval.width (Cristian.estimate_at a ~lt)
+      | None -> Interval.width (Csa.estimate_at node.csa ~lt)
+    in
+    let loose = Ext.lt (Ext.Fin width_target) width in
+    if loose then begin
+      (match node.parents with
+      | parent :: _ -> send st ~src:p ~dst:parent ~app:Request
+      | [] -> ());
+      (* rapid retry while out of tolerance *)
+      schedule_local st node ~after_lt:(Q.div_int check_period 10)
+        (Burst_check { p })
+    end
+    else schedule_local st node ~after_lt:check_period (Burst_check { p })
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let init_nodes (scenario : Scenario.t) rng =
+  let spec = scenario.Scenario.spec in
+  let n = System_spec.n spec in
+  let links =
+    (* recover the undirected link list for parent computation *)
+    List.concat
+      (List.init n (fun u ->
+           List.filter_map
+             (fun v -> if u < v then Some (u, v) else None)
+             (System_spec.neighbors spec u)))
+  in
+  Array.init n (fun p ->
+      let lt0 =
+        if p = System_spec.source spec then Q.zero
+        else Rng.q_between rng Q.zero scenario.Scenario.max_offset
+      in
+      let clock =
+        Clock.create ~drift:(System_spec.drift spec p)
+          ~policy:scenario.Scenario.clock_policy
+          ~segment:scenario.Scenario.clock_segment ~lt0 ~rng:(Rng.split rng)
+      in
+      {
+        proc = p;
+        clock;
+        csa = Csa.create ~lossy:(scenario.Scenario.loss_prob > 0.) spec ~me:p ~lt0;
+        mirror =
+          (if scenario.Scenario.validate then Some (Mirror.create spec ~me:p ~lt0)
+           else None);
+        driftfree =
+          (if scenario.Scenario.run_driftfree then
+             Some (Driftfree.create ~window:scenario.Scenario.driftfree_window spec ~me:p ~lt0)
+           else None);
+        ntp =
+          (if scenario.Scenario.run_ntp then Some (Ntp.create spec ~me:p ~lt0)
+           else None);
+        cristian =
+          (if scenario.Scenario.run_cristian then
+             Some (Cristian.create ~rtt_threshold:scenario.Scenario.cristian_rtt spec ~me:p ~lt0)
+           else None);
+        parents =
+          Topology.parents_toward_source ~n ~links
+            ~source:(System_spec.source spec) p;
+      })
+
+let bootstrap st =
+  let n = Array.length st.nodes in
+  match st.scenario.Scenario.traffic with
+  | Scenario.Ntp_poll _ ->
+    (* stagger initial polls to avoid a thundering herd *)
+    Array.iter
+      (fun node ->
+        if node.parents <> [] then begin
+          let jitter = Rng.q_between st.rng Q.zero Q.one in
+          Heap.push st.agenda ~at:jitter (Poll { p = node.proc })
+        end)
+      st.nodes
+  | Scenario.Gossip _ -> Heap.push st.agenda ~at:Q.zero Gossip_tick
+  | Scenario.Ring_token _ -> Heap.push st.agenda ~at:Q.zero (Token_send { p = 0 })
+  | Scenario.Burst _ ->
+    Array.iter
+      (fun node ->
+        if node.proc <> System_spec.source st.scenario.Scenario.spec && n > 1
+        then begin
+          let jitter = Rng.q_between st.rng Q.zero Q.one in
+          Heap.push st.agenda ~at:jitter (Burst_check { p = node.proc })
+        end)
+      st.nodes
+
+let run (scenario : Scenario.t) =
+  let rng = Rng.create scenario.Scenario.seed in
+  let nodes = init_nodes scenario rng in
+  let st =
+    {
+      scenario;
+      rng;
+      nodes;
+      agenda = Heap.create ();
+      now = Q.zero;
+      next_msg = 0;
+      messages_sent = 0;
+      messages_lost = 0;
+      payload_events_total = 0;
+      payload_events_max = 0;
+      payload_bytes_total = 0;
+      last_delivery = Hashtbl.create 32;
+      stats = Hashtbl.create 8;
+      series = [];
+      series_n = 0;
+      series_stride = 1;
+      series_tick = 0;
+      validation_failures = 0;
+    }
+  in
+  bootstrap st;
+  let continue = ref true in
+  while !continue do
+    match Heap.pop st.agenda with
+    | None -> continue := false
+    | Some (at, _) when Q.(at > scenario.Scenario.duration) -> continue := false
+    | Some (at, ev) -> (
+      st.now <- at;
+      match ev with
+      | Deliver { msg; src; dst; env } -> deliver st ~msg ~src ~dst ~env
+      | Lost_notify { msg } -> lost_notify st ~msg
+      | Poll { p } -> poll st ~p
+      | Gossip_tick -> gossip_tick st
+      | Token_send { p } -> token_send st ~p
+      | Burst_check { p } -> burst_check st ~p)
+  done;
+  st.now <- scenario.Scenario.duration;
+  let per_algo =
+    List.map
+      (fun name ->
+        let s = stat st name in
+        let final_widths =
+          Array.map
+            (fun node ->
+              let interval =
+                List.assoc name (estimates st node)
+              in
+              float_width interval)
+            st.nodes
+        in
+        ( name,
+          {
+            samples = s.n;
+            contained = s.contained_n;
+            finite = s.finite_n;
+            mean_width = (if s.finite_n = 0 then nan else s.width_sum /. float_of_int s.finite_n);
+            max_width = s.width_max;
+            final_widths;
+          } ))
+      (algo_names st)
+  in
+  let per_node =
+    Array.map
+      (fun node ->
+        {
+          peak_live = Csa.peak_live_count node.csa;
+          peak_history = Csa.peak_history_size node.csa;
+          relaxations = Csa.agdp_relaxations node.csa;
+          events_processed = Csa.events_processed node.csa;
+          events_reported = Csa.events_reported node.csa;
+        })
+      st.nodes
+  in
+  {
+    rt_end = st.now;
+    messages_sent = st.messages_sent;
+    messages_lost = st.messages_lost;
+    events_total =
+      Array.fold_left (fun acc node -> acc + Csa.events_processed node.csa) 0 st.nodes;
+    payload_events_total = st.payload_events_total;
+    payload_events_max = st.payload_events_max;
+    payload_bytes_total = st.payload_bytes_total;
+    per_algo;
+    per_node;
+    series = List.rev st.series;
+    validation_failures = st.validation_failures;
+  }
+
+let pp_result fmt r =
+  Format.fprintf fmt "@[<v>rt_end=%s messages=%d lost=%d events=%d@,"
+    (Q.to_string r.rt_end) r.messages_sent r.messages_lost r.events_total;
+  List.iter
+    (fun (name, a) ->
+      Format.fprintf fmt
+        "%-10s samples=%d contained=%d finite=%d mean_width=%.6f max_width=%.6f@,"
+        name a.samples a.contained a.finite a.mean_width a.max_width)
+    r.per_algo;
+  Format.fprintf fmt "@]"

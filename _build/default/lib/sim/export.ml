@@ -1,0 +1,58 @@
+let float_cell x =
+  if x = infinity then "inf"
+  else if x = neg_infinity then "-inf"
+  else if Float.is_nan x then "nan"
+  else Printf.sprintf "%.9g" x
+
+let series_csv (r : Engine.result) =
+  let buf = Buffer.create 1024 in
+  let algos =
+    match r.Engine.series with
+    | (_, widths) :: _ -> List.map fst widths
+    | [] -> List.map fst r.Engine.per_algo
+  in
+  Buffer.add_string buf ("rt," ^ String.concat "," algos ^ "\n");
+  List.iter
+    (fun (rt, widths) ->
+      Buffer.add_string buf (float_cell rt);
+      List.iter
+        (fun name ->
+          Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (float_cell (Option.value ~default:nan (List.assoc_opt name widths))))
+        algos;
+      Buffer.add_char buf '\n')
+    r.Engine.series;
+  Buffer.contents buf
+
+let nodes_csv (r : Engine.result) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "node,peak_live,peak_history,relaxations,events_processed,events_reported\n";
+  Array.iteri
+    (fun p (ns : Engine.node_summary) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%d,%d,%d\n" p ns.Engine.peak_live
+           ns.Engine.peak_history ns.Engine.relaxations
+           ns.Engine.events_processed ns.Engine.events_reported))
+    r.Engine.per_node;
+  Buffer.contents buf
+
+let summary_csv (r : Engine.result) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "algorithm,samples,contained,finite,mean_width,max_width\n";
+  List.iter
+    (fun (name, (a : Engine.algo_summary)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%d,%d,%s,%s\n" name a.Engine.samples
+           a.Engine.contained a.Engine.finite
+           (float_cell a.Engine.mean_width)
+           (float_cell a.Engine.max_width)))
+    r.Engine.per_algo;
+  Buffer.contents buf
+
+let write_file ~path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,13 @@
+(** CSV export of simulation results, for plotting figures offline. *)
+
+val series_csv : Engine.result -> string
+(** One row per sample: [rt,<algo1>,<algo2>,...]; header row included;
+    unbounded widths rendered as [inf]. *)
+
+val nodes_csv : Engine.result -> string
+(** Per-node resource usage: peaks, event counts, relaxations. *)
+
+val summary_csv : Engine.result -> string
+(** Per-algorithm accuracy summary. *)
+
+val write_file : path:string -> string -> unit

@@ -1,0 +1,17 @@
+(** Binary min-heap keyed by (real time, sequence number).
+
+    The discrete-event engine's agenda.  The sequence number makes the
+    order total and deterministic: events scheduled earlier break real-time
+    ties first. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> at:Q.t -> 'a -> unit
+(** Sequence numbers are assigned internally in push order. *)
+
+val pop : 'a t -> (Q.t * 'a) option
+val peek_time : 'a t -> Q.t option

@@ -1,0 +1,53 @@
+type delay_policy =
+  [ `Uniform | `Min | `Max | `Alternate | `Capped of Q.t ]
+
+type traffic =
+  | Ntp_poll of { period : Q.t }
+  | Gossip of { mean_gap : Q.t }
+  | Ring_token of { gap : Q.t }
+  | Burst of { check_period : Q.t; width_target : Q.t }
+
+type t = {
+  spec : System_spec.t;
+  seed : int;
+  duration : Q.t;
+  clock_policy : Clock.policy;
+  clock_segment : Q.t;
+  max_offset : Q.t;
+  delay : delay_policy;
+  loss_prob : float;
+  loss_detect : Q.t;
+  traffic : traffic;
+  run_driftfree : bool;
+  driftfree_window : Q.t;
+  run_ntp : bool;
+  run_cristian : bool;
+  cristian_rtt : Q.t;
+  validate : bool;
+  series_cap : int;
+}
+
+let sec n = Q.of_int n
+let ms n = Q.of_ints n 1_000
+let us n = Q.of_ints n 1_000_000
+
+let default ~spec ~traffic =
+  {
+    spec;
+    seed = 42;
+    duration = sec 60;
+    clock_policy = `Random;
+    clock_segment = sec 5;
+    max_offset = sec 1;
+    delay = `Uniform;
+    loss_prob = 0.;
+    loss_detect = sec 1;
+    traffic;
+    run_driftfree = false;
+    driftfree_window = sec 30;
+    run_ntp = false;
+    run_cristian = false;
+    cristian_rtt = ms 50;
+    validate = false;
+    series_cap = 2_000;
+  }

@@ -1,0 +1,65 @@
+(** Scenario descriptions for the simulator.
+
+    A scenario bundles the system specification, the hidden-truth knobs
+    (clock rate policy, per-message delay policy, loss), the traffic
+    pattern (the paper's "send module"), and which algorithms to run
+    alongside the optimal CSA. *)
+
+type delay_policy =
+  [ `Uniform  (** uniform within the link's [lo, hi] *)
+  | `Min  (** always the lower bound *)
+  | `Max  (** always the upper bound *)
+  | `Alternate  (** adversarial alternation between the extremes *)
+  | `Capped of Q.t  (** uniform within [lo, min hi (lo + cap)] — for
+                        asynchronous links with infinite upper bounds *) ]
+
+type traffic =
+  | Ntp_poll of { period : Q.t }
+      (** every non-source node polls each of its parents (neighbors
+          closer to the source) every [period] of local time; parents
+          respond immediately — the communication pattern Section 4
+          attributes to NTP *)
+  | Gossip of { mean_gap : Q.t }
+      (** a random node messages a random neighbor roughly every
+          [mean_gap] of real time; no responses *)
+  | Ring_token of { gap : Q.t }
+      (** a token circulates 0 → 1 → ... → n−1 → 0, forwarded [gap]
+          after receipt *)
+  | Burst of { check_period : Q.t; width_target : Q.t }
+      (** probabilistic-synchronization pattern (Section 4, [5]): each
+          node checks its estimate every [check_period] of local time and
+          fires rapid round-trip probes at a parent while the estimate is
+          wider than [width_target] *)
+
+type t = {
+  spec : System_spec.t;
+  seed : int;
+  duration : Q.t;  (** real-time horizon *)
+  clock_policy : Clock.policy;
+  clock_segment : Q.t;  (** local-time length of constant-rate segments *)
+  max_offset : Q.t;  (** initial clock readings drawn from [0, max_offset] *)
+  delay : delay_policy;
+  loss_prob : float;  (** per-message loss probability *)
+  loss_detect : Q.t;  (** latency of the loss-detection oracle (§3.3) *)
+  traffic : traffic;
+  run_driftfree : bool;
+  driftfree_window : Q.t;
+  run_ntp : bool;
+  run_cristian : bool;
+  cristian_rtt : Q.t;  (** Cristian's quick-round-trip threshold *)
+  validate : bool;
+      (** drive a full-view mirror per node and check, at every receive,
+          that the CSA equals the reference optimal algorithm and contains
+          the hidden real time (expensive; for tests and E1) *)
+  series_cap : int;  (** max number of time-series samples retained *)
+}
+
+val default : spec:System_spec.t -> traffic:traffic -> t
+(** 60 s duration, uniform delays, random clock rates over 5 s segments,
+    offsets up to 1 s, no loss, no extra algorithms, no validation. *)
+
+val sec : int -> Q.t
+(** Seconds as rational time units. *)
+
+val ms : int -> Q.t
+val us : int -> Q.t

@@ -1,0 +1,87 @@
+let line n = List.init (n - 1) (fun i -> (i, i + 1))
+
+let ring n =
+  if n < 3 then line n else (n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1))
+
+let star n = List.init (n - 1) (fun i -> (0, i + 1))
+
+let complete n =
+  List.concat
+    (List.init n (fun i -> List.init i (fun j -> (j, i))))
+
+let binary_tree n = List.init (n - 1) (fun i -> (((i + 1) - 1) / 2, i + 1))
+
+let grid w h =
+  let idx x y = (y * w) + x in
+  let horiz =
+    List.concat
+      (List.init h (fun y -> List.init (w - 1) (fun x -> (idx x y, idx (x + 1) y))))
+  in
+  let vert =
+    List.concat
+      (List.init (h - 1) (fun y -> List.init w (fun x -> (idx x y, idx x (y + 1)))))
+  in
+  horiz @ vert
+
+let random_connected rng ~n ~extra =
+  (* random spanning tree: connect each node i > 0 to a random earlier
+     node *)
+  let tree = List.init (n - 1) (fun i -> (Rng.int rng (i + 1), i + 1)) in
+  let mem u v links =
+    List.exists (fun (a, b) -> (a = u && b = v) || (a = v && b = u)) links
+  in
+  let rec add_extra k links attempts =
+    if k = 0 || attempts > 20 * (extra + 1) then links
+    else begin
+      let u = Rng.int rng n and v = Rng.int rng n in
+      if u <> v && not (mem u v links) then
+        add_extra (k - 1) ((min u v, max u v) :: links) attempts
+      else add_extra k links (attempts + 1)
+    end
+  in
+  add_extra extra tree 0
+
+let ntp_hierarchy ~levels ~width ~fanout =
+  if levels < 1 || width < 1 then invalid_arg "Topology.ntp_hierarchy";
+  let n = 1 + (levels * width) in
+  let node level i =
+    if level = 0 then 0 else 1 + ((level - 1) * width) + i
+  in
+  let links = ref [] in
+  for level = 1 to levels do
+    for i = 0 to width - 1 do
+      let me = node level i in
+      if level = 1 then links := (0, me) :: !links
+      else
+        let k = min fanout width in
+        for j = 0 to k - 1 do
+          links := (node (level - 1) ((i + j) mod width), me) :: !links
+        done
+    done
+  done;
+  (n, List.rev !links)
+
+let parents_toward_source ~n ~links ~source p =
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    links;
+  let dist = Array.make n (-1) in
+  dist.(source) <- 0;
+  let queue = Queue.create () in
+  Queue.push source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.push v queue
+        end)
+      adj.(u)
+  done;
+  if dist.(p) <= 0 then []
+  else List.filter (fun v -> dist.(v) >= 0 && dist.(v) < dist.(p)) adj.(p)
+       |> List.sort compare

@@ -1,0 +1,28 @@
+(** Network topology generators.
+
+    All return undirected link lists over processors [0 .. n-1], with
+    processor 0 conventionally the source.  [ntp_hierarchy] mimics the
+    stratum structure Section 4 describes: the source feeds level-1
+    servers, each lower level polls [fanout] parents above it. *)
+
+val line : int -> (int * int) list
+val ring : int -> (int * int) list
+val star : int -> (int * int) list
+val complete : int -> (int * int) list
+val binary_tree : int -> (int * int) list
+val grid : int -> int -> (int * int) list
+
+val random_connected : Rng.t -> n:int -> extra:int -> (int * int) list
+(** A random spanning tree plus [extra] random non-tree links. *)
+
+val ntp_hierarchy :
+  levels:int -> width:int -> fanout:int -> int * (int * int) list
+(** [(n, links)]: node 0 is the source, then [levels] levels of [width]
+    servers; every server links to [min fanout width] servers of the level
+    above (level 1 links to the source). *)
+
+val parents_toward_source : n:int -> links:(int * int) list -> source:int ->
+  int -> int list
+(** Neighbors strictly closer (in hops) to the source — the "lower level
+    servers" a node polls.  Empty for the source itself and for nodes with
+    no closer neighbor. *)

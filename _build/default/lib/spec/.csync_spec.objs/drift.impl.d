@@ -1,0 +1,1 @@
+lib/spec/drift.ml: Format Q

@@ -1,0 +1,1 @@
+lib/spec/drift.mli: Format Q

@@ -1,0 +1,1 @@
+lib/spec/edges.ml: Drift Event Ext List Q System_spec Transit View

@@ -1,0 +1,1 @@
+lib/spec/edges.mli: Event Q System_spec View

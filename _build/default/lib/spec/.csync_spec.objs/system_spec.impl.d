@@ -1,0 +1,1 @@
+lib/spec/system_spec.ml: Array Drift Event Format Hashtbl List Printf Queue Transit

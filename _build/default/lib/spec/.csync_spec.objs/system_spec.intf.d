@@ -1,0 +1,1 @@
+lib/spec/system_spec.mli: Drift Event Format Transit

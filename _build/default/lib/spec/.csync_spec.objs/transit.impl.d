@@ -1,0 +1,1 @@
+lib/spec/transit.ml: Ext Format Q

@@ -1,0 +1,1 @@
+lib/spec/transit.mli: Ext Format Q

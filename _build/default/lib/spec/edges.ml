@@ -1,0 +1,65 @@
+
+type edge = { src : Event.id; dst : Event.id; w : Q.t }
+
+let proc_edges spec ~(prev : Event.t) ~(next : Event.t) =
+  if Event.loc prev <> Event.loc next then
+    invalid_arg "Edges.proc_edges: different processors";
+  (match Event.prev_id next with
+  | Some p when Event.id_equal p prev.id -> ()
+  | _ -> invalid_arg "Edges.proc_edges: events not consecutive");
+  let d = System_spec.drift spec (Event.loc prev) in
+  let elapsed = Q.sub next.lt prev.lt in
+  if Q.sign elapsed < 0 then
+    invalid_arg "Edges.proc_edges: local time regression";
+  (* B(next,prev) = rmax·ℓ  ⇒ w(next,prev) = (rmax − 1)·ℓ
+     B(prev,next) = −rmin·ℓ ⇒ w(prev,next) = (1 − rmin)·ℓ *)
+  let open Drift in
+  [
+    { src = next.id; dst = prev.id; w = Q.mul (Q.sub d.rmax Q.one) elapsed };
+    { src = prev.id; dst = next.id; w = Q.mul (Q.sub Q.one d.rmin) elapsed };
+  ]
+
+let msg_edges spec ~(send : Event.t) ~(recv : Event.t) =
+  let msg_send, msg_recv, src_proc =
+    match send.kind, recv.kind with
+    | Event.Send { msg = ms; _ }, Event.Recv { msg = mr; send = sid; src } ->
+      if not (Event.id_equal sid send.id) then
+        invalid_arg "Edges.msg_edges: receive does not reference this send";
+      (ms, mr, src)
+    | _ -> invalid_arg "Edges.msg_edges: wrong event kinds"
+  in
+  if msg_send <> msg_recv then invalid_arg "Edges.msg_edges: message mismatch";
+  if src_proc <> Event.loc send then
+    invalid_arg "Edges.msg_edges: sender mismatch";
+  let tr = System_spec.transit_exn spec (Event.loc send) (Event.loc recv) in
+  let vd = Q.sub recv.lt send.lt in
+  (* virt_del(recv, send) *)
+  (* B(send,recv) = −lo ⇒ w(send,recv) = −lo − (LT(send) − LT(recv)) = vd − lo
+     B(recv,send) = hi  ⇒ w(recv,send) = hi − vd (only when hi finite) *)
+  let open Transit in
+  let forward = { src = send.id; dst = recv.id; w = Q.sub vd tr.lo } in
+  match tr.hi with
+  | Ext.Inf -> [ forward ]
+  | Ext.Fin hi -> [ forward; { src = recv.id; dst = send.id; w = Q.sub hi vd } ]
+
+let incident_on_insert spec view (e : Event.t) =
+  let proc_part =
+    match Event.prev_id e with
+    | None -> []
+    | Some pid ->
+      let prev = View.find_exn view pid in
+      proc_edges spec ~prev ~next:e
+  in
+  let msg_part =
+    match e.kind with
+    | Event.Recv { send; _ } ->
+      let send_ev = View.find_exn view send in
+      msg_edges spec ~send:send_ev ~recv:e
+    | Event.Init | Event.Internal | Event.Send _ -> []
+  in
+  proc_part @ msg_part
+
+let of_view spec view =
+  View.fold view ~init:[] ~f:(fun acc e ->
+      List.rev_append (incident_on_insert spec view e) acc)
+  |> List.rev

@@ -1,0 +1,34 @@
+(** Synchronization-graph edges (Definition 2.1 of the paper).
+
+    Given a view and its bounds mapping [B], the synchronization graph has
+    an edge [(p, q)] with weight [w(p,q) = B(p,q) − virt_del(p,q)] whenever
+    [B(p,q) < ⊤], where [virt_del(p,q) = LT(p) − LT(q)].
+
+    Under our real-time specifications, finite bounds exist exactly for
+    (i) consecutive events at one processor (clock drift bounds) and
+    (ii) send/receive pairs of one message (transit bounds). *)
+
+type edge = { src : Event.id; dst : Event.id; w : Q.t }
+
+val proc_edges : System_spec.t -> prev:Event.t -> next:Event.t -> edge list
+(** Both orientations between two consecutive events at one processor.
+    With elapse [ℓ = LT(next) − LT(prev)] and drift [[rmin, rmax]]:
+    weight [(rmax − 1)·ℓ] on [next → prev] and [(1 − rmin)·ℓ] on
+    [prev → next].
+    @raise Invalid_argument when the events are not consecutive at one
+    processor. *)
+
+val msg_edges : System_spec.t -> send:Event.t -> recv:Event.t -> edge list
+(** Edges between matching send/receive events over the link's transit
+    bound [[lo, hi]]: weight [LT(recv) − LT(send) − lo] on [send → recv],
+    and — when [hi] is finite — [hi − (LT(recv) − LT(send))] on
+    [recv → send].
+    @raise Invalid_argument when [recv] does not match [send]. *)
+
+val of_view : System_spec.t -> View.t -> edge list
+(** All synchronization-graph edges of a view. *)
+
+val incident_on_insert : System_spec.t -> View.t -> Event.t -> edge list
+(** The edges contributed by one new event, given that the view already
+    contains its dependencies: its same-processor predecessor edges and,
+    for a receive, its message edges.  Matches the AGDP insertion step. *)

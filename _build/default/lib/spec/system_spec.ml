@@ -1,0 +1,102 @@
+type t = {
+  n : int;
+  source : Event.proc;
+  drift : Drift.t array;
+  transit : (int, Transit.t) Hashtbl.t; (* key: u * n + v *)
+  neighbors : Event.proc list array;
+  n_links : int;
+}
+
+let key t u v = (u * t.n) + v
+
+let make ~n ~source ~drift ~links =
+  if n <= 0 then invalid_arg "System_spec.make: n must be positive";
+  if source < 0 || source >= n then invalid_arg "System_spec.make: bad source";
+  let drift_arr =
+    Array.init n (fun p -> if p = source then Drift.perfect else drift p)
+  in
+  let t =
+    {
+      n;
+      source;
+      drift = drift_arr;
+      transit = Hashtbl.create (2 * List.length links);
+      neighbors = Array.make n [];
+      n_links = List.length links;
+    }
+  in
+  List.iter
+    (fun (u, v, tr) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "System_spec.make: link endpoint out of range";
+      if u = v then invalid_arg "System_spec.make: self-loop";
+      if Hashtbl.mem t.transit (key t u v) then
+        invalid_arg "System_spec.make: duplicate link";
+      Hashtbl.replace t.transit (key t u v) tr;
+      Hashtbl.replace t.transit (key t v u) tr;
+      t.neighbors.(u) <- v :: t.neighbors.(u);
+      t.neighbors.(v) <- u :: t.neighbors.(v))
+    links;
+  Array.iteri
+    (fun p ns -> t.neighbors.(p) <- List.sort compare ns)
+    t.neighbors;
+  t
+
+let uniform ~n ~source ~drift ~transit ~links =
+  make ~n ~source
+    ~drift:(fun _ -> drift)
+    ~links:(List.map (fun (u, v) -> (u, v, transit)) links)
+
+let n t = t.n
+let source t = t.source
+let drift t p = t.drift.(p)
+let transit t u v = Hashtbl.find_opt t.transit (key t u v)
+
+let transit_exn t u v =
+  match transit t u v with
+  | Some tr -> tr
+  | None ->
+    invalid_arg (Printf.sprintf "System_spec.transit_exn: no link %d-%d" u v)
+
+let neighbors t p = t.neighbors.(p)
+let degree t p = List.length t.neighbors.(p)
+
+let max_degree t =
+  let d = ref 0 in
+  for p = 0 to t.n - 1 do
+    d := max !d (degree t p)
+  done;
+  !d
+
+let n_links t = t.n_links
+
+(* BFS from every node; n is small in all our scenarios. *)
+let diameter t =
+  let worst = ref 0 in
+  let dist = Array.make t.n (-1) in
+  for s = 0 to t.n - 1 do
+    Array.fill dist 0 t.n (-1);
+    dist.(s) <- 0;
+    let q = Queue.create () in
+    Queue.push s q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if dist.(v) < 0 then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.push v q
+          end)
+        t.neighbors.(u)
+    done;
+    Array.iter
+      (fun d -> if d < 0 then worst := max_int else worst := max !worst d)
+      dist
+  done;
+  !worst
+
+let is_connected t = diameter t < max_int
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>system: %d processors, source p%d, %d links@]" t.n
+    t.source t.n_links

@@ -1,0 +1,50 @@
+(** Real-time specification of an external synchronization system.
+
+    Bundles the network (bidirectional links), the per-processor clock
+    drift bounds, the per-link transit bounds, and the designated source
+    processor whose clock runs at the rate of real time. *)
+
+type t
+
+val make :
+  n:int ->
+  source:Event.proc ->
+  drift:(Event.proc -> Drift.t) ->
+  links:(Event.proc * Event.proc * Transit.t) list ->
+  t
+(** Links are bidirectional: [(u, v, tr)] installs the transit bound [tr]
+    in both directions.  The source's drift is forced to {!Drift.perfect}
+    regardless of [drift].
+    @raise Invalid_argument on out-of-range processors, self-loops or
+    duplicate links. *)
+
+val uniform :
+  n:int ->
+  source:Event.proc ->
+  drift:Drift.t ->
+  transit:Transit.t ->
+  links:(Event.proc * Event.proc) list ->
+  t
+(** All non-source processors share [drift]; all links share [transit]. *)
+
+val n : t -> int
+val source : t -> Event.proc
+val drift : t -> Event.proc -> Drift.t
+
+val transit : t -> Event.proc -> Event.proc -> Transit.t option
+(** [transit t u v] is the bound for messages from [u] to [v], or [None]
+    when there is no link. *)
+
+val transit_exn : t -> Event.proc -> Event.proc -> Transit.t
+val neighbors : t -> Event.proc -> Event.proc list
+val degree : t -> Event.proc -> int
+val max_degree : t -> int
+val n_links : t -> int
+(** Number of undirected links. *)
+
+val diameter : t -> int
+(** Hop diameter of the underlying undirected graph; [max_int] when
+    disconnected. *)
+
+val is_connected : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+(** Message transit-time bounds for a link.
+
+    For a message with send event [p] and receive event [q], any physical
+    system guarantees [RT(q) − RT(p) ∈ [0, ⊤]]; many systems know tighter
+    bounds.  [hi] may be infinite (completely asynchronous link). *)
+
+type t = private { lo : Q.t; hi : Ext.t }
+
+val make : lo:Q.t -> hi:Ext.t -> t
+(** @raise Invalid_argument unless [0 <= lo <= hi]. *)
+
+val of_q : Q.t -> Q.t -> t
+val asynchronous : t
+(** [[0, ⊤]]: delivery takes arbitrary non-negative time. *)
+
+val exact : Q.t -> t
+(** A link with a known fixed delay. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

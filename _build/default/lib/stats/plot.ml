@@ -1,0 +1,69 @@
+type series = { label : string; points : (float * float) list }
+
+let markers = [| '*'; '+'; 'o'; 'x'; '#'; '@' |]
+
+let finite_points s =
+  List.filter (fun (x, y) -> Float.is_finite x && Float.is_finite y) s.points
+
+let render ?(width = 64) ?(height = 16) ?(logy = false) ~x_label ~y_label
+    series_list =
+  let all =
+    List.concat_map finite_points series_list
+    |> List.map (fun (x, y) -> (x, if logy then log10 (Float.max y 1e-300) else y))
+  in
+  if all = [] then invalid_arg "Plot.render: no finite points";
+  let xs = List.map fst all and ys = List.map snd all in
+  let fmin = List.fold_left Float.min infinity in
+  let fmax = List.fold_left Float.max neg_infinity in
+  let x0 = fmin xs and x1 = fmax xs in
+  let y0 = fmin ys and y1 = fmax ys in
+  let xspan = if x1 > x0 then x1 -. x0 else 1. in
+  let yspan = if y1 > y0 then y1 -. y0 else 1. in
+  let grid = Array.make_matrix height width ' ' in
+  List.iteri
+    (fun si s ->
+      let marker = markers.(si mod Array.length markers) in
+      List.iter
+        (fun (x, y) ->
+          let y = if logy then log10 (Float.max y 1e-300) else y in
+          let cx =
+            int_of_float ((x -. x0) /. xspan *. float_of_int (width - 1))
+          in
+          let cy =
+            height - 1
+            - int_of_float ((y -. y0) /. yspan *. float_of_int (height - 1))
+          in
+          if cx >= 0 && cx < width && cy >= 0 && cy < height then
+            grid.(cy).(cx) <- marker)
+        (finite_points s))
+    series_list;
+  let buf = Buffer.create ((width + 16) * (height + 4)) in
+  let y_value_at row =
+    let frac = float_of_int (height - 1 - row) /. float_of_int (height - 1) in
+    let v = y0 +. (frac *. yspan) in
+    if logy then 10. ** v else v
+  in
+  Buffer.add_string buf (y_label ^ (if logy then " (log scale)" else "") ^ "\n");
+  Array.iteri
+    (fun row line ->
+      let tick =
+        if row = 0 || row = height - 1 || row = height / 2 then
+          Printf.sprintf "%9.2e |" (y_value_at row)
+        else String.make 9 ' ' ^ " |"
+      in
+      Buffer.add_string buf tick;
+      Array.iter (Buffer.add_char buf) line;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (String.make 10 ' ' ^ "+" ^ String.make width '-' ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "%s%-8.3g%*s%8.3g  (%s)\n" (String.make 11 ' ') x0
+       (width - 12) "" x1 x_label);
+  let legend =
+    List.mapi
+      (fun si s ->
+        Printf.sprintf "%c %s" markers.(si mod Array.length markers) s.label)
+      series_list
+  in
+  Buffer.add_string buf ("  " ^ String.concat "    " legend ^ "\n");
+  Buffer.contents buf

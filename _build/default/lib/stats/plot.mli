@@ -1,0 +1,19 @@
+(** ASCII line plots for the benchmark harness (the paper-figure
+    equivalent of the experiment tables).
+
+    Renders one or more named series on a shared log-or-linear y axis into
+    a fixed-size character grid.  Intended for interval-width-over-time
+    convergence figures. *)
+
+type series = { label : string; points : (float * float) list }
+(** [(x, y)] points; non-finite y values are skipped. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?logy:bool ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+(** @raise Invalid_argument when no series has a finite point. *)

@@ -1,0 +1,68 @@
+type t = {
+  mutable samples : float list;
+  mutable n : int;
+  mutable n_inf : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable mn : float;
+  mutable mx : float;
+  mutable sorted : float array option; (* cache for percentiles *)
+}
+
+let create () =
+  {
+    samples = [];
+    n = 0;
+    n_inf = 0;
+    sum = 0.;
+    sum_sq = 0.;
+    mn = infinity;
+    mx = neg_infinity;
+    sorted = None;
+  }
+
+let add t x =
+  if Float.is_finite x then begin
+    t.samples <- x :: t.samples;
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x;
+    t.sum_sq <- t.sum_sq +. (x *. x);
+    if x < t.mn then t.mn <- x;
+    if x > t.mx then t.mx <- x;
+    t.sorted <- None
+  end
+  else t.n_inf <- t.n_inf + 1
+
+let n t = t.n
+let n_infinite t = t.n_inf
+let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
+
+let stddev t =
+  if t.n < 2 then 0.
+  else begin
+    let m = mean t in
+    sqrt (Float.max 0. ((t.sum_sq /. float_of_int t.n) -. (m *. m)))
+  end
+
+let min t = t.mn
+let max t = t.mx
+
+let percentile t p =
+  if t.n = 0 then invalid_arg "Summary.percentile: no finite samples";
+  if p < 0. || p > 1. then invalid_arg "Summary.percentile: p out of range";
+  let sorted =
+    match t.sorted with
+    | Some a -> a
+    | None ->
+      let a = Array.of_list t.samples in
+      Array.sort compare a;
+      t.sorted <- Some a;
+      a
+  in
+  let idx = int_of_float (ceil (p *. float_of_int t.n)) - 1 in
+  sorted.(Stdlib.max 0 (Stdlib.min (t.n - 1) idx))
+
+let of_list l =
+  let t = create () in
+  List.iter (add t) l;
+  t

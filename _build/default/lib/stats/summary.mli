@@ -1,0 +1,22 @@
+(** Descriptive statistics over float samples (benchmark reporting). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+(** Non-finite samples are counted separately and excluded from moments. *)
+
+val n : t -> int
+(** Finite samples. *)
+
+val n_infinite : t -> int
+val mean : t -> float
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t 0.5] is the median (nearest-rank over finite samples).
+    @raise Invalid_argument when no finite samples or p outside [0,1]. *)
+
+val of_list : float list -> t

@@ -1,0 +1,44 @@
+let fq x =
+  if Float.is_nan x then "nan"
+  else if Float.is_integer x && Float.abs x < 1e9 then
+    Printf.sprintf "%.0f" x
+  else if x = infinity then "inf"
+  else if x = neg_infinity then "-inf"
+  else begin
+    let ax = Float.abs x in
+    if ax >= 1e5 || ax < 1e-3 then Printf.sprintf "%.3e" x
+    else Printf.sprintf "%.4g" x
+  end
+
+let render ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let buf = Buffer.create 256 in
+  let render_row row =
+    List.iteri
+      (fun c w ->
+        let cell = Option.value ~default:"" (List.nth_opt row c) in
+        Buffer.add_string buf (Printf.sprintf "%-*s" w cell);
+        if c < cols - 1 then Buffer.add_string buf "  ")
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  render_row header;
+  List.iter
+    (fun w -> Buffer.add_string buf (String.make w '-' ^ "  "))
+    widths;
+  Buffer.truncate buf (Buffer.length buf - 2);
+  Buffer.add_char buf '\n';
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let print ~header rows = print_string (render ~header rows)

@@ -1,0 +1,10 @@
+(** Aligned plain-text tables for the benchmark harness output. *)
+
+val print : header:string list -> string list list -> unit
+(** Render to stdout with column alignment and a rule under the header. *)
+
+val render : header:string list -> string list list -> string
+
+val fq : float -> string
+(** Compact float formatting for table cells ("1.234e-05", "12.3",
+    "inf"). *)

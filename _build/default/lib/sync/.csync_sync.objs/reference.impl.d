@@ -1,0 +1,1 @@
+lib/sync/reference.ml: Array Event Ext Floyd_warshall Interval List Q Sync_graph System_spec View

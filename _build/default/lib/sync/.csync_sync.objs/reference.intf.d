@@ -1,0 +1,1 @@
+lib/sync/reference.mli: Event Ext Interval System_spec View

@@ -1,0 +1,1 @@
+lib/sync/sync_graph.ml: Array Bellman_ford Digraph Edges Event Format List System_spec View

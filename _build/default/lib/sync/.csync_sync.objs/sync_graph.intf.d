@@ -1,0 +1,1 @@
+lib/sync/sync_graph.mli: Digraph Event Ext System_spec View

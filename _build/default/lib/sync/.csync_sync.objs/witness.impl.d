@@ -1,0 +1,1 @@
+lib/sync/witness.ml: Drift Event Ext List Q Sync_graph System_spec Transit View

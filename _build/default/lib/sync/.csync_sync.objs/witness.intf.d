@@ -1,0 +1,1 @@
+lib/sync/witness.mli: Event Q System_spec View

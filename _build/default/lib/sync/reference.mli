@@ -1,0 +1,29 @@
+(** The general optimal external synchronization algorithm of Section 2.3.
+
+    "Send, in every message, the complete local view from the send point
+    ... compute the synchronization graph ... set
+    [ext_L = LT(p) − d(sp, p)] and [ext_U = LT(p) + d(p, sp)]."
+
+    This algorithm is optimal but impractical (its state grows with the
+    number of events in the execution).  We use it as the ground-truth
+    oracle: the efficient algorithm of Section 3 must produce {e exactly}
+    these bounds. *)
+
+val source_point : System_spec.t -> View.t -> Event.id option
+(** Any point at the source processor; all source points are at mutual
+    distance 0, so the choice does not affect the bounds. *)
+
+val estimate : System_spec.t -> View.t -> at:Event.id -> Interval.t
+(** Optimal [[ext_L, ext_U]] for the source time at the occurrence of the
+    event [at], per Theorem 2.1.
+    @raise Bellman_ford.Negative_cycle on inconsistent specifications. *)
+
+val estimates_at_proc :
+  System_spec.t -> View.t -> Event.proc -> (Event.id * Interval.t) list
+(** Estimates for every event of one processor (one graph build, two
+    shortest-path runs per event — still the naive algorithm, just
+    batched). *)
+
+val all_pairs : System_spec.t -> View.t -> (Event.id -> Event.id -> Ext.t)
+(** Exact distance oracle over the whole view's synchronization graph;
+    used to validate the AGDP structure (Lemma 3.4). *)

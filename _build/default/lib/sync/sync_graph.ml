@@ -1,0 +1,54 @@
+type t = {
+  spec : System_spec.t;
+  view : View.t;
+  graph : Digraph.t;
+  index : int Event.Id_tbl.t;
+  events : Event.t array;
+}
+
+let build spec view =
+  let n = View.size view in
+  let index = Event.Id_tbl.create n in
+  let events = Array.make n None in
+  let next = ref 0 in
+  View.iter view (fun e ->
+      Event.Id_tbl.replace index e.id !next;
+      events.(!next) <- Some e;
+      incr next);
+  let events =
+    Array.map
+      (function Some e -> e | None -> invalid_arg "Sync_graph.build")
+      events
+  in
+  let graph = Digraph.create n in
+  List.iter
+    (fun { Edges.src; dst; w } ->
+      Digraph.add_edge graph
+        (Event.Id_tbl.find index src)
+        (Event.Id_tbl.find index dst)
+        w)
+    (Edges.of_view spec view);
+  { spec; view; graph; index; events }
+
+let view t = t.view
+let spec t = t.spec
+let graph t = t.graph
+
+let node_of t id =
+  match Event.Id_tbl.find_opt t.index id with
+  | Some i -> i
+  | None ->
+    invalid_arg (Format.asprintf "Sync_graph.node_of: %a" Event.pp_id id)
+
+let event_of t i = t.events.(i)
+let size t = Array.length t.events
+
+let dist_from t src =
+  let d = Bellman_ford.sssp t.graph (node_of t src) in
+  fun id -> d.(node_of t id)
+
+let dist_to t dst =
+  let d = Bellman_ford.sssp (Digraph.reverse t.graph) (node_of t dst) in
+  fun id -> d.(node_of t id)
+
+let dist t src dst = dist_from t src dst

@@ -1,0 +1,25 @@
+(** The synchronization graph of a whole view (Definition 2.1).
+
+    Materializes the weighted digraph whose nodes are the events of a view
+    and whose edges come from the bounds mapping; indexes event ids to
+    dense node ids so the generic shortest-path code applies. *)
+
+type t
+
+val build : System_spec.t -> View.t -> t
+val view : t -> View.t
+val spec : t -> System_spec.t
+val graph : t -> Digraph.t
+val node_of : t -> Event.id -> int
+val event_of : t -> int -> Event.t
+val size : t -> int
+
+val dist_from : t -> Event.id -> (Event.id -> Ext.t)
+(** Single-source distances out of an event.
+    @raise Bellman_ford.Negative_cycle on inconsistent specifications. *)
+
+val dist_to : t -> Event.id -> (Event.id -> Ext.t)
+(** Distances {e into} an event (single-sink, via the reversed graph). *)
+
+val dist : t -> Event.id -> Event.id -> Ext.t
+(** One-off pairwise distance (runs a fresh single-source computation). *)

@@ -1,0 +1,33 @@
+(** Achievability witnesses for Theorem 2.1.
+
+    The Clock Synchronization Theorem is tight: for events [p, q] there
+    exist executions [α₀, α₁] with the same view in which
+    [RT(p) − RT(q)] attains each end of the interval.  This module
+    constructs such executions as explicit real-time assignments (shortest
+    path potentials), and checks feasibility of arbitrary assignments
+    against a bounds mapping.  Tests use it to demonstrate that the
+    algorithm's bounds cannot be improved. *)
+
+type assignment = Event.id -> Q.t
+(** A real-time labeling of the events of a view. *)
+
+val feasible : System_spec.t -> View.t -> assignment -> bool
+(** Whether the assignment satisfies every bound of the view's bounds
+    mapping (drift and transit constraints), i.e. whether it is a possible
+    execution with this view. *)
+
+val violations :
+  System_spec.t -> View.t -> assignment -> (Event.id * Event.id * string) list
+(** Diagnostic version of {!feasible}: the list of violated constraints. *)
+
+val extremal :
+  System_spec.t -> View.t -> anchor:Event.id -> [ `Earliest | `Latest ] ->
+  assignment
+(** [extremal spec view ~anchor `Latest] is a feasible execution with
+    [RT(anchor) = LT(anchor)] in which every event occurs as late as the
+    bounds allow relative to [anchor]:
+    [RT(x) = LT(x) + d(x, anchor)] (so that
+    [RT(x) − RT(anchor) = virt_del(x, anchor) + d(x, anchor)], the upper
+    end of Theorem 2.1's interval).  [`Earliest] is the symmetric
+    construction [RT(x) = LT(x) − d(anchor, x)].  Querying an event at
+    infinite distance from/to the anchor raises [Not_found]. *)

@@ -1,0 +1,1 @@
+test/test_agdp.ml: Agdp Alcotest Array Digraph Ext Floyd_warshall Gen List Printf Q QCheck QCheck_alcotest String

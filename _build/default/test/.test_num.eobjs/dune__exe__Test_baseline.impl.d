@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Drift Driftfree Engine Event Ext Interval List Ntp Payload Printf Q Rtt_estimator Scenario System_spec Topology Transit

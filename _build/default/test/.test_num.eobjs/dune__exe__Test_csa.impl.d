@@ -1,0 +1,1 @@
+test/test_csa.ml: Alcotest Array Codec Csa Drift Event Ext Format Gen Hashtbl Interval List Mirror Naive Payload Printf Q QCheck QCheck_alcotest Reference String System_spec Transit View

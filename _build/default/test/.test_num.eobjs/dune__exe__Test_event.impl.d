@@ -1,0 +1,1 @@
+test/test_event.ml: Alcotest Array Event Gen Hb List Option Q QCheck QCheck_alcotest View

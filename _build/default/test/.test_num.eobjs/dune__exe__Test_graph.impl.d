@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bellman_ford Digraph Ext Floyd_warshall Fun Gen List Printf Q QCheck QCheck_alcotest String

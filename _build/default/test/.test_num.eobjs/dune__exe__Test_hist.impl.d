@@ -1,0 +1,1 @@
+test/test_hist.ml: Alcotest Array Codec Event Format Gen Hashtbl Hb History List Option Payload Printf Q QCheck QCheck_alcotest String View

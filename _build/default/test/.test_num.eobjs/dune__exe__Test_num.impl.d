@@ -1,0 +1,1 @@
+test/test_num.ml: Alcotest Bigint Ext Gen Interval List Q QCheck QCheck_alcotest String

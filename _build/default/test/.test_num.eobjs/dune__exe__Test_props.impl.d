@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Char Clock Codec Csa Drift Event Gen Interval List Payload Printf Q QCheck QCheck_alcotest Reference Rng String System_spec Transit View Witness

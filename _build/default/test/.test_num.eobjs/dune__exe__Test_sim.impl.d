@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Clock Drift Engine Export Heap List Printf Q QCheck QCheck_alcotest Rng Scenario String System_spec Topology Transit

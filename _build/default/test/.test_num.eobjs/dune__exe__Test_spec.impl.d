@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Drift Edges Event Ext List Printf Q QCheck QCheck_alcotest System_spec Transit View

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Float Gen List Plot QCheck QCheck_alcotest String Summary Table

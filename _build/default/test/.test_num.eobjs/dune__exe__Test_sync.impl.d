@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Array Bellman_ford Drift Event Ext Gen Hashtbl Interval List Q QCheck QCheck_alcotest Reference System_spec Transit View Witness

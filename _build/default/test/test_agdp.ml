@@ -1,0 +1,205 @@
+(* Tests for the AGDP structure (Section 3.2): the succinct live-node graph
+   must report exactly the distances of the full accumulated graph
+   (Lemma 3.4), at O(L^2) incremental cost (Lemma 3.5). *)
+
+let q = Q.of_int
+let ext = Alcotest.testable Ext.pp Ext.equal
+let fin n = Ext.Fin (q n)
+
+let test_single_node () =
+  let t = Agdp.create () in
+  Agdp.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+  Alcotest.(check int) "size" 1 (Agdp.size t);
+  Alcotest.(check ext) "self distance" (fin 0) (Agdp.dist t 0 0);
+  Alcotest.(check bool) "mem" true (Agdp.mem t 0);
+  Alcotest.(check bool) "not mem" false (Agdp.mem t 1)
+
+let test_chain () =
+  let t = Agdp.create () in
+  Agdp.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+  Agdp.insert t ~key:1 ~in_edges:[ (0, q 3) ] ~out_edges:[ (0, q 5) ];
+  Agdp.insert t ~key:2 ~in_edges:[ (1, q 2) ] ~out_edges:[ (1, q 7) ];
+  Alcotest.(check ext) "0->2" (fin 5) (Agdp.dist t 0 2);
+  Alcotest.(check ext) "2->0" (fin 12) (Agdp.dist t 2 0);
+  Alcotest.(check ext) "0->1" (fin 3) (Agdp.dist t 0 1)
+
+let test_kill_preserves_distances () =
+  let t = Agdp.create () in
+  Agdp.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+  Agdp.insert t ~key:1 ~in_edges:[ (0, q 3) ] ~out_edges:[];
+  Agdp.insert t ~key:2 ~in_edges:[ (1, q 2) ] ~out_edges:[];
+  (* 0 -> 1 -> 2; kill 1, path through it must be remembered *)
+  Agdp.kill t 1;
+  Alcotest.(check int) "size after kill" 2 (Agdp.size t);
+  Alcotest.(check ext) "0->2 survives" (fin 5) (Agdp.dist t 0 2);
+  Alcotest.(check bool) "1 is dead" false (Agdp.mem t 1);
+  Alcotest.check_raises "dist on dead node"
+    (Invalid_argument "Agdp: node 1 is not live") (fun () ->
+      ignore (Agdp.dist t 0 1))
+
+let test_insert_improves_pairs () =
+  (* new node creates a shortcut between two old nodes *)
+  let t = Agdp.create () in
+  Agdp.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+  Agdp.insert t ~key:1 ~in_edges:[ (0, q 100) ] ~out_edges:[];
+  Alcotest.(check ext) "long way" (fin 100) (Agdp.dist t 0 1);
+  Agdp.insert t ~key:2 ~in_edges:[ (0, q 1) ] ~out_edges:[ (1, q 1) ];
+  Alcotest.(check ext) "shortcut through new node" (fin 2) (Agdp.dist t 0 1)
+
+let test_negative_edges () =
+  let t = Agdp.create () in
+  Agdp.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+  Agdp.insert t ~key:1 ~in_edges:[ (0, q (-4)) ] ~out_edges:[ (0, q 9) ];
+  Alcotest.(check ext) "negative forward" (fin (-4)) (Agdp.dist t 0 1);
+  Alcotest.(check ext) "positive back" (fin 9) (Agdp.dist t 1 0)
+
+let test_negative_cycle_detected () =
+  let t = Agdp.create () in
+  Agdp.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+  Alcotest.check_raises "negative cycle" Agdp.Negative_cycle (fun () ->
+      Agdp.insert t ~key:1 ~in_edges:[ (0, q 2) ] ~out_edges:[ (0, q (-3)) ])
+
+let test_validation () =
+  let t = Agdp.create () in
+  Agdp.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+  Alcotest.check_raises "duplicate key"
+    (Invalid_argument "Agdp.insert: duplicate key 0") (fun () ->
+      Agdp.insert t ~key:0 ~in_edges:[] ~out_edges:[]);
+  Alcotest.check_raises "dead endpoint"
+    (Invalid_argument "Agdp: node 7 is not live") (fun () ->
+      Agdp.insert t ~key:1 ~in_edges:[ (7, q 1) ] ~out_edges:[]);
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Agdp.insert: self-loop edge") (fun () ->
+      Agdp.insert t ~key:1 ~in_edges:[ (1, q 1) ] ~out_edges:[]);
+  Alcotest.check_raises "kill dead"
+    (Invalid_argument "Agdp: node 9 is not live") (fun () -> Agdp.kill t 9)
+
+let test_growth_beyond_capacity () =
+  (* exceed the initial capacity to exercise matrix growth *)
+  let t = Agdp.create () in
+  Agdp.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+  for k = 1 to 40 do
+    Agdp.insert t ~key:k
+      ~in_edges:[ (k - 1, q 1) ]
+      ~out_edges:[ (k - 1, q 1) ]
+  done;
+  Alcotest.(check int) "size" 41 (Agdp.size t);
+  Alcotest.(check ext) "end to end" (fin 40) (Agdp.dist t 0 40);
+  Alcotest.(check ext) "and back" (fin 40) (Agdp.dist t 40 0);
+  Alcotest.(check int) "peak" 41 (Agdp.peak_size t)
+
+let test_kill_slot_swapping () =
+  (* kill in the middle repeatedly; the swap-with-last bookkeeping must
+     keep key/slot maps consistent *)
+  let t = Agdp.create () in
+  Agdp.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+  for k = 1 to 10 do
+    Agdp.insert t ~key:k
+      ~in_edges:[ (k - 1, q k) ]
+      ~out_edges:[ (k - 1, q k) ]
+  done;
+  (* distance 0 -> 10 is 1+2+...+10 = 55 *)
+  Alcotest.(check ext) "before kills" (fin 55) (Agdp.dist t 0 10);
+  List.iter (Agdp.kill t) [ 3; 7; 1; 9; 5 ];
+  Alcotest.(check int) "size" 6 (Agdp.size t);
+  Alcotest.(check ext) "distance preserved" (fin 55) (Agdp.dist t 0 10);
+  Alcotest.(check ext) "partial" (fin 3) (Agdp.dist t 0 2);
+  Alcotest.(check (list int)) "live keys" [ 0; 2; 4; 6; 8; 10 ]
+    (Agdp.live_keys t)
+
+(* Property: drive AGDP with a random insert/kill schedule and compare
+   every pairwise distance against Floyd-Warshall on the full accumulated
+   graph (the Lemma 3.4 invariant). *)
+let arbitrary_schedule =
+  let open QCheck in
+  let gen =
+    Gen.(
+      list_size (int_range 1 25)
+        (pair (list_size (int_range 0 3) (int_range 0 100))
+           (list_size (int_range 0 3) (int_range 0 100))))
+  in
+  make
+    ~print:(fun ops ->
+      String.concat " "
+        (List.map
+           (fun (i, o) ->
+             Printf.sprintf "ins(in:%s out:%s)"
+               (String.concat "," (List.map string_of_int i))
+               (String.concat "," (List.map string_of_int o)))
+           ops))
+    gen
+
+let prop_matches_full_graph =
+  QCheck.Test.make ~name:"agdp: distances equal full-graph distances"
+    ~count:150 arbitrary_schedule (fun ops ->
+      let t = Agdp.create () in
+      (* full accumulated graph mirrored as edge list *)
+      let all_edges = ref [] in
+      let live = ref [] in
+      let n_nodes = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (ins, outs) ->
+          let k = !n_nodes in
+          incr n_nodes;
+          let pick targets =
+            (* map each random number to a currently-live node *)
+            List.filter_map
+              (fun r ->
+                match !live with
+                | [] -> None
+                | l -> Some (List.nth l (r mod List.length l)))
+              targets
+          in
+          let in_nodes = List.sort_uniq compare (pick ins) in
+          let out_nodes = List.sort_uniq compare (pick outs) in
+          (* weights chosen non-negative so no negative cycles arise *)
+          let in_edges = List.map (fun x -> (x, q ((x + k) mod 7))) in_nodes in
+          let out_edges = List.map (fun y -> (y, q ((y + (2 * k)) mod 5))) out_nodes in
+          Agdp.insert t ~key:k ~in_edges ~out_edges;
+          List.iter (fun (x, w) -> all_edges := (x, k, w) :: !all_edges) in_edges;
+          List.iter (fun (y, w) -> all_edges := (k, y, w) :: !all_edges) out_edges;
+          live := k :: !live;
+          (* kill every third node deterministically *)
+          (match !live with
+          | _ :: victim :: _ when victim mod 3 = 0 ->
+            Agdp.kill t victim;
+            live := List.filter (fun x -> x <> victim) !live
+          | _ -> ());
+          (* compare all live-pair distances against the full graph *)
+          let g = Digraph.create !n_nodes in
+          List.iter (fun (u, v, w) -> Digraph.add_edge g u v w) !all_edges;
+          let d = Floyd_warshall.apsp g in
+          List.iter
+            (fun x ->
+              List.iter
+                (fun y ->
+                  if not (Ext.equal (Agdp.dist t x y) d.(x).(y)) then ok := false)
+                !live)
+            !live)
+        ops;
+      !ok)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "agdp"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "single node" `Quick test_single_node;
+          Alcotest.test_case "chain distances" `Quick test_chain;
+          Alcotest.test_case "kill preserves distances" `Quick
+            test_kill_preserves_distances;
+          Alcotest.test_case "insert improves pairs" `Quick
+            test_insert_improves_pairs;
+          Alcotest.test_case "negative edges" `Quick test_negative_edges;
+          Alcotest.test_case "negative cycle detected" `Quick
+            test_negative_cycle_detected;
+          Alcotest.test_case "argument validation" `Quick test_validation;
+          Alcotest.test_case "growth beyond capacity" `Quick
+            test_growth_beyond_capacity;
+          Alcotest.test_case "kill slot swapping" `Quick test_kill_slot_swapping;
+        ] );
+      qsuite "props" [ prop_matches_full_graph ];
+    ]

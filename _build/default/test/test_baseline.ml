@@ -1,0 +1,201 @@
+(* Tests for the practical baseline algorithms: the NTP-flavoured and
+   Cristian round-trip estimators and the drift-free + fudge strawman.
+   Each must be SOUND (contain the hidden true time) but is expected to be
+   SUBOPTIMAL (never tighter than the paper's algorithm on the same
+   execution) — that gap is the paper's motivation. *)
+
+let q = Q.of_int
+
+let spec2 =
+  System_spec.uniform ~n:2 ~source:0 ~drift:(Drift.of_ppm 100)
+    ~transit:(Transit.of_q (q 1) (q 5))
+    ~links:[ (0, 1) ]
+
+(* Drive one client round trip by hand:
+   client(1) sends at lt 10 (real 15), server(0 = source, clock = real
+   time) receives at 17, replies at 18, client receives at real 20
+   (its clock shows 15).  Hidden truth: client clock = real − 5. *)
+let run_round_trip client =
+  let server = Rtt_estimator.create Rtt_estimator.ntp_policy spec2 ~me:0 ~lt0:(q 0) in
+  let w_req = Rtt_estimator.on_send client ~dst:0 ~msg:1 ~lt:(q 10) in
+  Rtt_estimator.on_recv server ~src:1 ~msg:1 ~lt:(q 17) w_req;
+  let w_resp = Rtt_estimator.on_send server ~dst:1 ~msg:2 ~lt:(q 18) in
+  Rtt_estimator.on_recv client ~src:0 ~msg:2 ~lt:(q 15) w_resp
+
+let test_ntp_round_trip_sound () =
+  let client =
+    Rtt_estimator.create Rtt_estimator.ntp_policy spec2 ~me:1 ~lt0:(q 0)
+  in
+  run_round_trip client;
+  let est = Rtt_estimator.estimate_at client ~lt:(q 15) in
+  (* truth: real time is 20 when the client clock shows 15 *)
+  Alcotest.(check bool) "contains truth" true (Interval.mem (q 20) est);
+  (match Interval.width est with
+  | Ext.Fin w ->
+    (* round trip of 5 local units, bounded by transit [1,5] both ways *)
+    Alcotest.(check bool) "reasonably tight" true Q.(w <= q 4)
+  | Ext.Inf -> Alcotest.fail "expected finite estimate");
+  Alcotest.(check int) "one sample accepted" 1
+    (Rtt_estimator.samples_accepted client);
+  (* drift widens with local elapse: 1000 units later the truth is 1020 *)
+  let later = Rtt_estimator.estimate_at client ~lt:(q 1015) in
+  Alcotest.(check bool) "still contains truth much later" true
+    (Interval.mem (q 1020) later);
+  match Interval.width est, Interval.width later with
+  | Ext.Fin w0, Ext.Fin w1 -> Alcotest.(check bool) "wider later" true Q.(w1 > w0)
+  | _ -> Alcotest.fail "expected finite estimates"
+
+let test_ntp_no_sample_no_estimate () =
+  let client = Ntp.create spec2 ~me:1 ~lt0:(q 0) in
+  Alcotest.(check bool) "full interval before any exchange" true
+    (Interval.equal (Ntp.estimate_at client ~lt:(q 5)) Interval.full);
+  (* a one-way message alone gives the receiver no round trip: the NTP
+     estimate stays unbounded.  (The paper's optimal algorithm extracts a
+     lower bound even from one-way messages — a structural difference.) *)
+  let server = Ntp.create spec2 ~me:0 ~lt0:(q 0) in
+  Ntp.on_recv client ~src:0 ~msg:1 ~lt:(q 8)
+    (Ntp.on_send server ~dst:1 ~msg:1 ~lt:(q 10));
+  Alcotest.(check bool) "one-way message: still full" true
+    (Interval.equal (Ntp.estimate_at client ~lt:(q 8)) Interval.full)
+
+let test_source_estimates_itself () =
+  let server = Ntp.create spec2 ~me:0 ~lt0:(q 0) in
+  Alcotest.(check bool) "source is exact" true
+    (Interval.equal (Ntp.estimate_at server ~lt:(q 7)) (Interval.point (q 7)))
+
+let test_cristian_threshold () =
+  (* threshold below the observed round trip (5): sample rejected *)
+  let strict =
+    Rtt_estimator.create (Rtt_estimator.cristian_policy ~rtt_threshold:(q 4))
+      spec2 ~me:1 ~lt0:(q 0)
+  in
+  run_round_trip strict;
+  Alcotest.(check int) "rejected" 1 (Rtt_estimator.samples_rejected strict);
+  Alcotest.(check int) "not accepted" 0 (Rtt_estimator.samples_accepted strict);
+  Alcotest.(check bool) "estimate still unbounded" true
+    (Interval.equal (Rtt_estimator.estimate_at strict ~lt:(q 15)) Interval.full);
+  (* generous threshold: accepted and sound *)
+  let lax =
+    Rtt_estimator.create (Rtt_estimator.cristian_policy ~rtt_threshold:(q 6))
+      spec2 ~me:1 ~lt0:(q 0)
+  in
+  run_round_trip lax;
+  Alcotest.(check int) "accepted" 1 (Rtt_estimator.samples_accepted lax);
+  Alcotest.(check bool) "contains truth" true
+    (Interval.mem (q 20) (Rtt_estimator.estimate_at lax ~lt:(q 15)))
+
+(* ---------------------------------------------------------------------- *)
+
+let compare_scenario ~traffic ~seed =
+  let spec =
+    System_spec.uniform ~n:5 ~source:0 ~drift:(Drift.of_ppm 200)
+      ~transit:(Transit.of_q (Scenario.ms 1) (Scenario.ms 10))
+      ~links:(Topology.binary_tree 5)
+  in
+  {
+    (Scenario.default ~spec ~traffic) with
+    Scenario.duration = Scenario.sec 12;
+    seed;
+    run_driftfree = true;
+    run_ntp = true;
+    run_cristian = true;
+    cristian_rtt = Scenario.ms 25;
+    driftfree_window = Scenario.sec 5;
+  }
+
+(* Simulation-level comparison: all baselines sound on random executions,
+   and never tighter than the optimal algorithm at the end of the run. *)
+let test_baselines_sound_and_suboptimal () =
+  List.iteri
+    (fun i traffic ->
+      let r = Engine.run (compare_scenario ~traffic ~seed:(100 + i)) in
+      List.iter
+        (fun (name, a) ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s sound (run %d)" name i)
+            a.Engine.samples a.Engine.contained)
+        r.Engine.per_algo;
+      let opt = List.assoc "optimal" r.Engine.per_algo in
+      List.iter
+        (fun (name, a) ->
+          if name <> "optimal" then
+            Array.iteri
+              (fun node w ->
+                if opt.Engine.final_widths.(node) > w +. 1e-9 then
+                  Alcotest.failf "optimal wider than %s at node %d (run %d)"
+                    name node i)
+              a.Engine.final_widths)
+        r.Engine.per_algo)
+    [
+      Scenario.Ntp_poll { period = Scenario.sec 1 };
+      Scenario.Gossip { mean_gap = Scenario.ms 500 };
+      Scenario.Burst { check_period = Scenario.sec 1; width_target = Scenario.ms 8 };
+    ]
+
+let test_driftfree_soundness_in_sim () =
+  let spec =
+    System_spec.uniform ~n:3 ~source:0 ~drift:(Drift.of_ppm 500)
+      ~transit:(Transit.of_q (Scenario.ms 1) (Scenario.ms 10))
+      ~links:(Topology.line 3)
+  in
+  let r =
+    Engine.run
+      {
+        (Scenario.default ~spec
+           ~traffic:(Scenario.Ntp_poll { period = Scenario.sec 1 }))
+        with
+        Scenario.duration = Scenario.sec 30;
+        run_driftfree = true;
+        driftfree_window = Scenario.sec 10;
+      }
+  in
+  let df = List.assoc "driftfree" r.Engine.per_algo in
+  let opt = List.assoc "optimal" r.Engine.per_algo in
+  Alcotest.(check int) "driftfree sound" df.Engine.samples df.Engine.contained;
+  Alcotest.(check bool) "optimal at least as tight on average" true
+    (opt.Engine.mean_width <= df.Engine.mean_width +. 1e-12)
+
+let test_driftfree_unit () =
+  (* direct unit-level check against a hand-driven exchange *)
+  let df = Driftfree.create ~window:(q 100) spec2 ~me:1 ~lt0:(q 0) in
+  Alcotest.(check bool) "initially unbounded" true
+    (Interval.equal (Driftfree.estimate_at df ~lt:(q 1)) Interval.full);
+  (* the server's payload: init + send *)
+  let s_init = { Event.id = { proc = 0; seq = 0 }; lt = q 0; kind = Event.Init } in
+  let s_send =
+    { Event.id = { proc = 0; seq = 1 }; lt = q 10;
+      kind = Event.Send { msg = 1; dst = 1 } }
+  in
+  let payload = { Payload.send_event = s_send; events = [ s_init; s_send ] } in
+  Driftfree.on_recv df ~msg:1 ~lt:(q 8) ~payload;
+  let est = Driftfree.estimate_at df ~lt:(q 8) in
+  (* any truth consistent with this view has real ∈ [11, 15] at the recv *)
+  Alcotest.(check bool) "contains feasible truths" true
+    (Interval.mem (q 11) est && Interval.mem (q 15) est);
+  Alcotest.(check bool) "retained small" true (Driftfree.retained_events df <= 4)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "rtt",
+        [
+          Alcotest.test_case "ntp round trip sound" `Quick
+            test_ntp_round_trip_sound;
+          Alcotest.test_case "no sample, no estimate" `Quick
+            test_ntp_no_sample_no_estimate;
+          Alcotest.test_case "source exact" `Quick test_source_estimates_itself;
+          Alcotest.test_case "cristian threshold filter" `Quick
+            test_cristian_threshold;
+        ] );
+      ( "driftfree",
+        [
+          Alcotest.test_case "hand-driven exchange" `Quick test_driftfree_unit;
+          Alcotest.test_case "soundness and gap in simulation" `Quick
+            test_driftfree_soundness_in_sim;
+        ] );
+      ( "comparison",
+        [
+          Alcotest.test_case "sound and never tighter than optimal" `Slow
+            test_baselines_sound_and_suboptimal;
+        ] );
+    ]

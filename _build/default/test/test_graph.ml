@@ -1,0 +1,191 @@
+(* Tests for the shortest-path substrate: Digraph, Bellman-Ford,
+   Floyd-Warshall — including negative weights and negative-cycle
+   detection, which synchronization graphs rely on. *)
+
+let q = Q.of_int
+let fin n = Ext.Fin (q n)
+
+let ext = Alcotest.testable Ext.pp Ext.equal
+
+let test_digraph_basic () =
+  let g = Digraph.create 3 in
+  Alcotest.(check int) "n" 3 (Digraph.n g);
+  Alcotest.(check int) "no edges" 0 (Digraph.edge_count g);
+  Digraph.add_edge g 0 1 (q 5);
+  Digraph.add_edge g 1 2 (q (-2));
+  Alcotest.(check int) "two edges" 2 (Digraph.edge_count g);
+  Alcotest.(check int) "succ count" 1 (List.length (Digraph.succ g 0));
+  (* parallel edge keeps minimum *)
+  Digraph.add_edge g 0 1 (q 7);
+  Alcotest.(check int) "parallel collapsed" 2 (Digraph.edge_count g);
+  (match Digraph.succ g 0 with
+  | [ (1, w) ] -> Alcotest.(check bool) "kept min" true Q.(w = q 5)
+  | _ -> Alcotest.fail "unexpected adjacency");
+  Digraph.add_edge g 0 1 (q 3);
+  (match Digraph.succ g 0 with
+  | [ (1, w) ] -> Alcotest.(check bool) "replaced by smaller" true Q.(w = q 3)
+  | _ -> Alcotest.fail "unexpected adjacency");
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Digraph.add_edge: node out of range") (fun () ->
+      Digraph.add_edge g 0 3 (q 1))
+
+let test_digraph_reverse () =
+  let g = Digraph.create 3 in
+  Digraph.add_edge g 0 1 (q 5);
+  Digraph.add_edge g 1 2 (q (-2));
+  let r = Digraph.reverse g in
+  Alcotest.(check int) "same edge count" 2 (Digraph.edge_count r);
+  (match Digraph.succ r 1 with
+  | [ (0, w) ] -> Alcotest.(check bool) "reversed weight" true Q.(w = q 5)
+  | _ -> Alcotest.fail "expected edge 1 -> 0")
+
+let test_bf_line () =
+  let g = Digraph.create 4 in
+  Digraph.add_edge g 0 1 (q 1);
+  Digraph.add_edge g 1 2 (q 2);
+  Digraph.add_edge g 2 3 (q 3);
+  let d = Bellman_ford.sssp g 0 in
+  Alcotest.(check ext) "d00" (fin 0) d.(0);
+  Alcotest.(check ext) "d01" (fin 1) d.(1);
+  Alcotest.(check ext) "d02" (fin 3) d.(2);
+  Alcotest.(check ext) "d03" (fin 6) d.(3);
+  let d1 = Bellman_ford.sssp g 3 in
+  Alcotest.(check ext) "unreachable" Ext.Inf d1.(0)
+
+let test_bf_negative_weights () =
+  (* negative edges but no negative cycle: shortest path uses the longer
+     route *)
+  let g = Digraph.create 4 in
+  Digraph.add_edge g 0 1 (q 10);
+  Digraph.add_edge g 0 2 (q 2);
+  Digraph.add_edge g 2 1 (q (-5));
+  Digraph.add_edge g 1 3 (q 1);
+  let d = Bellman_ford.sssp g 0 in
+  Alcotest.(check ext) "via negative edge" (fin (-3)) d.(1);
+  Alcotest.(check ext) "to sink" (fin (-2)) d.(3)
+
+let test_bf_negative_cycle () =
+  let g = Digraph.create 3 in
+  Digraph.add_edge g 0 1 (q 1);
+  Digraph.add_edge g 1 2 (q (-3));
+  Digraph.add_edge g 2 1 (q 2);
+  Alcotest.check_raises "negative cycle" Bellman_ford.Negative_cycle (fun () ->
+      ignore (Bellman_ford.sssp g 0))
+
+let test_bf_zero_cycle_ok () =
+  (* zero-weight cycles are fine (source timeline edges are exactly
+     this shape) *)
+  let g = Digraph.create 2 in
+  Digraph.add_edge g 0 1 Q.zero;
+  Digraph.add_edge g 1 0 Q.zero;
+  let d = Bellman_ford.sssp g 0 in
+  Alcotest.(check ext) "both zero" (fin 0) d.(1)
+
+let test_bf_rational_weights () =
+  let g = Digraph.create 3 in
+  Digraph.add_edge g 0 1 (Q.of_ints 1 3);
+  Digraph.add_edge g 1 2 (Q.of_ints 1 6);
+  let d = Bellman_ford.sssp g 0 in
+  Alcotest.(check ext) "exact rational sum" (Ext.Fin (Q.of_ints 1 2)) d.(2)
+
+let test_fw_matches_bf () =
+  let g = Digraph.create 5 in
+  Digraph.add_edge g 0 1 (q 4);
+  Digraph.add_edge g 0 2 (q 1);
+  Digraph.add_edge g 2 1 (q 2);
+  Digraph.add_edge g 1 3 (q (-1));
+  Digraph.add_edge g 2 3 (q 8);
+  Digraph.add_edge g 3 4 (q 2);
+  Digraph.add_edge g 4 0 (q 0);
+  let fw = Floyd_warshall.apsp g in
+  for s = 0 to 4 do
+    let bf = Bellman_ford.sssp g s in
+    for v = 0 to 4 do
+      Alcotest.(check ext)
+        (Printf.sprintf "d(%d,%d)" s v)
+        bf.(v)
+        fw.(s).(v)
+    done
+  done
+
+let test_fw_negative_cycle () =
+  let g = Digraph.create 2 in
+  Digraph.add_edge g 0 1 (q (-1));
+  Digraph.add_edge g 1 0 (q 0);
+  Alcotest.check_raises "negative cycle" Floyd_warshall.Negative_cycle
+    (fun () -> ignore (Floyd_warshall.apsp g))
+
+(* Random graph property: Floyd-Warshall and Bellman-Ford agree, and
+   distances satisfy the triangle inequality. *)
+let arbitrary_graph =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* n = int_range 2 8 in
+      let* edges =
+        list_size (int_range 0 20)
+          (triple (int_range 0 (n - 1)) (int_range 0 (n - 1))
+             (int_range 0 50))
+      in
+      return (n, edges))
+  in
+  make
+    ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d edges=%s" n
+        (String.concat ";"
+           (List.map (fun (u, v, w) -> Printf.sprintf "%d->%d(%d)" u v w) edges)))
+    gen
+
+let prop_fw_bf_agree =
+  QCheck.Test.make ~name:"graph: FW and BF agree on random graphs" ~count:200
+    arbitrary_graph (fun (n, edges) ->
+      let g = Digraph.create n in
+      List.iter (fun (u, v, w) -> if u <> v then Digraph.add_edge g u v (q w)) edges;
+      let fw = Floyd_warshall.apsp g in
+      List.for_all
+        (fun s ->
+          let bf = Bellman_ford.sssp g s in
+          List.for_all (fun v -> Ext.equal bf.(v) fw.(s).(v)) (List.init n Fun.id))
+        (List.init n Fun.id))
+
+let prop_triangle =
+  QCheck.Test.make ~name:"graph: triangle inequality on distances" ~count:200
+    arbitrary_graph (fun (n, edges) ->
+      let g = Digraph.create n in
+      List.iter (fun (u, v, w) -> if u <> v then Digraph.add_edge g u v (q w)) edges;
+      let d = Floyd_warshall.apsp g in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          for k = 0 to n - 1 do
+            if Ext.lt (Ext.add d.(i).(k) d.(k).(j)) d.(i).(j) then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "construction" `Quick test_digraph_basic;
+          Alcotest.test_case "reverse" `Quick test_digraph_reverse;
+        ] );
+      ( "bellman-ford",
+        [
+          Alcotest.test_case "line graph" `Quick test_bf_line;
+          Alcotest.test_case "negative weights" `Quick test_bf_negative_weights;
+          Alcotest.test_case "negative cycle" `Quick test_bf_negative_cycle;
+          Alcotest.test_case "zero cycle is fine" `Quick test_bf_zero_cycle_ok;
+          Alcotest.test_case "rational weights" `Quick test_bf_rational_weights;
+        ] );
+      ( "floyd-warshall",
+        [
+          Alcotest.test_case "matches bellman-ford" `Quick test_fw_matches_bf;
+          Alcotest.test_case "negative cycle" `Quick test_fw_negative_cycle;
+        ] );
+      qsuite "props" [ prop_fw_bf_agree; prop_triangle ];
+    ]

@@ -1,0 +1,230 @@
+(* Cross-layer property tests: randomized fuzzing and invariants that span
+   several libraries (clock maps, codec robustness, snapshot canonicity,
+   witness attainment, peer-clock containment). *)
+
+let q = Q.of_int
+
+(* --- clock properties over random policies and queries ----------------- *)
+
+let arbitrary_policy =
+  QCheck.make
+    ~print:(function
+      | `Random -> "random"
+      | `Adversarial -> "adversarial"
+      | `Sawtooth k -> Printf.sprintf "sawtooth %d" k
+      | `Fixed _ -> "fixed")
+    QCheck.Gen.(
+      oneof
+        [
+          return `Random;
+          return `Adversarial;
+          map (fun k -> `Sawtooth k) (int_range 2 8);
+          return (`Fixed Q.one);
+        ])
+
+let prop_clock_roundtrip =
+  QCheck.Test.make ~name:"clock: rt_of_lt inverts lt_of_rt at random points"
+    ~count:150
+    QCheck.(
+      triple arbitrary_policy (int_range 1 999)
+        (list_of_size (Gen.int_range 1 12) (pair (int_range 0 5000) (int_range 1 97))))
+    (fun (policy, seed, queries) ->
+      let clock =
+        Clock.create ~drift:(Drift.of_ppm 300) ~policy ~segment:(q 2)
+          ~lt0:(Q.of_ints seed 7) ~rng:(Rng.create seed)
+      in
+      List.for_all
+        (fun (num, den) ->
+          let rt = Q.of_ints num den in
+          let lt = Clock.lt_of_rt clock rt in
+          Q.equal (Clock.rt_of_lt clock lt) rt)
+        queries)
+
+let prop_clock_elapse_within_drift =
+  QCheck.Test.make ~name:"clock: every elapse respects the drift bounds"
+    ~count:100
+    QCheck.(pair arbitrary_policy (int_range 1 999))
+    (fun (policy, seed) ->
+      let drift = Drift.of_ppm 300 in
+      let clock =
+        Clock.create ~drift ~policy ~segment:(Q.of_ints 3 2) ~lt0:Q.zero
+          ~rng:(Rng.create seed)
+      in
+      let ok = ref true in
+      let prev_rt = ref Q.zero and prev_lt = ref (Clock.lt_of_rt clock Q.zero) in
+      for i = 1 to 40 do
+        let rt = Q.of_ints (i * 7) 5 in
+        let lt = Clock.lt_of_rt clock rt in
+        let dlt = Q.sub lt !prev_lt and drt = Q.sub rt !prev_rt in
+        (* dRT/dLT in [rmin, rmax]  <=>  rmin*dlt <= drt <= rmax*dlt *)
+        let open Drift in
+        if Q.(Q.mul drift.rmin dlt > drt) || Q.(Q.mul drift.rmax dlt < drt)
+        then ok := false;
+        prev_rt := rt;
+        prev_lt := lt
+      done;
+      !ok)
+
+(* --- codec fuzzing ------------------------------------------------------ *)
+
+let prop_codec_never_crashes =
+  QCheck.Test.make ~name:"codec: arbitrary bytes never crash the decoder"
+    ~count:500
+    QCheck.(string_gen_of_size (Gen.int_range 0 60) Gen.char)
+    (fun s ->
+      match Codec.decode s with
+      | _payload -> true (* a random string decoding cleanly is fine *)
+      | exception Failure _ -> true
+      | exception Division_by_zero -> false
+      | exception Invalid_argument _ -> false)
+
+let prop_codec_bitflip =
+  QCheck.Test.make ~name:"codec: single bit flips are rejected or re-decode"
+    ~count:300
+    QCheck.(pair (int_range 0 1_000_000) small_nat)
+    (fun (lt_num, flip_pos) ->
+      (* build a real payload, flip one bit, decode must not crash *)
+      let send_event =
+        { Event.id = { proc = 0; seq = 1 };
+          lt = Q.of_ints lt_num 1000;
+          kind = Event.Send { msg = 5; dst = 1 } }
+      in
+      let init = { Event.id = { proc = 0; seq = 0 }; lt = Q.zero; kind = Event.Init } in
+      let wire = Codec.encode { Payload.send_event; events = [ init; send_event ] } in
+      let pos = flip_pos mod String.length wire in
+      let flipped =
+        String.mapi
+          (fun i c -> if i = pos then Char.chr (Char.code c lxor 1) else c)
+          wire
+      in
+      match Codec.decode flipped with
+      | _ -> true
+      | exception Failure _ -> true
+      | exception _ -> false)
+
+(* --- snapshot canonicity across random small executions ---------------- *)
+
+let spec2 =
+  System_spec.uniform ~n:2 ~source:0 ~drift:(Drift.of_ppm 100)
+    ~transit:(Transit.of_q (q 1) (q 5))
+    ~links:[ (0, 1) ]
+
+let prop_snapshot_canonical =
+  QCheck.Test.make ~name:"csa: snapshot/restore/snapshot is the identity"
+    ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 8) (int_range 1 4))
+    (fun gaps ->
+      let a = Csa.create spec2 ~me:0 ~lt0:Q.zero in
+      let b = Csa.create spec2 ~me:1 ~lt0:Q.zero in
+      let msg = ref 0 in
+      let t = ref 0 in
+      List.iter
+        (fun gap ->
+          t := !t + (20 * gap);
+          incr msg;
+          let m1 = Csa.send a ~dst:1 ~msg:!msg ~lt:(q !t) in
+          Csa.receive b ~msg:!msg ~lt:(q (!t + 3)) m1;
+          incr msg;
+          let m2 = Csa.send b ~dst:0 ~msg:!msg ~lt:(q (!t + 4)) in
+          Csa.receive a ~msg:!msg ~lt:(q (!t + 8)) m2)
+        gaps;
+      let blob_a = Csa.snapshot a and blob_b = Csa.snapshot b in
+      Csa.snapshot (Csa.restore spec2 blob_a) = blob_a
+      && Csa.snapshot (Csa.restore spec2 blob_b) = blob_b)
+
+(* --- witness attainment on random one-way chains ------------------------ *)
+
+let prop_witness_attains_bounds =
+  QCheck.Test.make
+    ~name:"witness: extremal executions attain the optimal interval ends"
+    ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 6) (pair (int_range 1 9) (int_range 1 4)))
+    (fun steps ->
+      (* a chain of messages source -> 1 with random spacing *)
+      let view = View.create ~n_procs:2 in
+      let add proc seq lt kind =
+        View.add view { Event.id = { proc; seq }; lt = q lt; kind }
+      in
+      add 0 0 0 Event.Init;
+      add 1 0 0 Event.Init;
+      let t = ref 0 in
+      let last_arrive = ref 0 in
+      let seqs = [| 1; 1 |] in
+      List.iteri
+        (fun i (gap, delay) ->
+          t := !t + max 1 gap;
+          (* FIFO link: arrivals are non-decreasing, still within [1, 5] *)
+          let arrive = max !last_arrive (!t + max 1 (min 5 delay)) in
+          last_arrive := arrive;
+          add 0 seqs.(0) !t (Event.Send { msg = i; dst = 1 });
+          add 1 seqs.(1) arrive
+            (Event.Recv { msg = i; src = 0; send = { proc = 0; seq = seqs.(0) } });
+          seqs.(0) <- seqs.(0) + 1;
+          seqs.(1) <- seqs.(1) + 1)
+        steps;
+      let at = { Event.proc = 1; seq = seqs.(1) - 1 } in
+      let interval = Reference.estimate spec2 view ~at in
+      match Reference.source_point spec2 view with
+      | None -> false
+      | Some sp -> (
+        let latest = Witness.extremal spec2 view ~anchor:sp `Latest in
+        let earliest = Witness.extremal spec2 view ~anchor:sp `Earliest in
+        Witness.feasible spec2 view latest
+        && Witness.feasible spec2 view earliest
+        &&
+        (* the source time at `at` in each witness equals an interval end *)
+        match Interval.lo interval, Interval.hi interval with
+        | Interval.B lo, Interval.B hi ->
+          (* witnesses anchor RT(sp) = LT(sp); source time at the event =
+             its real time in that execution *)
+          Q.equal (earliest at) lo && Q.equal (latest at) hi
+        | _ -> (* one-way chains always have finite bounds here *) false))
+
+(* --- peer clock bounds contain the truth in random runs ----------------- *)
+
+let prop_peer_bounds_contain_truth =
+  QCheck.Test.make
+    ~name:"csa: peer_clock_bounds contains the peer's true reading"
+    ~count:80
+    QCheck.(
+      pair (int_range 0 6)
+        (list_of_size (Gen.int_range 1 8) (pair (int_range 1 5) (int_range 1 4))))
+    (fun (offset, steps) ->
+      (* hidden truth: both clocks run at rate 1; p1's clock = RT − offset;
+         the source's clock = RT *)
+      let ok = ref true in
+      let a = Csa.create spec2 ~me:0 ~lt0:Q.zero in
+      let b = Csa.create spec2 ~me:1 ~lt0:(q (-offset)) in
+      let rt = ref 0 in
+      let msg = ref 0 in
+      List.iter
+        (fun (gap, delay) ->
+          rt := !rt + (10 * gap);
+          incr msg;
+          let m = Csa.send a ~dst:1 ~msg:!msg ~lt:(q !rt) in
+          let arrive = !rt + min 5 (max 1 delay) in
+          Csa.receive b ~msg:!msg ~lt:(q (arrive - offset)) m;
+          (* at the receive instant the truth is: a's clock shows [arrive],
+             b's own clock shows [arrive − offset] *)
+          if not (Interval.mem (q arrive) (Csa.peer_clock_bounds b 0)) then
+            ok := false;
+          if
+            not
+              (Interval.equal
+                 (Csa.peer_clock_bounds b 1)
+                 (Interval.point (q (arrive - offset))))
+          then ok := false)
+        steps;
+      !ok)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "props"
+    [
+      qsuite "clock" [ prop_clock_roundtrip; prop_clock_elapse_within_drift ];
+      qsuite "codec" [ prop_codec_never_crashes; prop_codec_bitflip ];
+      qsuite "snapshot" [ prop_snapshot_canonical ];
+      qsuite "witness" [ prop_witness_attains_bounds ];
+      qsuite "peer-bounds" [ prop_peer_bounds_contain_truth ];
+    ]

@@ -1,0 +1,119 @@
+(* Tests for the statistics and table-rendering helpers used by the
+   benchmark harness. *)
+
+let test_summary_basic () =
+  let s = Summary.of_list [ 1.; 2.; 3.; 4.; 5. ] in
+  Alcotest.(check int) "n" 5 (Summary.n s);
+  Alcotest.(check (float 1e-9)) "mean" 3. (Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 5. (Summary.max s);
+  Alcotest.(check (float 1e-9)) "median" 3. (Summary.percentile s 0.5);
+  Alcotest.(check (float 1e-9)) "p0 is min" 1. (Summary.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "p100 is max" 5. (Summary.percentile s 1.0);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.) (Summary.stddev s)
+
+let test_summary_infinite () =
+  let s = Summary.of_list [ 1.; infinity; 2.; neg_infinity; nan ] in
+  Alcotest.(check int) "finite" 2 (Summary.n s);
+  Alcotest.(check int) "infinite" 3 (Summary.n_infinite s);
+  Alcotest.(check (float 1e-9)) "mean ignores non-finite" 1.5 (Summary.mean s)
+
+let test_summary_empty () =
+  let s = Summary.create () in
+  Alcotest.(check int) "n" 0 (Summary.n s);
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Summary.mean s));
+  Alcotest.check_raises "percentile on empty"
+    (Invalid_argument "Summary.percentile: no finite samples") (fun () ->
+      ignore (Summary.percentile s 0.5))
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"summary: percentiles are monotone" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Summary.of_list xs in
+      let ps = [ 0.0; 0.25; 0.5; 0.75; 1.0 ] in
+      let values = List.map (Summary.percentile s) ps in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      monotone values)
+
+let prop_mean_bounds =
+  QCheck.Test.make ~name:"summary: min <= mean <= max" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Summary.of_list xs in
+      Summary.min s <= Summary.mean s +. 1e-9
+      && Summary.mean s <= Summary.max s +. 1e-9)
+
+let test_table_render () =
+  let out =
+    Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | header :: rule :: row1 :: _ ->
+    Alcotest.(check bool) "header padded" true
+      (String.length header >= String.length "a    bb");
+    Alcotest.(check bool) "rule dashes" true (String.contains rule '-');
+    Alcotest.(check bool) "row content" true
+      (String.length row1 > 0 && String.sub row1 0 1 = "1")
+  | _ -> Alcotest.fail "expected at least three lines");
+  (* ragged rows don't crash *)
+  let ragged = Table.render ~header:[ "x" ] [ [ "1"; "2"; "3" ]; [] ] in
+  Alcotest.(check bool) "ragged ok" true (String.length ragged > 0)
+
+let test_fq () =
+  Alcotest.(check string) "integer" "42" (Table.fq 42.);
+  Alcotest.(check string) "inf" "inf" (Table.fq infinity);
+  Alcotest.(check string) "-inf" "-inf" (Table.fq neg_infinity);
+  Alcotest.(check string) "nan" "nan" (Table.fq nan);
+  Alcotest.(check string) "small" "1.234e-05" (Table.fq 1.234e-5);
+  Alcotest.(check string) "plain" "12.34" (Table.fq 12.34)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_plot_render () =
+  let s1 =
+    { Plot.label = "a"; points = [ (0., 1.); (1., 2.); (2., 4.) ] }
+  in
+  let s2 = { Plot.label = "b"; points = [ (0., 4.); (2., 1.); (1., nan) ] } in
+  let out = Plot.render ~width:20 ~height:6 ~x_label:"t" ~y_label:"w" [ s1; s2 ] in
+  Alcotest.(check bool) "mentions labels" true
+    (contains out "a" && contains out "b");
+  Alcotest.(check bool) "has markers" true
+    (String.contains out '*' && String.contains out '+');
+  let log_out =
+    Plot.render ~logy:true ~x_label:"t" ~y_label:"w" [ s1 ]
+  in
+  Alcotest.(check bool) "log scale label" true
+    (contains log_out "log scale");
+  Alcotest.check_raises "no finite points"
+    (Invalid_argument "Plot.render: no finite points") (fun () ->
+      ignore
+        (Plot.render ~x_label:"t" ~y_label:"w"
+           [ { Plot.label = "e"; points = [ (0., nan) ] } ]))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "basic moments" `Quick test_summary_basic;
+          Alcotest.test_case "non-finite samples" `Quick test_summary_infinite;
+          Alcotest.test_case "empty" `Quick test_summary_empty;
+        ] );
+      qsuite "summary-props" [ prop_percentile_monotone; prop_mean_bounds ];
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "float formatting" `Quick test_fq;
+        ] );
+      ("plot", [ Alcotest.test_case "ascii figure" `Quick test_plot_render ]);
+    ]
