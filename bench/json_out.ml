@@ -1,0 +1,79 @@
+(* Minimal write-only JSON for the benchmark trajectory files
+   (BENCH_*.json).  Hand-rolled on purpose: the harness must not pull a
+   JSON dependency into the sealed build image for what is a one-way
+   serializer. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let add_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* pretty-printed with 2-space indent so the committed trajectory diffs
+   line by line across PRs *)
+let rec add buf ~level v =
+  let pad n = Buffer.add_string buf (String.make (2 * n) ' ') in
+  let seq open_c close_c items emit_item =
+    match items with
+    | [] ->
+      Buffer.add_char buf open_c;
+      Buffer.add_char buf close_c
+    | items ->
+      Buffer.add_char buf open_c;
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '\n';
+          pad (level + 1);
+          emit_item item)
+        items;
+      Buffer.add_char buf '\n';
+      pad level;
+      Buffer.add_char buf close_c
+  in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+    (* JSON has no nan/infinity *)
+    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    else Buffer.add_string buf "null"
+  | Str s -> add_string buf s
+  | List items -> seq '[' ']' items (add buf ~level:(level + 1))
+  | Obj fields ->
+    seq '{' '}' fields (fun (k, v) ->
+        add_string buf k;
+        Buffer.add_string buf ": ";
+        add buf ~level:(level + 1) v)
+
+let to_string v =
+  let buf = Buffer.create 4096 in
+  add buf ~level:0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let write path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string v))

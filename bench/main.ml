@@ -16,15 +16,33 @@
      uB  Bechamel microbenchmarks of the core operations
 
    Run all:        dune exec bench/main.exe
-   Run a subset:   dune exec bench/main.exe -- E3 E5 uB *)
+   Run a subset:   dune exec bench/main.exe -- E3 E5 uB
+   Machine output: dune exec bench/main.exe -- E5 uB --json BENCH_agdp.json
+
+   With [--json FILE] every experiment that ran also lands in FILE as one
+   record (schema "clocksync-bench/1", see EXPERIMENTS.md): the wall clock
+   is stamped by the runner, and the table-producing experiments push
+   their numeric rows via [metric] while they print. *)
+
+module J = Json_out
 
 let q = Q.of_int
 let section id title = Format.printf "@.=== %s: %s ===@.@." id title
 
-let timed f () =
+(* metrics for the current experiment, pushed in display order *)
+let current_metrics : (string * J.t) list ref = ref []
+let metric key v = current_metrics := (key, v) :: !current_metrics
+
+(* (id, metrics, wall clock seconds), most recent first *)
+let json_records : (string * (string * J.t) list * float) list ref = ref []
+
+let timed id f =
+  current_metrics := [];
   let t0 = Unix.gettimeofday () in
   f ();
-  Format.printf "[%.1fs]@." (Unix.gettimeofday () -. t0)
+  let dt = Unix.gettimeofday () -. t0 in
+  Format.printf "[%.1fs]@." dt;
+  json_records := (id, List.rev !current_metrics, dt) :: !json_records
 
 let base_spec ?(ppm = 100) ?(lo = Scenario.ms 1) ?(hi = Scenario.ms 10) n links =
   System_spec.uniform ~n ~source:0 ~drift:(Drift.of_ppm ppm)
@@ -139,7 +157,7 @@ let e2_baselines () =
 
 let e3_history () =
   section "E3" "history buffer |H_v| = O(K1 D) (Lemma 3.3)";
-  let rows =
+  let data =
     List.map
       (fun n ->
         let spec = base_spec n (Topology.ring n) in
@@ -160,15 +178,33 @@ let e3_history () =
         (* with token traffic, K1 = O(n) events system-wide between two
            events at a node; D = n/2 on a ring *)
         let bound = 2 * n * n in
+        (n, r.Engine.events_total, peak, bound))
+      [ 4; 6; 8; 12; 16 ]
+  in
+  metric "history"
+    (J.List
+       (List.map
+          (fun (n, events, peak, bound) ->
+            J.Obj
+              [
+                ("n", J.Int n);
+                ("events_unbounded", J.Int events);
+                ("peak_history", J.Int peak);
+                ("bound", J.Int bound);
+              ])
+          data));
+  let rows =
+    List.map
+      (fun (n, events, peak, bound) ->
         [
           string_of_int n;
           string_of_int (n / 2);
-          string_of_int r.Engine.events_total;
+          string_of_int events;
           string_of_int peak;
           string_of_int bound;
           Printf.sprintf "%.2f" (float_of_int peak /. float_of_int bound);
         ])
-      [ 4; 6; 8; 12; 16 ]
+      data
   in
   Table.print
     ~header:
@@ -237,41 +273,67 @@ let e4_report_once () =
 
 (* ---------------------------------------------------------------- E5 *)
 
+(* synthetic AGDP load shared by E5 and the smoke test: maintain exactly
+   [l] live nodes in a sliding chain; measure relaxations and wall clock
+   per insert *)
+let agdp_sliding_window ~l ~inserts =
+  let t = Agdp.create () in
+  Agdp.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+  for k = 1 to l - 1 do
+    Agdp.insert t ~key:k ~in_edges:[ (k - 1, q 1) ] ~out_edges:[ (k - 1, q 1) ]
+  done;
+  let before = Agdp.relaxations t in
+  let t0 = Unix.gettimeofday () in
+  for k = l to l + inserts - 1 do
+    Agdp.insert t ~key:k ~in_edges:[ (k - 1, q 1) ] ~out_edges:[ (k - 1, q 1) ];
+    Agdp.kill t (k - l)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let per_insert =
+    float_of_int (Agdp.relaxations t - before) /. float_of_int inserts
+  in
+  (per_insert, Agdp.peak_size t, dt /. float_of_int inserts *. 1e9)
+
+let agdp_insert_metric data =
+  metric "agdp_insert"
+    (J.List
+       (List.map
+          (fun (l, per_insert, peak, ns) ->
+            J.Obj
+              [
+                ("live", J.Int l);
+                ("peak", J.Int peak);
+                ("relaxations_per_insert", J.Float per_insert);
+                ("ns_per_insert", J.Float ns);
+                ("inserts_per_sec", J.Float (1e9 /. ns));
+              ])
+          data))
+
 let e5_agdp_cost () =
   section "E5" "AGDP: O(L^2) per insertion (Lemma 3.5 / Ausiello et al.)";
-  (* synthetic AGDP load: maintain exactly L live nodes in a sliding chain;
-     measure relaxations per insert *)
-  let measure l =
-    let t = Agdp.create () in
-    Agdp.insert t ~key:0 ~in_edges:[] ~out_edges:[];
-    for k = 1 to l - 1 do
-      Agdp.insert t ~key:k ~in_edges:[ (k - 1, q 1) ] ~out_edges:[ (k - 1, q 1) ]
-    done;
-    let before = Agdp.relaxations t in
-    let inserts = 200 in
-    for k = l to l + inserts - 1 do
-      Agdp.insert t ~key:k ~in_edges:[ (k - 1, q 1) ]
-        ~out_edges:[ (k - 1, q 1) ];
-      Agdp.kill t (k - l)
-    done;
-    let per_insert =
-      float_of_int (Agdp.relaxations t - before) /. float_of_int inserts
-    in
-    (per_insert, Agdp.peak_size t)
-  in
-  let rows =
+  let data =
     List.map
       (fun l ->
-        let per_insert, peak = measure l in
+        let per_insert, peak, ns = agdp_sliding_window ~l ~inserts:200 in
+        (l, per_insert, peak, ns))
+      [ 8; 16; 32; 64; 128 ]
+  in
+  agdp_insert_metric data;
+  let rows =
+    List.map
+      (fun (l, per_insert, peak, ns) ->
         [
           string_of_int l;
           string_of_int peak;
           Printf.sprintf "%.0f" per_insert;
           Printf.sprintf "%.3f" (per_insert /. float_of_int (l * l));
+          Printf.sprintf "%.0f" ns;
         ])
-      [ 8; 16; 32; 64; 128 ]
+      data
   in
-  Table.print ~header:[ "live L"; "peak"; "relaxations/insert"; "/(L^2)" ] rows;
+  Table.print
+    ~header:[ "live L"; "peak"; "relaxations/insert"; "/(L^2)"; "ns/insert" ]
+    rows;
   Format.printf
     "@.relaxations per insertion grow as c*L^2 with a constant c near 1 —@.\
      the quadratic incremental update, independent of total graph age.@."
@@ -280,7 +342,7 @@ let e5_agdp_cost () =
 
 let e6_live_points () =
   section "E6" "live points = O(K2 |E|) (Lemma 4.1)";
-  let rows =
+  let data =
     List.map
       (fun (name, n, links) ->
         let spec = base_spec n links in
@@ -301,14 +363,7 @@ let e6_live_points () =
         in
         (* request/response polling has K2 <= 2 (Section 4) *)
         let bound = (2 * 2 * e) + n in
-        [
-          name;
-          string_of_int n;
-          string_of_int e;
-          string_of_int r.Engine.events_total;
-          string_of_int peak;
-          string_of_int bound;
-        ])
+        (name, n, e, r.Engine.events_total, peak, bound))
       [
         ("star5", 5, Topology.star 5);
         ("tree7", 7, Topology.binary_tree 7);
@@ -316,6 +371,33 @@ let e6_live_points () =
         ("ring8", 8, Topology.ring 8);
         ("complete6", 6, Topology.complete 6);
       ]
+  in
+  metric "live_points"
+    (J.List
+       (List.map
+          (fun (name, n, e, events, peak, bound) ->
+            J.Obj
+              [
+                ("topology", J.Str name);
+                ("n", J.Int n);
+                ("edges", J.Int e);
+                ("events", J.Int events);
+                ("peak_live", J.Int peak);
+                ("bound", J.Int bound);
+              ])
+          data));
+  let rows =
+    List.map
+      (fun (name, n, e, events, peak, bound) ->
+        [
+          name;
+          string_of_int n;
+          string_of_int e;
+          string_of_int events;
+          string_of_int peak;
+          string_of_int bound;
+        ])
+      data
   in
   Table.print
     ~header:
@@ -771,22 +853,22 @@ let microbenches () =
     Test.make ~name:"bellman_ford_64"
       (Staged.stage (fun () -> Bellman_ford.sssp graph 0))
   in
-  let bench_agdp_insert =
-    Test.make ~name:"agdp_insert_L32"
+  let bench_agdp_insert l =
+    Test.make ~name:(Printf.sprintf "agdp_insert_L%d" l)
       (Staged.stage
          (let t = Agdp.create () in
           Agdp.insert t ~key:0 ~in_edges:[] ~out_edges:[];
-          for k = 1 to 31 do
+          for k = 1 to l - 1 do
             Agdp.insert t ~key:k ~in_edges:[ (k - 1, q 1) ]
               ~out_edges:[ (k - 1, q 1) ]
           done;
-          let next = ref 32 in
+          let next = ref l in
           fun () ->
             let k = !next in
             incr next;
             Agdp.insert t ~key:k ~in_edges:[ (k - 1, q 1) ]
               ~out_edges:[ (k - 1, q 1) ];
-            Agdp.kill t (k - 32)))
+            Agdp.kill t (k - l)))
   in
   let bench_csa_round_trip =
     Test.make ~name:"csa_round_trip"
@@ -810,7 +892,8 @@ let microbenches () =
   let tests =
     [
       bench_bigint_mul; bench_bigint_divmod; bench_q_add; bench_bellman_ford;
-      bench_agdp_insert; bench_csa_round_trip;
+      bench_agdp_insert 32; bench_agdp_insert 64; bench_agdp_insert 128;
+      bench_csa_round_trip;
     ]
   in
   let benchmark test =
@@ -823,7 +906,7 @@ let microbenches () =
     in
     Analyze.all ols Toolkit.Instance.monotonic_clock raw
   in
-  let rows =
+  let data =
     List.concat_map
       (fun test ->
         let results = analyze (benchmark test) in
@@ -831,15 +914,56 @@ let microbenches () =
           (fun name ols acc ->
             let ns =
               match Analyze.OLS.estimates ols with
-              | Some [ est ] -> Printf.sprintf "%.0f" est
-              | _ -> "n/a"
+              | Some [ est ] -> Some est
+              | _ -> None
             in
-            [ name; ns ] :: acc)
+            (name, ns) :: acc)
           results []
         |> List.sort compare)
       tests
   in
-  Table.print ~header:[ "operation"; "ns/op" ] rows
+  metric "ns_per_op"
+    (J.Obj
+       (List.map
+          (fun (name, ns) ->
+            (name, match ns with Some est -> J.Float est | None -> J.Null))
+          data));
+  Table.print
+    ~header:[ "operation"; "ns/op" ]
+    (List.map
+       (fun (name, ns) ->
+         [
+           name;
+           (match ns with Some est -> Printf.sprintf "%.0f" est | None -> "n/a");
+         ])
+       data)
+
+(* --------------------------------------------------------------- smoke *)
+
+(* A sub-second slice of E5, wired into `dune runtest` (see bench/dune) so
+   the JSON trajectory emitter is exercised on every test run; not part of
+   the default experiment sweep. *)
+let smoke () =
+  section "smoke" "sub-second E5 slice (exercises the --json emitter)";
+  let data =
+    List.map
+      (fun l ->
+        let per_insert, peak, ns = agdp_sliding_window ~l ~inserts:50 in
+        (l, per_insert, peak, ns))
+      [ 8; 16 ]
+  in
+  List.iter
+    (fun (l, per_insert, peak, _) ->
+      if per_insert <= 0. || peak < l then
+        failwith (Printf.sprintf "smoke: bad AGDP measurement at L=%d" l))
+    data;
+  agdp_insert_metric data;
+  Table.print
+    ~header:[ "live L"; "relaxations/insert" ]
+    (List.map
+       (fun (l, per_insert, _, _) ->
+         [ string_of_int l; Printf.sprintf "%.0f" per_insert ])
+       data)
 
 (* ------------------------------------------------------------------ *)
 
@@ -862,21 +986,47 @@ let all =
     ("uB", microbenches);
   ]
 
+(* runnable by name but excluded from the no-argument sweep *)
+let extras = [ ("smoke", smoke) ]
+
 let () =
-  let wanted =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst all
+  let rec parse args (ids, json) =
+    match args with
+    | [] -> (List.rev ids, json)
+    | "--json" :: path :: rest -> parse rest (ids, Some path)
+    | [ "--json" ] ->
+      prerr_endline "main: --json requires a file argument";
+      exit 2
+    | id :: rest -> parse rest (id :: ids, json)
   in
+  let ids, json_path = parse (List.tl (Array.to_list Sys.argv)) ([], None) in
+  let wanted = match ids with [] -> List.map fst all | ids -> ids in
   Format.printf
     "clocksync benchmark harness — reproducing the claims of@.\"Optimal and \
      Efficient Clock Synchronization Under Drifting Clocks\"@.(Ostrovsky & \
      Patt-Shamir, PODC 1999). See EXPERIMENTS.md.@.";
   List.iter
     (fun id ->
-      match List.assoc_opt id all with
-      | Some f -> timed f ()
+      match List.assoc_opt id (all @ extras) with
+      | Some f -> timed id f
       | None ->
         Format.printf "unknown experiment %s (known: %s)@." id
-          (String.concat " " (List.map fst all)))
-    wanted
+          (String.concat " " (List.map fst (all @ extras))))
+    wanted;
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let experiments =
+      List.rev_map
+        (fun (id, metrics, dt) ->
+          J.Obj (("id", J.Str id) :: ("wall_clock_s", J.Float dt) :: metrics))
+        !json_records
+    in
+    J.write path
+      (J.Obj
+         [
+           ("schema", J.Str "clocksync-bench/1");
+           ("source", J.Str "bench/main.exe");
+           ("experiments", J.List experiments);
+         ]);
+    Format.printf "wrote %s@." path

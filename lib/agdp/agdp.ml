@@ -1,11 +1,16 @@
 exception Negative_cycle
 
-(* The live nodes occupy slots [0 .. count-1] of a square matrix [d] that
-   stores exact pairwise distances of the accumulated graph.  [kill] swaps
-   the victim's slot with the last one, so the matrix stays compact.  The
-   matrix doubles in capacity when full. *)
+(* The live nodes occupy slots [0 .. count-1].  Exact pairwise distances
+   of the accumulated graph live in one flat row-major array [d] of
+   [cap * cap] cells (stride [cap]), so the O(L²) insert loop is index
+   arithmetic on a single block instead of chasing a row pointer per
+   access.  Cells hold plain [Q.t] values; "no path" is the out-of-band
+   [Q.sentinel] marker, tested in O(1) without allocating an [Ext.t] per
+   relaxation.  [kill] swaps the victim's slot with the last one, so the
+   matrix stays compact.  The matrix doubles in capacity when full. *)
 type t = {
-  mutable d : Ext.t array array;
+  mutable d : Q.t array; (* cap * cap, row-major *)
+  mutable cap : int;
   mutable keys : int array; (* slot -> key *)
   slot_of : (int, int) Hashtbl.t; (* key -> slot *)
   mutable count : int;
@@ -14,10 +19,13 @@ type t = {
 }
 
 let initial_capacity = 8
+let inf = Q.sentinel
+let is_inf = Q.is_sentinel
 
 let create () =
   {
-    d = Array.make_matrix initial_capacity initial_capacity Ext.Inf;
+    d = Array.make (initial_capacity * initial_capacity) inf;
+    cap = initial_capacity;
     keys = Array.make initial_capacity (-1);
     slot_of = Hashtbl.create 16;
     count = 0;
@@ -41,18 +49,20 @@ let slot_exn t key =
 
 let dist t x y =
   let sx = slot_exn t x and sy = slot_exn t y in
-  t.d.(sx).(sy)
+  let v = t.d.((sx * t.cap) + sy) in
+  if is_inf v then Ext.Inf else Ext.Fin v
 
 let grow t =
-  let cap = Array.length t.keys in
+  let cap = t.cap in
   let cap' = 2 * cap in
-  let d' = Array.make_matrix cap' cap' Ext.Inf in
+  let d' = Array.make (cap' * cap') inf in
   for i = 0 to t.count - 1 do
-    Array.blit t.d.(i) 0 d'.(i) 0 t.count
+    Array.blit t.d (i * cap) d' (i * cap') t.count
   done;
   let keys' = Array.make cap' (-1) in
   Array.blit t.keys 0 keys' 0 t.count;
   t.d <- d';
+  t.cap <- cap';
   t.keys <- keys'
 
 let insert t ~key ~in_edges ~out_edges =
@@ -62,81 +72,119 @@ let insert t ~key ~in_edges ~out_edges =
     (fun (x, _) ->
       if x = key then invalid_arg "Agdp.insert: self-loop edge")
     (in_edges @ out_edges);
-  (* resolve endpoints before mutating anything, so a failed insert
-     leaves the structure untouched *)
   let in_edges = List.map (fun (x, w) -> (slot_exn t x, w)) in_edges
   and out_edges = List.map (fun (y, w) -> (slot_exn t y, w)) out_edges in
-  if t.count = Array.length t.keys then grow t;
   let k = t.count in
+  let d = t.d and cap = t.cap in
+  let relaxed = ref 0 in
+  (* Phase 1, read-only: distances to/from the new node, into scratch
+     buffers.  Every path i ⇝ k decomposes as i ⇝ a plus an edge (a, k),
+     with i ⇝ a entirely over old nodes whose pairwise distances are
+     already exact; symmetrically for k ⇝ i. *)
+  let col = Array.make (max k 1) inf in (* col.(i) = d(i, k) *)
+  let row = Array.make (max k 1) inf in (* row.(i) = d(k, i) *)
+  for i = 0 to k - 1 do
+    let base = i * cap in
+    List.iter
+      (fun (a, w) ->
+        incr relaxed;
+        let dia = Array.unsafe_get d (base + a) in
+        if not (is_inf dia) then begin
+          let cand = Q.add dia w in
+          let cur = Array.unsafe_get col i in
+          if is_inf cur || Q.compare cand cur < 0 then
+            Array.unsafe_set col i cand
+        end)
+      in_edges;
+    List.iter
+      (fun (b, w) ->
+        incr relaxed;
+        let dbi = Array.unsafe_get d ((b * cap) + i) in
+        if not (is_inf dbi) then begin
+          let cand = Q.add w dbi in
+          let cur = Array.unsafe_get row i in
+          if is_inf cur || Q.compare cand cur < 0 then
+            Array.unsafe_set row i cand
+        end)
+      out_edges
+  done;
+  (* Phase 2, still read-only: a path through k and back would be a
+     cycle; detect negative ones against the scratch buffers.  Nothing
+     has been committed yet, so raising here leaves the structure exactly
+     as it was before the call — the exception-safety guarantee of the
+     interface. *)
+  for i = 0 to k - 1 do
+    incr relaxed;
+    let c = Array.unsafe_get col i and r = Array.unsafe_get row i in
+    if (not (is_inf c)) && (not (is_inf r)) && Q.sign (Q.add r c) < 0 then
+      raise Negative_cycle
+  done;
+  (* Phase 3: commit; no failure can occur past this point. *)
+  if k = t.cap then grow t;
+  let d = t.d and cap = t.cap in
   t.count <- k + 1;
   t.keys.(k) <- key;
   Hashtbl.replace t.slot_of key k;
   if t.count > t.peak then t.peak <- t.count;
-  let d = t.d in
-  (* fresh row/column *)
-  for i = 0 to k do
-    d.(i).(k) <- Ext.Inf;
-    d.(k).(i) <- Ext.Inf
-  done;
-  d.(k).(k) <- Ext.zero;
-  (* Distances to/from the new node: every path i ⇝ k decomposes as
-     i ⇝ a plus an edge (a, k), with i ⇝ a entirely over old nodes whose
-     pairwise distances are already exact; symmetrically for k ⇝ i. *)
+  let krow = k * cap in
   for i = 0 to k - 1 do
-    List.iter
-      (fun (a, w) ->
-        t.relax_count <- t.relax_count + 1;
-        let cand = Ext.add d.(i).(a) (Ext.Fin w) in
-        if Ext.lt cand d.(i).(k) then d.(i).(k) <- cand)
-      in_edges;
-    List.iter
-      (fun (b, w) ->
-        t.relax_count <- t.relax_count + 1;
-        let cand = Ext.add (Ext.Fin w) d.(b).(i) in
-        if Ext.lt cand d.(k).(i) then d.(k).(i) <- cand)
-      out_edges
+    Array.unsafe_set d (krow + i) (Array.unsafe_get row i);
+    Array.unsafe_set d ((i * cap) + k) (Array.unsafe_get col i)
   done;
-  (* a path through k and back would be a cycle: detect negative ones *)
+  d.(krow + k) <- Q.zero;
+  (* relax all pairs through the new node: O(L²).  The diagonal cannot go
+     negative: phase 2 ruled out negative cycles through k, and the
+     committed matrix had none. *)
   for i = 0 to k - 1 do
-    t.relax_count <- t.relax_count + 1;
-    if Ext.lt (Ext.add d.(k).(i) d.(i).(k)) Ext.zero then raise Negative_cycle
-  done;
-  (* relax all pairs through the new node: O(L²) *)
-  for i = 0 to k - 1 do
-    let dik = d.(i).(k) in
-    if Ext.is_fin dik then
+    let dik = Array.unsafe_get col i in
+    if not (is_inf dik) then begin
+      let base = i * cap in
       for j = 0 to k - 1 do
-        t.relax_count <- t.relax_count + 1;
-        let cand = Ext.add dik d.(k).(j) in
-        if Ext.lt cand d.(i).(j) then d.(i).(j) <- cand
+        incr relaxed;
+        let dkj = Array.unsafe_get d (krow + j) in
+        if not (is_inf dkj) then begin
+          let cand = Q.add dik dkj in
+          let cur = Array.unsafe_get d (base + j) in
+          if is_inf cur || Q.compare cand cur < 0 then
+            Array.unsafe_set d (base + j) cand
+        end
       done
+    end
   done;
-  for i = 0 to k - 1 do
-    if Ext.lt d.(i).(i) Ext.zero then raise Negative_cycle
-  done
+  t.relax_count <- t.relax_count + !relaxed
 
 type snapshot = {
   s_keys : int array;
-  s_dist : Ext.t array array;
+  s_dist : Ext.t array;
   s_relaxations : int;
   s_peak : int;
 }
 
 let snapshot t =
+  let n = t.count in
+  let dist = Array.make (n * n) Ext.Inf in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let v = t.d.((i * t.cap) + j) in
+      if not (is_inf v) then dist.((i * n) + j) <- Ext.Fin v
+    done
+  done;
   {
-    s_keys = Array.sub t.keys 0 t.count;
-    s_dist =
-      Array.init t.count (fun i -> Array.sub t.d.(i) 0 t.count);
+    s_keys = Array.sub t.keys 0 n;
+    s_dist = dist;
     s_relaxations = t.relax_count;
     s_peak = t.peak;
   }
 
 let restore s =
   let count = Array.length s.s_keys in
+  if Array.length s.s_dist <> count * count then
+    invalid_arg "Agdp.restore: distance matrix size mismatch";
   let cap = max initial_capacity count in
   let t =
     {
-      d = Array.make_matrix cap cap Ext.Inf;
+      d = Array.make (cap * cap) inf;
+      cap;
       keys = Array.make cap (-1);
       slot_of = Hashtbl.create (max 16 count);
       count;
@@ -147,27 +195,35 @@ let restore s =
   Array.blit s.s_keys 0 t.keys 0 count;
   Array.iteri (fun i key -> Hashtbl.replace t.slot_of key i) s.s_keys;
   for i = 0 to count - 1 do
-    Array.blit s.s_dist.(i) 0 t.d.(i) 0 count
+    for j = 0 to count - 1 do
+      match s.s_dist.((i * count) + j) with
+      | Ext.Inf -> ()
+      | Ext.Fin q -> t.d.((i * cap) + j) <- q
+    done
   done;
   t
 
 let kill t key =
   let s = slot_exn t key in
   let last = t.count - 1 in
-  let d = t.d in
+  let d = t.d and cap = t.cap in
   if s <> last then begin
-    (* move the last slot into s *)
-    for j = 0 to last do
-      d.(s).(j) <- d.(last).(j)
-    done;
+    (* move the last slot into s: row blit, then column copy — at i = s
+       the column copy also lands the diagonal d(last,last) in d(s,s) *)
+    Array.blit d (last * cap) d (s * cap) (last + 1);
     for i = 0 to last do
-      d.(i).(s) <- d.(i).(last)
+      d.((i * cap) + s) <- d.((i * cap) + last)
     done;
-    d.(s).(s) <- d.(last).(last);
     let moved_key = t.keys.(last) in
     t.keys.(s) <- moved_key;
     Hashtbl.replace t.slot_of moved_key s
   end;
+  (* scrub the dead slot so its rationals can be reclaimed *)
+  let lrow = last * cap in
+  for i = 0 to last do
+    d.(lrow + i) <- inf;
+    d.((i * cap) + last) <- inf
+  done;
   t.keys.(last) <- -1;
   Hashtbl.remove t.slot_of key;
   t.count <- last

@@ -28,7 +28,16 @@ val insert :
   unit
 (** Add a node.  [in_edges] are [(x, w)] edges [x → key]; [out_edges] are
     [(y, w)] edges [key → y]; every endpoint must be a live node.
-    @raise Invalid_argument on duplicate keys or dead/unknown endpoints. *)
+
+    Exception safety: a failed insert leaves the structure exactly as it
+    was before the call — the new node's row and column are validated
+    against the committed matrix before any mutation, so after catching
+    either exception [size], [live_keys], [dist], and [relaxations] are
+    all unchanged and the structure remains fully usable.
+    @raise Invalid_argument on duplicate keys, self-loops, or dead/unknown
+    endpoints.
+    @raise Negative_cycle when the insertion would create a
+    negative-weight cycle. *)
 
 val kill : t -> int -> unit
 (** Remove a node from the live set, discarding its row and column.
@@ -64,7 +73,10 @@ val peak_size : t -> int
 
 type snapshot = {
   s_keys : int array;  (** live keys in slot order *)
-  s_dist : Ext.t array array;  (** distance matrix over those slots *)
+  s_dist : Ext.t array;
+      (** distance matrix over those slots, row-major [count × count]:
+          [d(i, j)] is at index [i * count + j] (the same flat layout the
+          live structure uses internally, re-strided to [count]) *)
   s_relaxations : int;
   s_peak : int;
 }

@@ -210,8 +210,19 @@ let add_int_array buf a =
   (* entries may be -1 (nothing known): shift into non-negatives *)
   Array.iter (fun x -> Codec.add_varint buf (x + 1)) a
 
-let read_int_array r =
+(* Length prefixes come from the (possibly corrupt or hostile) blob, so
+   they are validated before any allocation: every encoded element
+   occupies at least one byte, so a count exceeding the remaining input
+   is a lie — fail with a clean [Failure] instead of handing a bogus
+   size to [Array.make]. *)
+let read_length r what =
   let n = Codec.read_varint r in
+  if n < 0 || n > Codec.remaining r then
+    failwith (Printf.sprintf "Csa.restore: bad %s length" what);
+  n
+
+let read_int_array r =
+  let n = read_length r "int array" in
   let a = Array.make (max n 1) 0 in
   for i = 0 to n - 1 do
     a.(i) <- Codec.read_varint r - 1
@@ -223,7 +234,7 @@ let add_event_list buf events =
   List.iter (Codec.add_event buf) events
 
 let read_event_list r =
-  let n = Codec.read_varint r in
+  let n = read_length r "event list" in
   let acc = ref [] in
   for _ = 1 to n do
     acc := Codec.read_event r :: !acc
@@ -248,14 +259,17 @@ let snapshot t =
     t.last_known;
   let pending = Hashtbl.fold (fun m e acc -> (m, e) :: acc) t.pending [] in
   Codec.add_varint buf (List.length pending);
+  (* sort by message id only: polymorphic compare would descend into the
+     event payloads (bigint timestamps), where physical structure rather
+     than value could decide the order *)
   List.iter
     (fun (m, e) ->
       Codec.add_varint buf m;
       Codec.add_event buf e)
-    (List.sort compare pending);
+    (List.sort (fun (a, _) (b, _) -> Int.compare a b) pending);
   let lost = Hashtbl.fold (fun m () acc -> m :: acc) t.known_lost [] in
   Codec.add_varint buf (List.length lost);
-  List.iter (Codec.add_varint buf) (List.sort compare lost);
+  List.iter (Codec.add_varint buf) (List.sort Int.compare lost);
   (* history *)
   let hs = History.snapshot t.hist in
   add_int_array buf hs.History.s_known;
@@ -276,11 +290,11 @@ let snapshot t =
     hs.History.s_inflight;
   Codec.add_varint buf hs.History.s_peak;
   Codec.add_varint buf hs.History.s_reported;
-  (* agdp *)
+  (* agdp: the snapshot matrix is already flat row-major, count × count *)
   let gs = Agdp.snapshot t.agdp in
   Codec.add_varint buf (Array.length gs.Agdp.s_keys);
   Array.iter (Codec.add_varint buf) gs.Agdp.s_keys;
-  Array.iter (fun row -> Array.iter (add_ext buf) row) gs.Agdp.s_dist;
+  Array.iter (add_ext buf) gs.Agdp.s_dist;
   Codec.add_varint buf gs.Agdp.s_relaxations;
   Codec.add_varint buf gs.Agdp.s_peak;
   Buffer.contents buf
@@ -305,34 +319,46 @@ let restore spec blob =
         | _ -> failwith "Csa.restore: bad option tag")
   in
   let pending = Hashtbl.create 16 in
-  let n_pending = Codec.read_varint r in
+  let n_pending = read_length r "pending set" in
   for _ = 1 to n_pending do
     let m = Codec.read_varint r in
     let e = Codec.read_event r in
     Hashtbl.replace pending m e
   done;
   let known_lost = Hashtbl.create 4 in
-  let n_lost = Codec.read_varint r in
+  let n_lost = read_length r "lost set" in
   for _ = 1 to n_lost do
     Hashtbl.replace known_lost (Codec.read_varint r) ()
   done;
+  let neighbors = System_spec.neighbors spec me in
+  (* [History.restore] blits these arrays and resolves the neighbor ids;
+     validate here so corruption surfaces as a clean [Failure] rather
+     than an [Invalid_argument] from deep inside the blit *)
   let s_known = read_int_array r in
-  let n_frontiers = Codec.read_varint r in
+  if Array.length s_known <> n then failwith "Csa.restore: bad known array";
+  let n_frontiers = read_length r "frontier list" in
   let s_frontiers = ref [] in
   for _ = 1 to n_frontiers do
     let u = Codec.read_varint r in
+    if not (List.mem u neighbors) then
+      failwith "Csa.restore: frontier for a non-neighbor";
     let c = read_int_array r in
+    if Array.length c <> n then failwith "Csa.restore: bad frontier array";
     s_frontiers := (u, c) :: !s_frontiers
   done;
   let s_frontiers = List.rev !s_frontiers in
   let s_events = read_event_list r in
-  let n_inflight = Codec.read_varint r in
+  let n_inflight = read_length r "inflight list" in
   let s_inflight = ref [] in
   for _ = 1 to n_inflight do
     let msg = Codec.read_varint r in
     let dst = Codec.read_varint r in
+    if not (List.mem dst neighbors) then
+      failwith "Csa.restore: inflight to a non-neighbor";
     let reported = read_event_list r in
     let prev = read_int_array r in
+    if Array.length prev <> n then
+      failwith "Csa.restore: bad inflight frontier array";
     s_inflight := (msg, dst, reported, prev) :: !s_inflight
   done;
   let s_inflight = List.rev !s_inflight in
@@ -350,20 +376,21 @@ let restore spec blob =
         s_reported;
       }
   in
-  let n_keys = Codec.read_varint r in
+  let n_keys = read_length r "AGDP key set" in
   let s_keys = Array.make (max n_keys 1) 0 in
   for i = 0 to n_keys - 1 do
     s_keys.(i) <- Codec.read_varint r
   done;
   let s_keys = Array.sub s_keys 0 n_keys in
-  let s_dist =
-    Array.init n_keys (fun _ -> Array.make n_keys Ext.Inf)
-  in
-  for i = 0 to n_keys - 1 do
-    for j = 0 to n_keys - 1 do
-      s_dist.(i).(j) <- read_ext r
-    done
+  (* the flat matrix holds n_keys² cells of ≥ 1 byte each; the bound on
+     n_keys above does not imply one on its square *)
+  if n_keys * n_keys > Codec.remaining r then
+    failwith "Csa.restore: bad AGDP matrix length";
+  let s_dist = Array.make (max (n_keys * n_keys) 1) Ext.Inf in
+  for i = 0 to (n_keys * n_keys) - 1 do
+    s_dist.(i) <- read_ext r
   done;
+  let s_dist = Array.sub s_dist 0 (n_keys * n_keys) in
   let s_relaxations = Codec.read_varint r in
   let s_peak_agdp = Codec.read_varint r in
   if not (Codec.at_end r) then failwith "Csa.restore: trailing bytes";

@@ -137,6 +137,7 @@ let read_event r =
 
 let reader_of_string s = { s; pos = 0 }
 let at_end r = r.pos >= String.length r.s
+let remaining r = String.length r.s - r.pos
 
 let decode s =
   let r = reader_of_string s in

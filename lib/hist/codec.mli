@@ -26,6 +26,12 @@ type reader
 
 val reader_of_string : string -> reader
 val at_end : reader -> bool
+
+val remaining : reader -> int
+(** Bytes left to read.  Length prefixes must be validated against this
+    before allocating (every encoded element occupies at least one byte,
+    so a count can never legitimately exceed it). *)
+
 val add_varint : Buffer.t -> int -> unit
 (** Non-negative integers only. *)
 

@@ -29,9 +29,22 @@ let compare a b =
   | Inf, Inf -> 0
 
 let equal a b = compare a b = 0
-let min a b = if compare a b <= 0 then a else b
-let lt a b = compare a b < 0
-let le a b = compare a b <= 0
+
+(* direct matches: the order tests in hot loops shouldn't pay for the
+   three-way compare when one operand is infinite *)
+let lt a b =
+  match a, b with
+  | Fin x, Fin y -> Q.compare x y < 0
+  | Fin _, Inf -> true
+  | Inf, _ -> false
+
+let le a b =
+  match a, b with
+  | Fin x, Fin y -> Q.compare x y <= 0
+  | Inf, Fin _ -> false
+  | _, Inf -> true
+
+let min a b = if le a b then a else b
 
 let to_string = function
   | Fin q -> Q.to_string q

@@ -24,9 +24,21 @@ let of_ints n d = make (B.of_int n) (B.of_int d)
 let num q = q.n
 let den q = q.d
 
+(* Out-of-band marker: denominator 0 violates the type invariant, so no
+   arithmetic below ever produces it and [is_sentinel] cannot
+   false-positive on a real rational.  Agdp stores it in flat distance
+   arrays as an unboxed "+infinity". *)
+let sentinel = mk_raw B.zero B.zero
+let is_sentinel a = B.is_zero a.d
+
 let add a b =
   if B.is_zero a.n then b
   else if B.is_zero b.n then a
+  else if B.equal a.d b.d then
+    (* common denominator: skip the three cross multiplications; with
+       denominator 1 the sum is already in lowest terms *)
+    let n = B.add a.n b.n in
+    if B.equal a.d B.one then mk_raw n B.one else make n a.d
   else make (B.add (B.mul a.n b.d) (B.mul b.n a.d)) (B.mul a.d b.d)
 
 let neg a = mk_raw (B.neg a.n) a.d
@@ -43,7 +55,15 @@ let abs a = if B.sign a.n < 0 then neg a else a
 let mul_int a k = make (B.mul_int a.n k) a.d
 let div_int a k = make a.n (B.mul_int a.d k)
 
-let compare a b = B.compare (B.mul a.n b.d) (B.mul b.n a.d)
+let compare a b =
+  (* denominators are positive, so the sign of the numerator is the sign
+     of the rational and equal denominators reduce to a numerator
+     comparison — both fast paths skip the bigint multiplications *)
+  if B.equal a.d b.d then B.compare a.n b.n
+  else
+    let sa = B.sign a.n and sb = B.sign b.n in
+    if sa <> sb then Stdlib.compare sa sb
+    else B.compare (B.mul a.n b.d) (B.mul b.n a.d)
 let equal a b = B.equal a.n b.n && B.equal a.d b.d
 let hash a = (B.hash a.n * 31) + B.hash a.d
 let sign a = B.sign a.n

@@ -30,7 +30,20 @@ val of_decimal_string : string -> t
     scientific notation ["1.5e-3"]. @raise Invalid_argument on malformed
     input. *)
 
+val sentinel : t
+(** An out-of-band marker (its denominator is 0, which no valid rational
+    has).  No operation of this module ever returns it; {!Agdp} stores it
+    in flat distance arrays as an unboxed "+infinity", avoiding an
+    [Ext.t] allocation per matrix cell.  Arithmetic on the sentinel
+    yields garbage — test {!is_sentinel} first. *)
+
+val is_sentinel : t -> bool
+(** Whether the value is {!sentinel} (denominator 0).  O(1). *)
+
 val add : t -> t -> t
+(** Fast path: operands sharing a denominator skip the cross
+    multiplications (and the gcd reduction entirely when it is 1). *)
+
 val sub : t -> t -> t
 val mul : t -> t -> t
 
@@ -47,6 +60,9 @@ val mul_int : t -> int -> t
 val div_int : t -> int -> t
 
 val compare : t -> t -> int
+(** Fast paths: equal denominators compare numerators directly, and
+    operands of different sign never multiply. *)
+
 val equal : t -> t -> bool
 val hash : t -> int
 val sign : t -> int

@@ -107,6 +107,33 @@ let test_kill_slot_swapping () =
   Alcotest.(check (list int)) "live keys" [ 0; 2; 4; 6; 8; 10 ]
     (Agdp.live_keys t)
 
+let test_insert_exception_safety () =
+  (* regression guard for the validate-then-commit insert: a rejected
+     insertion must leave the structure exactly as it was, not with a
+     half-written row/column or a phantom key *)
+  let t = Agdp.create () in
+  Agdp.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+  Agdp.insert t ~key:1 ~in_edges:[ (0, q 3) ] ~out_edges:[ (0, q 5) ];
+  Agdp.insert t ~key:2 ~in_edges:[ (1, q 2) ] ~out_edges:[ (1, q 7) ];
+  let keys = Agdp.live_keys t in
+  let all_dists () =
+    List.concat_map (fun x -> List.map (fun y -> Agdp.dist t x y) keys) keys
+  in
+  let dists = all_dists () in
+  let relaxations = Agdp.relaxations t in
+  (* 9 -> 0 weighs -20 but 0 ⇝ 2 -> 9 weighs 6: a -14 cycle *)
+  Alcotest.check_raises "rejected" Agdp.Negative_cycle (fun () ->
+      Agdp.insert t ~key:9 ~in_edges:[ (2, q 1) ] ~out_edges:[ (0, q (-20)) ]);
+  Alcotest.(check int) "size unchanged" 3 (Agdp.size t);
+  Alcotest.(check bool) "key not half-inserted" false (Agdp.mem t 9);
+  Alcotest.(check (list int)) "live keys unchanged" keys (Agdp.live_keys t);
+  Alcotest.(check (list ext)) "distances unchanged" dists (all_dists ());
+  Alcotest.(check int) "relaxation counter unchanged" relaxations
+    (Agdp.relaxations t);
+  (* the structure stays fully usable after the rejection *)
+  Agdp.insert t ~key:3 ~in_edges:[ (2, q 1) ] ~out_edges:[];
+  Alcotest.(check ext) "subsequent insert works" (fin 6) (Agdp.dist t 0 3)
+
 (* Property: drive AGDP with a random insert/kill schedule and compare
    every pairwise distance against Floyd-Warshall on the full accumulated
    graph (the Lemma 3.4 invariant). *)
@@ -200,6 +227,8 @@ let () =
           Alcotest.test_case "growth beyond capacity" `Quick
             test_growth_beyond_capacity;
           Alcotest.test_case "kill slot swapping" `Quick test_kill_slot_swapping;
+          Alcotest.test_case "insert exception safety" `Quick
+            test_insert_exception_safety;
         ] );
       qsuite "props" [ prop_matches_full_graph ];
     ]
