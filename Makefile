@@ -1,0 +1,41 @@
+# Convenience wrappers around dune.  `make check` is the one-shot gate:
+# full build, the whole test suite, and the sub-second bench smoke slice
+# that exercises the JSON trajectory emitter.
+
+DUNE ?= dune
+
+.PHONY: all build test bench-smoke check fmt fmt-check clean
+
+all: build
+
+build:
+	$(DUNE) build @all
+
+test:
+	$(DUNE) runtest
+
+bench-smoke:
+	$(DUNE) exec bench/main.exe -- smoke --json _build/bench_smoke.json
+
+check: build test bench-smoke
+	@echo "check: OK"
+
+# Formatting is best-effort: the sealed build image does not ship
+# ocamlformat, so these targets skip (successfully) when the binary is
+# absent instead of failing the pipeline.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  $(DUNE) build @fmt --auto-promote; \
+	else \
+	  echo "fmt: ocamlformat not installed, skipping"; \
+	fi
+
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  $(DUNE) build @fmt; \
+	else \
+	  echo "fmt-check: ocamlformat not installed, skipping"; \
+	fi
+
+clean:
+	$(DUNE) clean

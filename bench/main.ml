@@ -86,7 +86,7 @@ let e1_optimality () =
           name;
           string_of_int r.Engine.messages_sent;
           string_of_int opt.Engine.samples;
-          string_of_int r.Engine.validation_failures;
+          string_of_int (Option.value ~default:0 r.Engine.validation_failures);
           Printf.sprintf "%d/%d" opt.Engine.contained opt.Engine.samples;
         ])
       runs

@@ -109,10 +109,15 @@ let print_result r =
          r.Engine.per_node)
   in
   Table.print
-    ~header:[ "node"; "peak L"; "peak |H|"; "events"; "agdp relaxations" ]
+    ~header:[ "node"; "peak L"; "peak |H|"; "events"; "oracle relaxations" ]
     rows;
-  if r.Engine.validation_failures > 0 then begin
-    Format.printf "@.VALIDATION FAILURES: %d@." r.Engine.validation_failures;
+  (match r.Engine.validation_failures with
+  | Some f when f > 0 ->
+    Format.printf "@.VALIDATION FAILURES: %d@." f;
+    exit 1
+  | _ -> ());
+  if r.Engine.soundness_failures > 0 then begin
+    Format.printf "@.SOUNDNESS FAILURES: %d@." r.Engine.soundness_failures;
     exit 1
   end
 
@@ -176,18 +181,42 @@ let csv_prefix =
          ~doc:"Write PREFIX-series.csv, PREFIX-nodes.csv and \
                PREFIX-summary.csv with the run's data.")
 
+let trace_file =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write the run's structured event stream to FILE as JSON \
+               Lines — one object per send/receive/loss/estimate/\
+               validation/liveness/oracle event, closed by a summary \
+               object aggregating the whole stream (see DESIGN.md for \
+               the schema).")
+
 (* ---- run ---- *)
 
 let run_cmd =
   let action topology nodes traffic duration drift_ppm lo_ms hi_ms period_s
-      loss seed ntp cristian driftfree validate csv =
+      loss seed ntp cristian driftfree validate csv trace =
     match
       build_scenario ~topology ~nodes ~traffic ~duration ~drift_ppm ~lo_ms
         ~hi_ms ~period_s ~loss ~seed ~ntp ~cristian ~driftfree ~validate
     with
     | Error (`Msg m) -> `Error (false, m)
     | Ok scenario ->
-      let r = Engine.run scenario in
+      let r =
+        match trace with
+        | None -> Engine.run scenario
+        | Some path ->
+          (* mirror the event stream to disk, and aggregate it a second
+             time independently of the engine so the trailing summary
+             line is computed from exactly what was written *)
+          let oc = open_out path in
+          let m = Metrics.create () in
+          let sink = Trace.tee (Trace.jsonl oc) (Metrics.sink m) in
+          let r = Engine.run { scenario with Scenario.trace = sink } in
+          output_string oc (Json_out.to_line (Metrics.summary_json m));
+          output_char oc '\n';
+          close_out oc;
+          Format.printf "wrote %s@.@." path;
+          r
+      in
       print_result r;
       Option.iter
         (fun prefix ->
@@ -204,7 +233,7 @@ let run_cmd =
       ret
         (const action $ topology $ nodes $ traffic $ duration $ drift_ppm
        $ lo_ms $ hi_ms $ period_s $ loss $ seed $ ntp_flag $ cristian_flag
-       $ driftfree_flag $ validate_flag $ csv_prefix))
+       $ driftfree_flag $ validate_flag $ csv_prefix $ trace_file))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one scenario and print accuracy/resources.")
@@ -315,10 +344,14 @@ let verify_cmd =
           }
       in
       let opt = List.assoc "optimal" r.Engine.per_algo in
+      let vf =
+        Option.value ~default:0 r.Engine.validation_failures
+        + r.Engine.soundness_failures
+      in
       checks := !checks + opt.Engine.samples;
-      failures := !failures + r.Engine.validation_failures;
+      failures := !failures + vf;
       Format.printf "run %d: n=%d, %d checks, %d failures@." seed n
-        opt.Engine.samples r.Engine.validation_failures
+        opt.Engine.samples vf
     done;
     Format.printf "@.total: %d checks, %d failures@." !checks !failures;
     if !failures > 0 then `Error (false, "validation failed") else `Ok ()

@@ -30,17 +30,17 @@ let () =
       seed = 11;
     }
   in
-  let r = Engine.run scenario in
+  let r, m = Ex_common.run scenario in
   Format.printf
     "gossip on a 4-ring, 500 ppm adversarial clocks, alternating delays@.";
   Format.printf "%d messages; validation failures: %d (must be 0)@.@."
-    r.Engine.messages_sent r.Engine.validation_failures;
-  let opt = List.assoc "optimal" r.Engine.per_algo in
+    (Metrics.sends m) (Ex_common.failures r);
+  let opt = Metrics.algo_stats m "optimal" in
   Format.printf "optimal: %d/%d samples contained the true time@."
-    opt.Engine.contained opt.Engine.samples;
+    opt.Metrics.contained opt.Metrics.samples;
   Format.printf "mean width %s, max width %s@.@."
-    (Table.fq opt.Engine.mean_width)
-    (Table.fq opt.Engine.max_width);
+    (Table.fq opt.Metrics.mean_width)
+    (Table.fq opt.Metrics.max_width);
 
   (* tightness demonstration on a small hand-built view: both interval
      endpoints are achieved by feasible executions (Theorem 2.1) *)

@@ -1,0 +1,66 @@
+(* Shared runner and reporting for the engine-driven examples.
+
+   Every example used to hand-roll the same summary tables from
+   [Engine.result]; they now run through [run] below, which tees a
+   [Metrics] sink onto the scenario's trace seam, and print from that —
+   one metrics source, fed by the same structured event stream the engine
+   itself aggregates. *)
+
+let run scenario =
+  let m = Metrics.create () in
+  let trace = Trace.tee (Metrics.sink m) scenario.Scenario.trace in
+  let r = Engine.run { scenario with Scenario.trace } in
+  (r, m)
+
+(* per-algorithm accuracy table, algorithms in first-appearance order *)
+let print_algo_table m =
+  let rows =
+    List.map
+      (fun name ->
+        let s = Metrics.algo_stats m name in
+        [
+          name;
+          string_of_int s.Metrics.samples;
+          Printf.sprintf "%d/%d" s.Metrics.contained s.Metrics.samples;
+          Table.fq s.Metrics.mean_width;
+          Table.fq s.Metrics.max_width;
+        ])
+      (Metrics.algo_names m)
+  in
+  Table.print
+    ~header:[ "algorithm"; "samples"; "contained"; "mean width"; "max width" ]
+    rows
+
+(* per-node resource table: the quantities Theorem 3.6 / Lemma 3.2 bound *)
+let print_node_resources r =
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun p ns ->
+           [
+             Printf.sprintf "p%d" p;
+             string_of_int ns.Engine.peak_live;
+             string_of_int ns.Engine.peak_history;
+             string_of_int ns.Engine.events_processed;
+             string_of_int ns.Engine.events_reported;
+           ])
+         r.Engine.per_node)
+  in
+  Table.print
+    ~header:[ "node"; "peak live L"; "peak |H|"; "events"; "reported" ]
+    rows
+
+let peak_live r =
+  Array.fold_left (fun acc ns -> max acc ns.Engine.peak_live) 0 r.Engine.per_node
+
+let all_contained m =
+  List.for_all
+    (fun name ->
+      let s = Metrics.algo_stats m name in
+      s.Metrics.samples = s.Metrics.contained)
+    (Metrics.algo_names m)
+
+(* mirror-validation misses plus soundness misses; 0 on a correct run *)
+let failures r =
+  Option.value ~default:0 r.Engine.validation_failures
+  + r.Engine.soundness_failures

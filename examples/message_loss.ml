@@ -29,20 +29,15 @@ let () =
         seed = 21;
       }
     in
-    let r = Engine.run scenario in
-    let opt = List.assoc "optimal" r.Engine.per_algo in
-    let peak_live =
-      Array.fold_left
-        (fun acc ns -> max acc ns.Engine.peak_live)
-        0 r.Engine.per_node
-    in
+    let r, m = Ex_common.run scenario in
+    let opt = Metrics.algo_stats m "optimal" in
     [
       Printf.sprintf "%.0f%%" (100. *. loss);
-      string_of_int r.Engine.messages_sent;
-      string_of_int r.Engine.messages_lost;
-      Printf.sprintf "%d/%d" opt.Engine.contained opt.Engine.samples;
-      Table.fq opt.Engine.mean_width;
-      string_of_int peak_live;
+      string_of_int (Metrics.sends m);
+      string_of_int (Metrics.losses m);
+      Printf.sprintf "%d/%d" opt.Metrics.contained opt.Metrics.samples;
+      Table.fq opt.Metrics.mean_width;
+      string_of_int (Ex_common.peak_live r);
     ]
   in
   let rows = List.map run [ 0.0; 0.1; 0.3; 0.5 ] in

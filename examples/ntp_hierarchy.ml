@@ -34,9 +34,9 @@ let () =
       seed = 7;
     }
   in
-  let r = Engine.run scenario in
+  let r, m = Ex_common.run scenario in
   Format.printf "simulated %s time units: %d messages, %d events@.@."
-    (Q.to_string r.Engine.rt_end) r.Engine.messages_sent r.Engine.events_total;
+    (Q.to_string r.Engine.rt_end) (Metrics.sends m) r.Engine.events_total;
 
   (* final interval width per node and algorithm, grouped by stratum *)
   let stratum p = if p = 0 then 0 else ((p - 1) / width) + 1 in
@@ -60,25 +60,6 @@ let () =
 
   (* resource usage: the quantities Theorem 3.6 / Corollary 4.1.1 bound *)
   Format.printf "@.resources (bounds from Corollary 4.1.1):@.";
-  let rows =
-    Array.to_list
-      (Array.mapi
-         (fun p ns ->
-           [
-             Printf.sprintf "p%d" p;
-             string_of_int ns.Engine.peak_live;
-             string_of_int ns.Engine.peak_history;
-             string_of_int ns.Engine.events_processed;
-             string_of_int ns.Engine.events_reported;
-           ])
-         r.Engine.per_node)
-  in
-  Table.print
-    ~header:[ "node"; "peak live L"; "peak |H|"; "events"; "reported" ]
-    rows;
-  let sound =
-    List.for_all
-      (fun (_, a) -> a.Engine.samples = a.Engine.contained)
-      r.Engine.per_algo
-  in
-  Format.printf "@.all intervals contained the true source time: %b@." sound
+  Ex_common.print_node_resources r;
+  Format.printf "@.all intervals contained the true source time: %b@."
+    (Ex_common.all_contained m)

@@ -33,30 +33,10 @@ let () =
     "3 clients around a source; burst while cristian width > %gs; accept rtt <= %gs@."
     (Q.to_float width_target)
     (Q.to_float (Scenario.ms 8));
-  let r = Engine.run scenario in
-  Format.printf "@.%d probes sent over %s time units@." r.Engine.messages_sent
+  let r, m = Ex_common.run scenario in
+  Format.printf "@.%d probes sent over %s time units@." (Metrics.sends m)
     (Q.to_string r.Engine.rt_end);
-
-  let opt = List.assoc "optimal" r.Engine.per_algo in
-  let cri = List.assoc "cristian" r.Engine.per_algo in
-  Table.print
-    ~header:[ "algorithm"; "samples"; "contained"; "mean width"; "max width" ]
-    [
-      [
-        "optimal";
-        string_of_int opt.Engine.samples;
-        string_of_int opt.Engine.contained;
-        Table.fq opt.Engine.mean_width;
-        Table.fq opt.Engine.max_width;
-      ];
-      [
-        "cristian";
-        string_of_int cri.Engine.samples;
-        string_of_int cri.Engine.contained;
-        Table.fq cri.Engine.mean_width;
-        Table.fq cri.Engine.max_width;
-      ];
-    ];
+  Ex_common.print_algo_table m;
   Format.printf
     "@.width over time at the sampled nodes (first 10 series points):@.";
   List.iteri

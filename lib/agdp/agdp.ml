@@ -16,13 +16,14 @@ type t = {
   mutable count : int;
   mutable relax_count : int;
   mutable peak : int;
+  sink : Trace.sink; (* Oracle_insert / Oracle_gc events *)
 }
 
 let initial_capacity = 8
 let inf = Q.sentinel
 let is_inf = Q.is_sentinel
 
-let create () =
+let create ?(sink = Trace.null) () =
   {
     d = Array.make (initial_capacity * initial_capacity) inf;
     cap = initial_capacity;
@@ -31,6 +32,7 @@ let create () =
     count = 0;
     relax_count = 0;
     peak = 0;
+    sink;
   }
 
 let mem t key = Hashtbl.mem t.slot_of key
@@ -151,7 +153,8 @@ let insert t ~key ~in_edges ~out_edges =
       done
     end
   done;
-  t.relax_count <- t.relax_count + !relaxed
+  t.relax_count <- t.relax_count + !relaxed;
+  Trace.emit t.sink (Trace.Oracle_insert { key; live = t.count })
 
 type snapshot = {
   s_keys : int array;
@@ -176,7 +179,7 @@ let snapshot t =
     s_peak = t.peak;
   }
 
-let restore s =
+let restore ?(sink = Trace.null) s =
   let count = Array.length s.s_keys in
   if Array.length s.s_dist <> count * count then
     invalid_arg "Agdp.restore: distance matrix size mismatch";
@@ -190,6 +193,7 @@ let restore s =
       count;
       relax_count = s.s_relaxations;
       peak = s.s_peak;
+      sink;
     }
   in
   Array.blit s.s_keys 0 t.keys 0 count;
@@ -226,4 +230,5 @@ let kill t key =
   done;
   t.keys.(last) <- -1;
   Hashtbl.remove t.slot_of key;
-  t.count <- last
+  t.count <- last;
+  Trace.emit t.sink (Trace.Oracle_gc { key; live = t.count })

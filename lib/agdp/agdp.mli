@@ -18,7 +18,10 @@ exception Negative_cycle
     negative-weight cycle (for synchronization graphs this means the view
     admits no execution). *)
 
-val create : unit -> t
+val create : ?sink:Trace.sink -> unit -> t
+(** [sink] receives an [Oracle_insert] event after every committed
+    insertion and an [Oracle_gc] event after every {!kill}, each carrying
+    the resulting live count (defaults to {!Trace.null}). *)
 
 val insert :
   t ->
@@ -82,4 +85,4 @@ type snapshot = {
 }
 
 val snapshot : t -> snapshot
-val restore : snapshot -> t
+val restore : ?sink:Trace.sink -> snapshot -> t

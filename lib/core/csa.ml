@@ -2,7 +2,8 @@ type t = {
   spec : System_spec.t;
   me : Event.proc;
   hist : History.t;
-  agdp : Agdp.t;
+  oracle : Distance_oracle.t;
+  sink : Trace.sink; (* liveness-change events *)
   last_known : Event.t option array; (* per processor: newest event known *)
   pending : (int, Event.t) Hashtbl.t; (* msg id -> live send event *)
   known_lost : (int, unit) Hashtbl.t; (* messages flagged lost (Sec 3.3) *)
@@ -15,11 +16,12 @@ type t = {
 let me t = t.me
 let spec t = t.spec
 let last_lt t = t.last_lt
-let live_count t = Agdp.size t.agdp
+let live_count t = Distance_oracle.size t.oracle
 let peak_live_count t = t.peak_live
 let history_size t = History.h_size t.hist
 let peak_history_size t = History.peak_h_size t.hist
-let agdp_relaxations t = Agdp.relaxations t.agdp
+let oracle_relaxations t = Distance_oracle.relaxations t.oracle
+let oracle_name t = Distance_oracle.name t.oracle
 let events_processed t = t.processed
 let events_reported t = History.events_reported t.hist
 let known_upto t w = History.known_upto t.hist w
@@ -32,9 +34,10 @@ let id_of t key =
   let n = System_spec.n t.spec in
   { Event.proc = key mod n; seq = key / n }
 
-let live_event_ids t = List.map (id_of t) (Agdp.live_keys t.agdp)
+let live_event_ids t = List.map (id_of t) (Distance_oracle.live_keys t.oracle)
 
-let dist_between t a b = Agdp.dist t.agdp (key_of t a) (key_of t b)
+let dist_between t a b =
+  Distance_oracle.dist t.oracle (key_of t a) (key_of t b)
 
 let is_last_known t (e : Event.t) =
   match t.last_known.(Event.loc e) with
@@ -87,12 +90,13 @@ let insert_event t (e : Event.t) =
         else (ins, outs))
       ([], []) edges
   in
-  Agdp.insert t.agdp ~key:(key_of t e.id) ~in_edges ~out_edges;
+  Distance_oracle.insert t.oracle ~key:(key_of t e.id) ~in_edges ~out_edges;
   t.processed <- t.processed + 1;
   (* Liveness updates (Definition 3.1): *)
   (* 1. the predecessor stops being the last point of its processor *)
   (match prev with
-  | Some p when not (is_pending_send t p) -> Agdp.kill t.agdp (key_of t p.id)
+  | Some p when not (is_pending_send t p) ->
+    Distance_oracle.kill t.oracle (key_of t p.id)
   | _ -> ());
   (* 2. a receive closes its message: the send is no longer pending *)
   (match e.kind with
@@ -100,7 +104,8 @@ let insert_event t (e : Event.t) =
     (match Hashtbl.find_opt t.pending msg with
     | Some s ->
       Hashtbl.remove t.pending msg;
-      if not (is_last_known t s) then Agdp.kill t.agdp (key_of t s.id)
+      if not (is_last_known t s) then
+        Distance_oracle.kill t.oracle (key_of t s.id)
     | None -> ())
   | _ -> ());
   (* 3. a send becomes pending — unless already flagged lost (Sec 3.3) *)
@@ -109,10 +114,24 @@ let insert_event t (e : Event.t) =
     if not (Hashtbl.mem t.known_lost msg) then Hashtbl.replace t.pending msg e
   | _ -> ());
   t.last_known.(Event.loc e) <- Some e;
-  let l = Agdp.size t.agdp in
-  if l > t.peak_live then t.peak_live <- l
+  let l = Distance_oracle.size t.oracle in
+  if l > t.peak_live then t.peak_live <- l;
+  Trace.emit t.sink (Trace.Liveness { node = t.me; live = l })
 
-let create ?(lossy = false) spec ~me ~lt0 =
+(* Default oracle choice: the paper's incremental structure, wrapped in
+   the Floyd–Warshall cross-check when [validate] is on. *)
+let default_impl ~validate ~sink =
+  let primary = Distance_oracle.agdp ~sink () in
+  if validate then
+    Distance_oracle.checked ~primary
+      ~reference:(Distance_oracle.floyd_warshall ())
+  else primary
+
+let create ?(lossy = false) ?(validate = false) ?(sink = Trace.null) ?oracle
+    spec ~me ~lt0 =
+  let impl =
+    match oracle with Some i -> i | None -> default_impl ~validate ~sink
+  in
   let t =
     {
       spec;
@@ -121,7 +140,8 @@ let create ?(lossy = false) spec ~me ~lt0 =
         History.create ~n_procs:(System_spec.n spec) ~me
           ~neighbors:(System_spec.neighbors spec me)
           ~lossy ();
-      agdp = Agdp.create ();
+      oracle = Distance_oracle.create impl;
+      sink;
       last_known = Array.make (System_spec.n spec) None;
       pending = Hashtbl.create 16;
       known_lost = Hashtbl.create 4;
@@ -181,7 +201,11 @@ let on_msg_lost t ~msg =
   match Hashtbl.find_opt t.pending msg with
   | Some s ->
     Hashtbl.remove t.pending msg;
-    if not (is_last_known t s) then Agdp.kill t.agdp (key_of t s.id)
+    if not (is_last_known t s) then begin
+      Distance_oracle.kill t.oracle (key_of t s.id);
+      Trace.emit t.sink
+        (Trace.Liveness { node = t.me; live = Distance_oracle.size t.oracle })
+    end
   | None -> ()
 
 (* --- persistence ---------------------------------------------------- *)
@@ -290,8 +314,10 @@ let snapshot t =
     hs.History.s_inflight;
   Codec.add_varint buf hs.History.s_peak;
   Codec.add_varint buf hs.History.s_reported;
-  (* agdp: the snapshot matrix is already flat row-major, count × count *)
-  let gs = Agdp.snapshot t.agdp in
+  (* oracle: the snapshot matrix is already flat row-major, count × count.
+     The wire format predates the oracle seam and is unchanged: any
+     implementation serializes to the same live-pair matrix. *)
+  let gs = Distance_oracle.snapshot t.oracle in
   Codec.add_varint buf (Array.length gs.Agdp.s_keys);
   Array.iter (Codec.add_varint buf) gs.Agdp.s_keys;
   Array.iter (add_ext buf) gs.Agdp.s_dist;
@@ -299,7 +325,7 @@ let snapshot t =
   Codec.add_varint buf gs.Agdp.s_peak;
   Buffer.contents buf
 
-let restore spec blob =
+let restore ?(validate = false) ?(sink = Trace.null) ?oracle spec blob =
   let r = Codec.reader_of_string blob in
   if Codec.read_varint r <> snapshot_version then
     failwith "Csa.restore: unsupported snapshot version";
@@ -394,15 +420,19 @@ let restore spec blob =
   let s_relaxations = Codec.read_varint r in
   let s_peak_agdp = Codec.read_varint r in
   if not (Codec.at_end r) then failwith "Csa.restore: trailing bytes";
-  let agdp =
-    Agdp.restore
+  let impl =
+    match oracle with Some i -> i | None -> default_impl ~validate ~sink
+  in
+  let oracle =
+    Distance_oracle.restore impl
       { Agdp.s_keys; s_dist; s_relaxations; s_peak = s_peak_agdp }
   in
   {
     spec;
     me;
     hist;
-    agdp;
+    oracle;
+    sink;
     last_known;
     pending;
     known_lost;
@@ -419,8 +449,8 @@ let estimate_at t ~lt =
   match t.last_known.(System_spec.source t.spec), t.last_known.(t.me) with
   | None, _ | _, None -> Interval.full
   | Some sp, Some p ->
-    let d_p_sp = Agdp.dist t.agdp (key_of t p.id) (key_of t sp.id) in
-    let d_sp_p = Agdp.dist t.agdp (key_of t sp.id) (key_of t p.id) in
+    let d_p_sp = Distance_oracle.dist t.oracle (key_of t p.id) (key_of t sp.id) in
+    let d_sp_p = Distance_oracle.dist t.oracle (key_of t sp.id) (key_of t p.id) in
     let drift = System_spec.drift t.spec t.me in
     let elapsed = Q.sub lt p.lt in
     let lo =
@@ -453,8 +483,12 @@ let peer_clock_bounds t w =
     match t.last_known.(w), t.last_known.(t.me) with
     | None, _ | _, None -> Interval.full
     | Some q_ev, Some p_ev ->
-      let d_pq = Agdp.dist t.agdp (key_of t p_ev.id) (key_of t q_ev.id) in
-      let d_qp = Agdp.dist t.agdp (key_of t q_ev.id) (key_of t p_ev.id) in
+      let d_pq =
+        Distance_oracle.dist t.oracle (key_of t p_ev.id) (key_of t q_ev.id)
+      in
+      let d_qp =
+        Distance_oracle.dist t.oracle (key_of t q_ev.id) (key_of t p_ev.id)
+      in
       let vd = Q.sub p_ev.lt q_ev.lt in
       let drift_w = System_spec.drift t.spec w in
       let lo =

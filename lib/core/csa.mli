@@ -9,9 +9,10 @@
     Internally it composes:
     - the full-information propagation protocol (Lemma 3.1–3.3): at every
       point the processor knows exactly its local view of the execution;
-    - the AGDP structure (Lemma 3.4–3.5): exact synchronization-graph
+    - a {!Distance_oracle} (Lemma 3.4–3.5): exact synchronization-graph
       distances between the {e live} points of that view, garbage-collected
-      in [O(L²)];
+      per Definition 3.1 — this layer only ever speaks to the oracle
+      signature, never to a concrete implementation;
     and answers with [ext_L = LT(p) − d(sp, p)], [ext_U = LT(p) + d(p, sp)]
     (Theorem 2.1), which is optimal: no algorithm can output a smaller
     interval on any indistinguishable execution.
@@ -20,11 +21,27 @@
 
 type t
 
-val create : ?lossy:bool -> System_spec.t -> me:Event.proc -> lt0:Q.t -> t
+val create :
+  ?lossy:bool ->
+  ?validate:bool ->
+  ?sink:Trace.sink ->
+  ?oracle:Distance_oracle.impl ->
+  System_spec.t ->
+  me:Event.proc ->
+  lt0:Q.t ->
+  t
 (** Boot the processor: records its [Init] event at local time [lt0].
     [lossy] enables the retransmission bookkeeping of Section 3.3 (the
     loss-detection hooks then require that every message is eventually
-    reported delivered or lost). *)
+    reported delivered or lost).
+
+    [oracle] selects the distance-oracle implementation (default:
+    {!Distance_oracle.agdp}).  [validate] wraps the default in
+    {!Distance_oracle.checked} against the naive Floyd–Warshall reference,
+    failing hard on any divergence ([validate] is ignored when [oracle] is
+    given explicitly).  [sink] receives [Liveness] events on every
+    live-set change plus whatever the oracle emits (defaults to
+    {!Trace.null}). *)
 
 val me : t -> Event.proc
 val spec : t -> System_spec.t
@@ -78,14 +95,22 @@ val live_count : t -> int
 val peak_live_count : t -> int
 val history_size : t -> int
 val peak_history_size : t -> int
-val agdp_relaxations : t -> int
+
+val oracle_relaxations : t -> int
+(** The distance oracle's cumulative relaxation count (its
+    machine-independent work measure; see
+    {!Distance_oracle.S.relaxations}). *)
+
+val oracle_name : t -> string
+(** Which oracle implementation this instance runs on. *)
+
 val events_processed : t -> int
 val events_reported : t -> int
 val live_event_ids : t -> Event.id list
 val known_upto : t -> Event.proc -> int
 
 val dist_between : t -> Event.id -> Event.id -> Ext.t
-(** Distance between two live points in this processor's AGDP graph
+(** Distance between two live points in this processor's oracle graph
     (test hook for the Lemma 3.4 invariant).
     @raise Invalid_argument when either point is not live. *)
 
@@ -100,5 +125,15 @@ val dist_between : t -> Event.id -> Event.id -> Ext.t
 
 val snapshot : t -> string
 
-val restore : System_spec.t -> string -> t
-(** @raise Failure on malformed input. *)
+val restore :
+  ?validate:bool ->
+  ?sink:Trace.sink ->
+  ?oracle:Distance_oracle.impl ->
+  System_spec.t ->
+  string ->
+  t
+(** The optional arguments choose the runtime wiring of the revived
+    instance exactly as in {!create} (they are not part of the serialized
+    state); a snapshot taken on one oracle implementation may be restored
+    onto another.
+    @raise Failure on malformed input. *)

@@ -1,0 +1,153 @@
+exception Negative_cycle = Agdp.Negative_cycle
+
+type snapshot = Agdp.snapshot = {
+  s_keys : int array;
+  s_dist : Ext.t array;
+  s_relaxations : int;
+  s_peak : int;
+}
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : unit -> t
+
+  val insert :
+    t -> key:int -> in_edges:(int * Q.t) list -> out_edges:(int * Q.t) list ->
+    unit
+
+  val kill : t -> int -> unit
+  val mem : t -> int -> bool
+  val dist : t -> int -> int -> Ext.t
+  val size : t -> int
+  val live_keys : t -> int list
+  val relaxations : t -> int
+  val peak_size : t -> int
+  val snapshot : t -> snapshot
+  val restore : snapshot -> t
+end
+
+type impl = (module S)
+type t = Packed : (module S with type t = 'a) * 'a -> t
+
+let agdp ?sink () : impl =
+  (module struct
+    include Agdp
+
+    let name = "agdp"
+    let create () = Agdp.create ?sink ()
+    let restore s = Agdp.restore ?sink s
+  end)
+
+let floyd_warshall () : impl =
+  (module struct
+    include Fw_oracle
+
+    let name = "floyd-warshall"
+  end)
+
+(* The cross-checking decorator.  Both implementations see every
+   mutation; after each, and on restore, the full observable state —
+   live set and all live-pair distances — is compared.  Divergence is a
+   bug in one of the implementations (in validate mode, almost certainly
+   the optimized one), so it fails hard rather than limping on. *)
+let checked ~primary ~reference : impl =
+  let module P = (val primary : S) in
+  let module R = (val reference : S) in
+  (module struct
+    type t = P.t * R.t
+
+    let name = Printf.sprintf "checked(%s;%s)" P.name R.name
+
+    let fail fmt =
+      Printf.ksprintf
+        (fun msg ->
+          failwith
+            (Printf.sprintf "Distance_oracle.checked: %s vs %s: %s" P.name
+               R.name msg))
+        fmt
+
+    let verify (p, r) =
+      let keys = P.live_keys p and rkeys = R.live_keys r in
+      if keys <> rkeys then
+        fail "live sets differ (%d vs %d keys)" (List.length keys)
+          (List.length rkeys);
+      List.iter
+        (fun x ->
+          List.iter
+            (fun y ->
+              let dp = P.dist p x y and dr = R.dist r x y in
+              if not (Ext.equal dp dr) then
+                fail "dist %d -> %d: %s vs %s" x y (Ext.to_string dp)
+                  (Ext.to_string dr))
+            keys)
+        keys
+
+    let create () = (P.create (), R.create ())
+
+    (* Run the same mutation on both sides; they must agree on whether it
+       is accepted, and on which of the two contract exceptions rejects
+       it.  An accepted mutation is followed by a full state check. *)
+    let mirror op_name fp fr ((p, r) as t) =
+      let attempt f x = try Ok (f x) with e -> Error e in
+      match (attempt fp p, attempt fr r) with
+      | Ok (), Ok () -> verify t
+      | Error Negative_cycle, Error Negative_cycle -> raise Negative_cycle
+      | Error (Invalid_argument m), Error (Invalid_argument _) ->
+        raise (Invalid_argument m)
+      | Error e, Error e' ->
+        fail "%s: mismatched exceptions %s vs %s" op_name
+          (Printexc.to_string e) (Printexc.to_string e')
+      | Error e, Ok () ->
+        fail "%s: only %s rejected (%s)" op_name P.name
+          (Printexc.to_string e)
+      | Ok (), Error e ->
+        fail "%s: only %s rejected (%s)" op_name R.name
+          (Printexc.to_string e)
+
+    let insert t ~key ~in_edges ~out_edges =
+      mirror "insert"
+        (fun p -> P.insert p ~key ~in_edges ~out_edges)
+        (fun r -> R.insert r ~key ~in_edges ~out_edges)
+        t
+
+    let kill t key =
+      mirror "kill" (fun p -> P.kill p key) (fun r -> R.kill r key) t
+
+    let mem (p, _) key = P.mem p key
+
+    let dist (p, r) x y =
+      let dp = P.dist p x y and dr = R.dist r x y in
+      if not (Ext.equal dp dr) then
+        fail "dist %d -> %d: %s vs %s" x y (Ext.to_string dp)
+          (Ext.to_string dr);
+      dp
+
+    let size (p, _) = P.size p
+    let live_keys (p, _) = P.live_keys p
+    let relaxations (p, _) = P.relaxations p
+    let peak_size (p, _) = P.peak_size p
+    let snapshot (p, _) = P.snapshot p
+
+    let restore s =
+      let t = (P.restore s, R.restore s) in
+      verify t;
+      t
+  end)
+
+let create (module M : S) = Packed ((module M), M.create ())
+let restore (module M : S) s = Packed ((module M), M.restore s)
+let name (Packed ((module M), _)) = M.name
+
+let insert (Packed ((module M), o)) ~key ~in_edges ~out_edges =
+  M.insert o ~key ~in_edges ~out_edges
+
+let kill (Packed ((module M), o)) key = M.kill o key
+let mem (Packed ((module M), o)) key = M.mem o key
+let dist (Packed ((module M), o)) x y = M.dist o x y
+let size (Packed ((module M), o)) = M.size o
+let live_keys (Packed ((module M), o)) = M.live_keys o
+let relaxations (Packed ((module M), o)) = M.relaxations o
+let peak_size (Packed ((module M), o)) = M.peak_size o
+let snapshot (Packed ((module M), o)) = M.snapshot o

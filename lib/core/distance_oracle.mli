@@ -1,0 +1,104 @@
+(** The distance-oracle seam of the CSA stack.
+
+    Section 3.2 of the paper specifies the Accumulated Graph Distance
+    Problem abstractly: insert a node with edges to/from live nodes, kill
+    nodes, query exact accumulated-graph distances between live nodes.
+    {!Csa} consumes exactly this signature — it never sees a concrete
+    implementation type — so alternative backends (sharded, approximate,
+    remote) can be swapped in without touching the synchronization layer.
+
+    Two implementations ship:
+    - {!agdp}: the paper's efficient incremental structure (Lemma 3.4/3.5,
+      [O(L²)] per insert) — the default;
+    - {!floyd_warshall}: a naive reference that keeps the entire
+      accumulated graph (dead nodes included) and recomputes all-pairs
+      distances from scratch — obviously correct, asymptotically worse.
+
+    {!checked} glues a primary to a reference implementation and fails
+    loudly on any divergence; {!Csa.create}'s [~validate] flag uses it to
+    cross-check {!agdp} against {!floyd_warshall} on live executions. *)
+
+exception Negative_cycle
+(** Raised by [insert] when the accumulated graph acquires a
+    negative-weight cycle (the view admits no execution).  The same
+    exception as {!Agdp.Negative_cycle}. *)
+
+(** Serialized state: live keys and their row-major distance matrix.
+    By Lemma 3.4 the live-pair distances determine all future answers, so
+    this is a complete checkpoint for {e any} implementation; every
+    implementation must accept a snapshot produced by any other. *)
+type snapshot = Agdp.snapshot = {
+  s_keys : int array;  (** live keys in slot order *)
+  s_dist : Ext.t array;  (** row-major [count × count] distances *)
+  s_relaxations : int;
+  s_peak : int;
+}
+
+(** What an implementation provides; semantics follow {!Agdp} (including
+    exception safety of a failed [insert]). *)
+module type S = sig
+  type t
+
+  val name : string
+  val create : unit -> t
+
+  val insert :
+    t -> key:int -> in_edges:(int * Q.t) list -> out_edges:(int * Q.t) list ->
+    unit
+  (** @raise Invalid_argument on duplicate keys, self-loops, or
+      dead/unknown endpoints.
+      @raise Negative_cycle when the insertion would create one; the
+      structure is left unchanged. *)
+
+  val kill : t -> int -> unit
+  val mem : t -> int -> bool
+  val dist : t -> int -> int -> Ext.t
+  val size : t -> int
+  val live_keys : t -> int list
+  (** Sorted ascending. *)
+
+  val relaxations : t -> int
+  val peak_size : t -> int
+  val snapshot : t -> snapshot
+  val restore : snapshot -> t
+end
+
+type impl = (module S)
+(** A constructor for oracle instances (pass to {!Csa.create}). *)
+
+type t
+(** A running oracle instance (implementation type hidden). *)
+
+(** {1 Implementations} *)
+
+val agdp : ?sink:Trace.sink -> unit -> impl
+(** The efficient incremental structure of the paper ({!Agdp}). *)
+
+val floyd_warshall : unit -> impl
+(** Naive recomputation over the full accumulated graph; [relaxations]
+    counts the [n³] Floyd–Warshall cell relaxations of each recompute. *)
+
+val checked : primary:impl -> reference:impl -> impl
+(** Every mutation is mirrored to both; after each, live sets and all
+    live-pair distances are compared, and every [dist] query is answered
+    by both.  [snapshot] is the primary's; [restore] seeds both from it.
+    @raise Failure on any divergence. *)
+
+(** {1 Instance operations} *)
+
+val create : impl -> t
+val restore : impl -> snapshot -> t
+val name : t -> string
+
+val insert :
+  t -> key:int -> in_edges:(int * Q.t) list -> out_edges:(int * Q.t) list ->
+  unit
+
+val kill : t -> int -> unit
+val mem : t -> int -> bool
+val dist : t -> int -> int -> Ext.t
+val size : t -> int
+val live_keys : t -> int list
+val relaxations : t -> int
+val peak_size : t -> int
+val snapshot : t -> snapshot

@@ -72,6 +72,41 @@ let to_string v =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
+(* compact single-line rendering, for JSONL streams where one value must
+   occupy exactly one line *)
+let rec add_compact buf v =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    else Buffer.add_string buf "null"
+  | Str s -> add_string buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_compact buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_string buf k;
+        Buffer.add_char buf ':';
+        add_compact buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_line v =
+  let buf = Buffer.create 256 in
+  add_compact buf v;
+  Buffer.contents buf
+
 let write path v =
   let oc = open_out path in
   Fun.protect

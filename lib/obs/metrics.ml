@@ -1,0 +1,160 @@
+type algo_stats = {
+  samples : int;
+  contained : int;
+  finite : int;
+  mean_width : float;
+  max_width : float;
+}
+
+type acc = {
+  mutable n : int;
+  mutable contained_n : int;
+  mutable finite_n : int;
+  mutable width_sum : float;
+  mutable width_max : float;
+}
+
+type t = {
+  mutable sends : int;
+  mutable receives : int;
+  mutable losses : int;
+  mutable payload_events_total : int;
+  mutable payload_events_max : int;
+  mutable payload_bytes_total : int;
+  mutable validation_checks : int;
+  mutable validation_failures : int;
+  mutable soundness_failures : int;
+  mutable liveness_peak : int;
+  mutable oracle_inserts : int;
+  mutable oracle_gcs : int;
+  algos : (string, acc) Hashtbl.t;
+  mutable algo_order : string list; (* first-appearance order, reversed *)
+}
+
+let create () =
+  {
+    sends = 0;
+    receives = 0;
+    losses = 0;
+    payload_events_total = 0;
+    payload_events_max = 0;
+    payload_bytes_total = 0;
+    validation_checks = 0;
+    validation_failures = 0;
+    soundness_failures = 0;
+    liveness_peak = 0;
+    oracle_inserts = 0;
+    oracle_gcs = 0;
+    algos = Hashtbl.create 8;
+    algo_order = [];
+  }
+
+let acc t name =
+  match Hashtbl.find_opt t.algos name with
+  | Some a -> a
+  | None ->
+    let a =
+      { n = 0; contained_n = 0; finite_n = 0; width_sum = 0.; width_max = 0. }
+    in
+    Hashtbl.replace t.algos name a;
+    t.algo_order <- name :: t.algo_order;
+    a
+
+let on_event t (ev : Trace.event) =
+  match ev with
+  | Trace.Send { events; bytes; _ } ->
+    t.sends <- t.sends + 1;
+    t.payload_events_total <- t.payload_events_total + events;
+    if events > t.payload_events_max then t.payload_events_max <- events;
+    t.payload_bytes_total <- t.payload_bytes_total + bytes
+  | Trace.Receive _ -> t.receives <- t.receives + 1
+  | Trace.Lost _ -> t.losses <- t.losses + 1
+  | Trace.Estimate { algo; width; contained; _ } ->
+    let a = acc t algo in
+    a.n <- a.n + 1;
+    if contained then a.contained_n <- a.contained_n + 1
+    else if algo = "optimal" then
+      t.soundness_failures <- t.soundness_failures + 1;
+    if Float.is_finite width then begin
+      a.finite_n <- a.finite_n + 1;
+      a.width_sum <- a.width_sum +. width;
+      if width > a.width_max then a.width_max <- width
+    end
+  | Trace.Validation { ok; _ } ->
+    t.validation_checks <- t.validation_checks + 1;
+    if not ok then t.validation_failures <- t.validation_failures + 1
+  | Trace.Liveness { live; _ } ->
+    if live > t.liveness_peak then t.liveness_peak <- live
+  | Trace.Oracle_insert _ -> t.oracle_inserts <- t.oracle_inserts + 1
+  | Trace.Oracle_gc _ -> t.oracle_gcs <- t.oracle_gcs + 1
+
+module Sink = struct
+  type nonrec t = t
+
+  let emit = on_event
+end
+
+let sink t = Trace.Sink ((module Sink), t)
+
+let sends t = t.sends
+let receives t = t.receives
+let losses t = t.losses
+let payload_events_total t = t.payload_events_total
+let payload_events_max t = t.payload_events_max
+let payload_bytes_total t = t.payload_bytes_total
+let validation_checks t = t.validation_checks
+let validation_failures t = t.validation_failures
+let soundness_failures t = t.soundness_failures
+let liveness_peak t = t.liveness_peak
+let oracle_inserts t = t.oracle_inserts
+let oracle_gcs t = t.oracle_gcs
+let algo_names t = List.rev t.algo_order
+
+let algo_stats t name =
+  match Hashtbl.find_opt t.algos name with
+  | None ->
+    { samples = 0; contained = 0; finite = 0; mean_width = nan; max_width = 0. }
+  | Some a ->
+    {
+      samples = a.n;
+      contained = a.contained_n;
+      finite = a.finite_n;
+      mean_width =
+        (if a.finite_n = 0 then nan
+         else a.width_sum /. float_of_int a.finite_n);
+      max_width = a.width_max;
+    }
+
+let summary_json t =
+  let module J = Json_out in
+  J.Obj
+    [
+      ("event", J.Str "summary");
+      ("sends", J.Int t.sends);
+      ("receives", J.Int t.receives);
+      ("losses", J.Int t.losses);
+      ("payload_events_total", J.Int t.payload_events_total);
+      ("payload_events_max", J.Int t.payload_events_max);
+      ("payload_bytes_total", J.Int t.payload_bytes_total);
+      ("validation_checks", J.Int t.validation_checks);
+      ("validation_failures", J.Int t.validation_failures);
+      ("soundness_failures", J.Int t.soundness_failures);
+      ("liveness_peak", J.Int t.liveness_peak);
+      ("oracle_inserts", J.Int t.oracle_inserts);
+      ("oracle_gcs", J.Int t.oracle_gcs);
+      ( "algos",
+        J.Obj
+          (List.map
+             (fun name ->
+               let a = algo_stats t name in
+               ( name,
+                 J.Obj
+                   [
+                     ("samples", J.Int a.samples);
+                     ("contained", J.Int a.contained);
+                     ("finite", J.Int a.finite);
+                     ("mean_width", J.Float a.mean_width);
+                     ("max_width", J.Float a.max_width);
+                   ] ))
+             (algo_names t)) );
+    ]

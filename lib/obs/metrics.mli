@@ -1,0 +1,57 @@
+(** Aggregating trace sink: the single metrics source for a run.
+
+    Attach {!sink} to a trace stream and every counter the simulator (or a
+    hand-driven harness) used to tally ad hoc becomes a fold over the
+    event stream: message counts, payload sizes, per-algorithm accuracy
+    statistics, validation outcomes, peak liveness.  {!Engine.run} builds
+    its {!Engine.result} from exactly these aggregates, so an external
+    consumer teeing its own [Metrics.t] onto the same stream is guaranteed
+    to reproduce the engine's numbers. *)
+
+type algo_stats = {
+  samples : int;  (** estimate samples recorded *)
+  contained : int;  (** samples whose interval contained the true time *)
+  finite : int;  (** samples with a finite-width interval *)
+  mean_width : float;  (** mean over finite samples; [nan] when none *)
+  max_width : float;
+}
+
+type t
+
+val create : unit -> t
+
+val sink : t -> Trace.sink
+(** The counting sink feeding this aggregate. *)
+
+(** {1 Aggregates} *)
+
+val sends : t -> int
+val receives : t -> int
+val losses : t -> int
+
+val payload_events_total : t -> int
+val payload_events_max : t -> int
+val payload_bytes_total : t -> int
+
+val algo_names : t -> string list
+(** Algorithms seen in [Estimate] events, in first-appearance order. *)
+
+val algo_stats : t -> string -> algo_stats
+(** All-zero stats for an algorithm never seen. *)
+
+val validation_checks : t -> int
+val validation_failures : t -> int
+
+val soundness_failures : t -> int
+(** ["optimal"] estimates that did not contain the true source time
+    (tracked independently of validation; must stay 0). *)
+
+val liveness_peak : t -> int
+(** Largest live-point count reported by any node. *)
+
+val oracle_inserts : t -> int
+val oracle_gcs : t -> int
+
+val summary_json : t -> Json_out.t
+(** One object with every aggregate above — the trailer record a JSONL
+    trace ends with (see DESIGN.md, "Trace schema"). *)

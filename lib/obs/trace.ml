@@ -1,0 +1,107 @@
+type event =
+  | Send of {
+      t : float;
+      src : int;
+      dst : int;
+      msg : int;
+      events : int;
+      bytes : int;
+    }
+  | Receive of { t : float; src : int; dst : int; msg : int }
+  | Lost of { t : float; msg : int }
+  | Estimate of {
+      t : float;
+      node : int;
+      algo : string;
+      width : float;
+      contained : bool;
+    }
+  | Validation of { t : float; node : int; ok : bool }
+  | Liveness of { node : int; live : int }
+  | Oracle_insert of { key : int; live : int }
+  | Oracle_gc of { key : int; live : int }
+
+module type SINK = sig
+  type t
+
+  val emit : t -> event -> unit
+end
+
+type sink = Sink : (module SINK with type t = 'a) * 'a -> sink
+
+let emit (Sink ((module S), s)) ev = S.emit s ev
+
+module Null = struct
+  type t = unit
+
+  let emit () _ = ()
+end
+
+let null = Sink ((module Null), ())
+
+module Tee = struct
+  type t = sink * sink
+
+  let emit (a, b) ev =
+    emit a ev;
+    emit b ev
+end
+
+let tee a b = Sink ((module Tee), (a, b))
+
+module Callback = struct
+  type t = event -> unit
+
+  let emit f ev = f ev
+end
+
+let callback f = Sink ((module Callback), f)
+
+let label = function
+  | Send _ -> "send"
+  | Receive _ -> "receive"
+  | Lost _ -> "lost"
+  | Estimate _ -> "estimate"
+  | Validation _ -> "validation"
+  | Liveness _ -> "liveness"
+  | Oracle_insert _ -> "oracle_insert"
+  | Oracle_gc _ -> "oracle_gc"
+
+let json_of_event ev =
+  let module J = Json_out in
+  let fields =
+    match ev with
+    | Send { t; src; dst; msg; events; bytes } ->
+      [
+        ("t", J.Float t); ("src", J.Int src); ("dst", J.Int dst);
+        ("msg", J.Int msg); ("events", J.Int events); ("bytes", J.Int bytes);
+      ]
+    | Receive { t; src; dst; msg } ->
+      [
+        ("t", J.Float t); ("src", J.Int src); ("dst", J.Int dst);
+        ("msg", J.Int msg);
+      ]
+    | Lost { t; msg } -> [ ("t", J.Float t); ("msg", J.Int msg) ]
+    | Estimate { t; node; algo; width; contained } ->
+      [
+        ("t", J.Float t); ("node", J.Int node); ("algo", J.Str algo);
+        ("width", J.Float width); ("contained", J.Bool contained);
+      ]
+    | Validation { t; node; ok } ->
+      [ ("t", J.Float t); ("node", J.Int node); ("ok", J.Bool ok) ]
+    | Liveness { node; live } -> [ ("node", J.Int node); ("live", J.Int live) ]
+    | Oracle_insert { key; live } ->
+      [ ("key", J.Int key); ("live", J.Int live) ]
+    | Oracle_gc { key; live } -> [ ("key", J.Int key); ("live", J.Int live) ]
+  in
+  J.Obj (("event", J.Str (label ev)) :: fields)
+
+module Jsonl = struct
+  type t = out_channel
+
+  let emit oc ev =
+    output_string oc (Json_out.to_line (json_of_event ev));
+    output_char oc '\n'
+end
+
+let jsonl oc = Sink ((module Jsonl), oc)

@@ -1,0 +1,76 @@
+(** Structured trace layer: one stream of typed events for every run.
+
+    The paper's stack is layered (Figure 1: send module, full-information
+    propagation, AGDP); this module gives each layer one place to report
+    what it did.  Producers ({!Csa}, {!Agdp}, {!Engine}) emit {!event}
+    values into a {!sink}; consumers pick a sink: {!null} (discard),
+    {!Metrics} (aggregate counters — the single source of the engine's
+    summary numbers), or {!jsonl} (machine-readable log, one JSON object
+    per line; schema documented in DESIGN.md, "Trace schema").
+
+    Timestamps are simulated real time as floats ([nan] when the producer
+    has no clock, e.g. the distance oracle).  Processors are plain ints.
+    The module depends on nothing but the standard library so every layer
+    can use it without dependency cycles. *)
+
+type event =
+  | Send of {
+      t : float;
+      src : int;
+      dst : int;
+      msg : int;
+      events : int;  (** payload size in events *)
+      bytes : int;  (** Codec-encoded payload size on the wire *)
+    }
+  | Receive of { t : float; src : int; dst : int; msg : int }
+  | Lost of { t : float; msg : int }
+      (** emitted when the loss oracle decides the fate at send time *)
+  | Estimate of {
+      t : float;
+      node : int;
+      algo : string;
+      width : float;  (** [infinity] when unbounded *)
+      contained : bool;  (** true source time inside the interval *)
+    }
+  | Validation of { t : float; node : int; ok : bool }
+      (** cross-check of the efficient estimate against the reference
+          algorithm (only emitted when validation is enabled) *)
+  | Liveness of { node : int; live : int }
+      (** live-point count of [node]'s view after an event insertion *)
+  | Oracle_insert of { key : int; live : int }
+  | Oracle_gc of { key : int; live : int }
+      (** distance-oracle node garbage-collected (Definition 3.1) *)
+
+(** Consumers implement this signature; {!sink} packs one with its
+    state. *)
+module type SINK = sig
+  type t
+
+  val emit : t -> event -> unit
+end
+
+type sink = Sink : (module SINK with type t = 'a) * 'a -> sink
+
+val emit : sink -> event -> unit
+
+val null : sink
+(** Discards everything (the default everywhere). *)
+
+val tee : sink -> sink -> sink
+(** [tee a b] forwards every event to [a] then [b]. *)
+
+val callback : (event -> unit) -> sink
+(** Arbitrary consumer from a closure (used by tests). *)
+
+val json_of_event : event -> Json_out.t
+(** The JSONL encoding of one event: an object with an ["event"]
+    discriminator field plus the event's payload fields. *)
+
+val jsonl : out_channel -> sink
+(** Writes each event as one JSON object per line.  The channel is not
+    closed by the sink; flush/close it after the run. *)
+
+val label : event -> string
+(** The ["event"] discriminator: ["send"], ["receive"], ["lost"],
+    ["estimate"], ["validation"], ["liveness"], ["oracle_insert"],
+    ["oracle_gc"]. *)

@@ -26,66 +26,49 @@ type result = {
   per_algo : (string * algo_summary) list;
   per_node : node_summary array;
   series : (float * (string * float) list) list;
-  validation_failures : int;
+  validation_failures : int option;
+  soundness_failures : int;
 }
 
 (* ------------------------------------------------------------------ *)
 
+(* The engine proper: a discrete-event scheduler over three seams — the
+   transport (link behaviour), the node runtimes (algorithm stacks), and
+   the trace sink (all counting).  It owns the agenda, the traffic
+   patterns, and the time series; every other number in [result] is an
+   aggregate of the event stream, accumulated by an internal [Metrics]
+   sink teed with the scenario's. *)
+
 type app = Request | Response | Token | Chat
 
-type envelope = {
-  wire : string; (* Codec-encoded payload: real wire format end to end *)
-  ntp_w : Ntp.wire option;
-  cris_w : Cristian.wire option;
-  app : app;
-}
-
-type node = {
-  proc : Event.proc;
-  clock : Clock.t;
-  csa : Csa.t;
-  mirror : Mirror.t option;
-  driftfree : Driftfree.t option;
-  ntp : Ntp.t option;
-  cristian : Cristian.t option;
-  parents : Event.proc list;
-}
-
 type sim_event =
-  | Deliver of { msg : int; src : Event.proc; dst : Event.proc; env : envelope }
+  | Deliver of {
+      msg : int;
+      src : Event.proc;
+      dst : Event.proc;
+      env : Node_rt.envelope;
+      app : app;
+    }
   | Lost_notify of { msg : int }
   | Poll of { p : Event.proc }
   | Gossip_tick
   | Token_send of { p : Event.proc }
   | Burst_check of { p : Event.proc }
 
-type stat_acc = {
-  mutable n : int;
-  mutable contained_n : int;
-  mutable finite_n : int;
-  mutable width_sum : float;
-  mutable width_max : float;
-}
-
 type state = {
   scenario : Scenario.t;
   rng : Rng.t;
-  nodes : node array;
+  nodes : Node_rt.t array;
+  transport : Transport.t;
+  metrics : Metrics.t;
+  trace : Trace.sink; (* metrics ∪ the scenario's sink *)
   agenda : sim_event Heap.t;
   mutable now : Q.t;
   mutable next_msg : int;
-  mutable messages_sent : int;
-  mutable messages_lost : int;
-  mutable payload_events_total : int;
-  mutable payload_events_max : int;
-  mutable payload_bytes_total : int;
-  last_delivery : (int, Q.t) Hashtbl.t; (* directed link key -> last arrival *)
-  stats : (string, stat_acc) Hashtbl.t;
   mutable series : (float * (string * float) list) list; (* newest first *)
   mutable series_n : int;
   mutable series_stride : int;
   mutable series_tick : int;
-  mutable validation_failures : int;
 }
 
 let algo_names st =
@@ -95,62 +78,34 @@ let algo_names st =
   @ (if st.scenario.Scenario.run_ntp then [ Ntp.name ] else [])
   @ if st.scenario.Scenario.run_cristian then [ Cristian.name ] else []
 
-let stat st name =
-  match Hashtbl.find_opt st.stats name with
-  | Some s -> s
-  | None ->
-    let s =
-      { n = 0; contained_n = 0; finite_n = 0; width_sum = 0.; width_max = 0. }
-    in
-    Hashtbl.replace st.stats name s;
-    s
-
-let link_key st u v = (u * System_spec.n st.scenario.Scenario.spec) + v
-
-let lt_now st node = Clock.lt_of_rt node.clock st.now
-
-(* estimates of all enabled algorithms at the node's current local time *)
-let estimates st node =
-  let lt = lt_now st node in
-  ("optimal", Csa.estimate_at node.csa ~lt)
-  :: List.filter_map Fun.id
-       [
-         Option.map
-           (fun df -> (Driftfree.name, Driftfree.estimate_at df ~lt))
-           node.driftfree;
-         Option.map (fun a -> (Ntp.name, Ntp.estimate_at a ~lt)) node.ntp;
-         Option.map
-           (fun a -> (Cristian.name, Cristian.estimate_at a ~lt))
-           node.cristian;
-       ]
+let lt_now st node = Node_rt.lt_at node ~rt:st.now
+let now_f st = Q.to_float st.now
 
 let float_width i =
   match Interval.width i with
   | Ext.Fin w -> Q.to_float w
   | Ext.Inf -> infinity
 
-let record_sample st node =
-  let ests = estimates st node in
+let record_sample st (node : Node_rt.t) =
+  let ests = Node_rt.estimates node ~lt:(lt_now st node) in
+  let t = now_f st in
   List.iter
-    (fun (name, interval) ->
-      let s = stat st name in
-      s.n <- s.n + 1;
-      if Interval.mem st.now interval then s.contained_n <- s.contained_n + 1
-      else if name = "optimal" then st.validation_failures <- st.validation_failures + 1;
-      match Interval.width interval with
-      | Ext.Fin w ->
-        let wf = Q.to_float w in
-        s.finite_n <- s.finite_n + 1;
-        s.width_sum <- s.width_sum +. wf;
-        if wf > s.width_max then s.width_max <- wf
-      | Ext.Inf -> ())
+    (fun (algo, interval) ->
+      Trace.emit st.trace
+        (Trace.Estimate
+           {
+             t;
+             node = node.Node_rt.proc;
+             algo;
+             width = float_width interval;
+             contained = Interval.mem st.now interval;
+           }))
     ests;
   (* subsampled time series *)
   st.series_tick <- st.series_tick + 1;
   if st.series_tick mod st.series_stride = 0 then begin
     st.series <-
-      (Q.to_float st.now, List.map (fun (n, i) -> (n, float_width i)) ests)
-      :: st.series;
+      (t, List.map (fun (n, i) -> (n, float_width i)) ests) :: st.series;
     st.series_n <- st.series_n + 1;
     if st.series_n > st.scenario.Scenario.series_cap then begin
       (* decimate: keep every other sample, double the stride *)
@@ -164,40 +119,15 @@ let record_sample st node =
     end
   end
 
-let validate st node =
+let validate st (node : Node_rt.t) =
   if st.scenario.Scenario.validate then
-    match node.mirror with
+    match Node_rt.validate node with
     | None -> ()
-    | Some mirror ->
-      let expected =
-        Reference.estimate st.scenario.Scenario.spec (Mirror.view mirror)
-          ~at:(Mirror.last_id mirror)
-      in
-      if not (Interval.equal expected (Csa.estimate node.csa)) then
-        st.validation_failures <- st.validation_failures + 1
+    | Some ok ->
+      Trace.emit st.trace
+        (Trace.Validation { t = now_f st; node = node.Node_rt.proc; ok })
 
 (* ------------------------------------------------------------------ *)
-
-let choose_delay st ~src ~dst =
-  let tr = System_spec.transit_exn st.scenario.Scenario.spec src dst in
-  let lo = tr.Transit.lo in
-  let cap_hi cap =
-    match tr.Transit.hi with
-    | Ext.Fin h -> Q.min h (Q.add lo cap)
-    | Ext.Inf -> Q.add lo cap
-  in
-  match st.scenario.Scenario.delay with
-  | `Min -> lo
-  | `Max -> (
-    match tr.Transit.hi with Ext.Fin h -> h | Ext.Inf -> Q.add lo Q.one)
-  | `Alternate ->
-    if st.messages_sent mod 2 = 0 then lo
-    else (match tr.Transit.hi with Ext.Fin h -> h | Ext.Inf -> Q.add lo Q.one)
-  | `Uniform -> (
-    match tr.Transit.hi with
-    | Ext.Fin h -> Rng.q_between st.rng lo h
-    | Ext.Inf -> Rng.q_between st.rng lo (Q.add lo Q.one))
-  | `Capped cap -> Rng.q_between st.rng lo (cap_hi cap)
 
 let lossy st = st.scenario.Scenario.loss_prob > 0.
 
@@ -206,59 +136,36 @@ let send st ~src ~dst ~app =
   let lt = lt_now st node in
   let msg = st.next_msg in
   st.next_msg <- msg + 1;
-  st.messages_sent <- st.messages_sent + 1;
-  let payload = Csa.send node.csa ~dst ~msg ~lt in
-  Option.iter (fun m -> Mirror.send m ~payload) node.mirror;
-  Option.iter (fun df -> Driftfree.on_send df ~payload) node.driftfree;
-  let ntp_w = Option.map (fun a -> Ntp.on_send a ~dst ~msg ~lt) node.ntp in
-  let cris_w =
-    Option.map (fun a -> Cristian.on_send a ~dst ~msg ~lt) node.cristian
-  in
-  st.payload_events_total <- st.payload_events_total + Payload.size payload;
-  if Payload.size payload > st.payload_events_max then
-    st.payload_events_max <- Payload.size payload;
-  let wire = Codec.encode payload in
-  st.payload_bytes_total <- st.payload_bytes_total + String.length wire;
-  let env = { wire; ntp_w; cris_w; app } in
-  if Rng.bernoulli st.rng ~p:st.scenario.Scenario.loss_prob then begin
-    st.messages_lost <- st.messages_lost + 1;
-    Heap.push st.agenda
-      ~at:(Q.add st.now st.scenario.Scenario.loss_detect)
-      (Lost_notify { msg })
-  end
-  else begin
-    let delay = choose_delay st ~src ~dst in
-    let at = Q.add st.now delay in
-    (* FIFO per directed link: no overtaking, still within [lo, hi]
-       because the previous delivery respected its (earlier) send's hi *)
-    let at =
-      match Hashtbl.find_opt st.last_delivery (link_key st src dst) with
-      | Some prev -> Q.max at prev
-      | None -> at
-    in
-    Hashtbl.replace st.last_delivery (link_key st src dst) at;
-    Heap.push st.agenda ~at (Deliver { msg; src; dst; env })
-  end
+  let env, n_events = Node_rt.prepare_send node ~dst ~msg ~lt in
+  Trace.emit st.trace
+    (Trace.Send
+       {
+         t = now_f st;
+         src;
+         dst;
+         msg;
+         events = n_events;
+         bytes = String.length env.Node_rt.wire;
+       });
+  (* [seq] counts this send: the metrics sink has already seen it *)
+  let seq = Metrics.sends st.metrics in
+  match Transport.send st.transport ~now:st.now ~seq ~src ~dst with
+  | Transport.Lost { detect_at } ->
+    Trace.emit st.trace (Trace.Lost { t = now_f st; msg });
+    Heap.push st.agenda ~at:detect_at (Lost_notify { msg })
+  | Transport.Deliver_at at ->
+    Heap.push st.agenda ~at (Deliver { msg; src; dst; env; app })
 
-let deliver st ~msg ~src ~dst ~env =
+let deliver st ~msg ~src ~dst ~env ~app =
   let node = st.nodes.(dst) in
   let lt = lt_now st node in
-  (* messages travel in their encoded form; decode exactly once here *)
-  let payload = Codec.decode env.wire in
-  Csa.receive node.csa ~msg ~lt payload;
-  if lossy st then Csa.on_msg_delivered st.nodes.(src).csa ~msg;
-  Option.iter (fun m -> Mirror.receive m ~msg ~lt ~payload) node.mirror;
-  Option.iter (fun df -> Driftfree.on_recv df ~msg ~lt ~payload) node.driftfree;
-  (match node.ntp, env.ntp_w with
-  | Some a, Some w -> Ntp.on_recv a ~src ~msg ~lt w
-  | _ -> ());
-  (match node.cristian, env.cris_w with
-  | Some a, Some w -> Cristian.on_recv a ~src ~msg ~lt w
-  | _ -> ());
+  Trace.emit st.trace (Trace.Receive { t = now_f st; src; dst; msg });
+  Node_rt.receive node ~src ~msg ~lt env;
+  if lossy st then Csa.on_msg_delivered st.nodes.(src).Node_rt.csa ~msg;
   validate st node;
   record_sample st node;
   (* application behaviour *)
-  match env.app with
+  match app with
   | Request -> send st ~src:dst ~dst:src ~app:Response
   | Token ->
     let gap =
@@ -270,17 +177,21 @@ let deliver st ~msg ~src ~dst ~env =
   | Response | Chat -> ()
 
 let lost_notify st ~msg =
-  Array.iter (fun node -> Csa.on_msg_lost node.csa ~msg) st.nodes
+  Array.iter
+    (fun (node : Node_rt.t) -> Csa.on_msg_lost node.Node_rt.csa ~msg)
+    st.nodes
 
 let schedule_local st node ~after_lt ev =
   (* fire when the node's clock shows (now_lt + after_lt) *)
   let target_lt = Q.add (lt_now st node) after_lt in
-  let rt = Clock.rt_of_lt node.clock target_lt in
+  let rt = Clock.rt_of_lt node.Node_rt.clock target_lt in
   Heap.push st.agenda ~at:(Q.max rt st.now) ev
 
 let poll st ~p =
   let node = st.nodes.(p) in
-  List.iter (fun parent -> send st ~src:p ~dst:parent ~app:Request) node.parents;
+  List.iter
+    (fun parent -> send st ~src:p ~dst:parent ~app:Request)
+    node.Node_rt.parents;
   match st.scenario.Scenario.traffic with
   | Scenario.Ntp_poll { period } ->
     schedule_local st node ~after_lt:period (Poll { p })
@@ -317,13 +228,13 @@ let burst_check st ~p =
   | Scenario.Burst { check_period; width_target } ->
     let lt = lt_now st node in
     let width =
-      match node.cristian with
+      match node.Node_rt.cristian with
       | Some a -> Interval.width (Cristian.estimate_at a ~lt)
-      | None -> Interval.width (Csa.estimate_at node.csa ~lt)
+      | None -> Interval.width (Csa.estimate_at node.Node_rt.csa ~lt)
     in
     let loose = Ext.lt (Ext.Fin width_target) width in
     if loose then begin
-      (match node.parents with
+      (match node.Node_rt.parents with
       | parent :: _ -> send st ~src:p ~dst:parent ~app:Request
       | [] -> ());
       (* rapid retry while out of tolerance *)
@@ -335,7 +246,7 @@ let burst_check st ~p =
 
 (* ------------------------------------------------------------------ *)
 
-let init_nodes (scenario : Scenario.t) rng =
+let init_nodes (scenario : Scenario.t) rng sink =
   let spec = scenario.Scenario.spec in
   let n = System_spec.n spec in
   let links =
@@ -346,38 +257,7 @@ let init_nodes (scenario : Scenario.t) rng =
              (fun v -> if u < v then Some (u, v) else None)
              (System_spec.neighbors spec u)))
   in
-  Array.init n (fun p ->
-      let lt0 =
-        if p = System_spec.source spec then Q.zero
-        else Rng.q_between rng Q.zero scenario.Scenario.max_offset
-      in
-      let clock =
-        Clock.create ~drift:(System_spec.drift spec p)
-          ~policy:scenario.Scenario.clock_policy
-          ~segment:scenario.Scenario.clock_segment ~lt0 ~rng:(Rng.split rng)
-      in
-      {
-        proc = p;
-        clock;
-        csa = Csa.create ~lossy:(scenario.Scenario.loss_prob > 0.) spec ~me:p ~lt0;
-        mirror =
-          (if scenario.Scenario.validate then Some (Mirror.create spec ~me:p ~lt0)
-           else None);
-        driftfree =
-          (if scenario.Scenario.run_driftfree then
-             Some (Driftfree.create ~window:scenario.Scenario.driftfree_window spec ~me:p ~lt0)
-           else None);
-        ntp =
-          (if scenario.Scenario.run_ntp then Some (Ntp.create spec ~me:p ~lt0)
-           else None);
-        cristian =
-          (if scenario.Scenario.run_cristian then
-             Some (Cristian.create ~rtt_threshold:scenario.Scenario.cristian_rtt spec ~me:p ~lt0)
-           else None);
-        parents =
-          Topology.parents_toward_source ~n ~links
-            ~source:(System_spec.source spec) p;
-      })
+  Array.init n (fun p -> Node_rt.create scenario ~rng ~links ~sink p)
 
 let bootstrap st =
   let n = Array.length st.nodes in
@@ -385,47 +265,55 @@ let bootstrap st =
   | Scenario.Ntp_poll _ ->
     (* stagger initial polls to avoid a thundering herd *)
     Array.iter
-      (fun node ->
-        if node.parents <> [] then begin
+      (fun (node : Node_rt.t) ->
+        if node.Node_rt.parents <> [] then begin
           let jitter = Rng.q_between st.rng Q.zero Q.one in
-          Heap.push st.agenda ~at:jitter (Poll { p = node.proc })
+          Heap.push st.agenda ~at:jitter (Poll { p = node.Node_rt.proc })
         end)
       st.nodes
   | Scenario.Gossip _ -> Heap.push st.agenda ~at:Q.zero Gossip_tick
   | Scenario.Ring_token _ -> Heap.push st.agenda ~at:Q.zero (Token_send { p = 0 })
   | Scenario.Burst _ ->
     Array.iter
-      (fun node ->
-        if node.proc <> System_spec.source st.scenario.Scenario.spec && n > 1
+      (fun (node : Node_rt.t) ->
+        if
+          node.Node_rt.proc <> System_spec.source st.scenario.Scenario.spec
+          && n > 1
         then begin
           let jitter = Rng.q_between st.rng Q.zero Q.one in
-          Heap.push st.agenda ~at:jitter (Burst_check { p = node.proc })
+          Heap.push st.agenda ~at:jitter (Burst_check { p = node.Node_rt.proc })
         end)
       st.nodes
 
 let run (scenario : Scenario.t) =
   let rng = Rng.create scenario.Scenario.seed in
-  let nodes = init_nodes scenario rng in
+  let metrics = Metrics.create () in
+  let trace = Trace.tee (Metrics.sink metrics) scenario.Scenario.trace in
+  let nodes = init_nodes scenario rng trace in
+  let transport =
+    (* the loss gate is always present so the random stream is identical
+       whether or not loss is enabled *)
+    Transport.lossy ~rng ~loss_prob:scenario.Scenario.loss_prob
+      ~detect_delay:scenario.Scenario.loss_detect
+      (Transport.fifo
+         (Transport.policy scenario.Scenario.spec ~rng
+            ~delay:scenario.Scenario.delay))
+  in
   let st =
     {
       scenario;
       rng;
       nodes;
+      transport;
+      metrics;
+      trace;
       agenda = Heap.create ();
       now = Q.zero;
       next_msg = 0;
-      messages_sent = 0;
-      messages_lost = 0;
-      payload_events_total = 0;
-      payload_events_max = 0;
-      payload_bytes_total = 0;
-      last_delivery = Hashtbl.create 32;
-      stats = Hashtbl.create 8;
       series = [];
       series_n = 0;
       series_stride = 1;
       series_tick = 0;
-      validation_failures = 0;
     }
   in
   bootstrap st;
@@ -437,7 +325,7 @@ let run (scenario : Scenario.t) =
     | Some (at, ev) -> (
       st.now <- at;
       match ev with
-      | Deliver { msg; src; dst; env } -> deliver st ~msg ~src ~dst ~env
+      | Deliver { msg; src; dst; env; app } -> deliver st ~msg ~src ~dst ~env ~app
       | Lost_notify { msg } -> lost_notify st ~msg
       | Poll { p } -> poll st ~p
       | Gossip_tick -> gossip_tick st
@@ -448,52 +336,60 @@ let run (scenario : Scenario.t) =
   let per_algo =
     List.map
       (fun name ->
-        let s = stat st name in
+        let s = Metrics.algo_stats st.metrics name in
         let final_widths =
           Array.map
             (fun node ->
               let interval =
-                List.assoc name (estimates st node)
+                List.assoc name (Node_rt.estimates node ~lt:(lt_now st node))
               in
               float_width interval)
             st.nodes
         in
         ( name,
           {
-            samples = s.n;
-            contained = s.contained_n;
-            finite = s.finite_n;
-            mean_width = (if s.finite_n = 0 then nan else s.width_sum /. float_of_int s.finite_n);
-            max_width = s.width_max;
+            samples = s.Metrics.samples;
+            contained = s.Metrics.contained;
+            finite = s.Metrics.finite;
+            mean_width = s.Metrics.mean_width;
+            max_width = s.Metrics.max_width;
             final_widths;
           } ))
       (algo_names st)
   in
   let per_node =
     Array.map
-      (fun node ->
+      (fun (node : Node_rt.t) ->
+        let csa = node.Node_rt.csa in
         {
-          peak_live = Csa.peak_live_count node.csa;
-          peak_history = Csa.peak_history_size node.csa;
-          relaxations = Csa.agdp_relaxations node.csa;
-          events_processed = Csa.events_processed node.csa;
-          events_reported = Csa.events_reported node.csa;
+          peak_live = Csa.peak_live_count csa;
+          peak_history = Csa.peak_history_size csa;
+          relaxations = Csa.oracle_relaxations csa;
+          events_processed = Csa.events_processed csa;
+          events_reported = Csa.events_reported csa;
         })
       st.nodes
   in
   {
     rt_end = st.now;
-    messages_sent = st.messages_sent;
-    messages_lost = st.messages_lost;
+    messages_sent = Metrics.sends st.metrics;
+    messages_lost = Metrics.losses st.metrics;
     events_total =
-      Array.fold_left (fun acc node -> acc + Csa.events_processed node.csa) 0 st.nodes;
-    payload_events_total = st.payload_events_total;
-    payload_events_max = st.payload_events_max;
-    payload_bytes_total = st.payload_bytes_total;
+      Array.fold_left
+        (fun acc (node : Node_rt.t) ->
+          acc + Csa.events_processed node.Node_rt.csa)
+        0 st.nodes;
+    payload_events_total = Metrics.payload_events_total st.metrics;
+    payload_events_max = Metrics.payload_events_max st.metrics;
+    payload_bytes_total = Metrics.payload_bytes_total st.metrics;
     per_algo;
     per_node;
     series = List.rev st.series;
-    validation_failures = st.validation_failures;
+    validation_failures =
+      (if scenario.Scenario.validate then
+         Some (Metrics.validation_failures st.metrics)
+       else None);
+    soundness_failures = Metrics.soundness_failures st.metrics;
   }
 
 let pp_result fmt r =

@@ -8,6 +8,13 @@
     Figure 1.  The synchronization algorithms are passive throughout, as
     the paper requires.
 
+    The engine itself is a thin scheduler over three seams: link behaviour
+    lives in {!Transport} (delay policy + FIFO clamp + loss gate), the
+    per-processor algorithm stacks live in {!Node_rt}, and every number
+    reported here is an aggregate of the structured {!Trace.event} stream
+    (a {!Metrics} sink teed with the scenario's own [trace] sink, so
+    external observers see exactly what the counters count).
+
     Every node always runs the optimal CSA; baselines (drift-free+fudge,
     NTP-flavoured, Cristian) piggyback on the very same messages so all
     algorithms are compared on identical executions. *)
@@ -24,7 +31,7 @@ type algo_summary = {
 type node_summary = {
   peak_live : int;  (** max live points [L] (Theorem 3.6) *)
   peak_history : int;  (** max [|H_v|] (Lemma 3.3) *)
-  relaxations : int;  (** AGDP work (Lemma 3.5) *)
+  relaxations : int;  (** distance-oracle work (Lemma 3.5) *)
   events_processed : int;
   events_reported : int;  (** communication overhead (Lemma 3.2) *)
 }
@@ -43,8 +50,13 @@ type result = {
   series : (float * (string * float) list) list;
       (** (real time, per-algo width at the sampled node) — width of the
           node observing the delivery; [infinity] when unbounded *)
-  validation_failures : int;
-      (** only populated when [validate]; must be 0 *)
+  validation_failures : int option;
+      (** mirror-reference cross-check misses; [None] unless the
+          scenario's [validate] is on, [Some 0] on a correct run *)
+  soundness_failures : int;
+      (** deliveries where the optimal CSA's interval failed to contain
+          the hidden real time — checked on every run regardless of
+          [validate]; must be 0 (Theorem 2.1 soundness) *)
 }
 
 val run : Scenario.t -> result

@@ -1,0 +1,106 @@
+type envelope = {
+  wire : string;
+  ntp_w : Ntp.wire option;
+  cris_w : Cristian.wire option;
+}
+
+type t = {
+  proc : Event.proc;
+  clock : Clock.t;
+  csa : Csa.t;
+  mirror : Mirror.t option;
+  driftfree : Driftfree.t option;
+  ntp : Ntp.t option;
+  cristian : Cristian.t option;
+  parents : Event.proc list;
+}
+
+let create (scenario : Scenario.t) ~rng ~links ~sink p =
+  let spec = scenario.Scenario.spec in
+  let n = System_spec.n spec in
+  let lt0 =
+    if p = System_spec.source spec then Q.zero
+    else Rng.q_between rng Q.zero scenario.Scenario.max_offset
+  in
+  let clock =
+    Clock.create ~drift:(System_spec.drift spec p)
+      ~policy:scenario.Scenario.clock_policy
+      ~segment:scenario.Scenario.clock_segment ~lt0 ~rng:(Rng.split rng)
+  in
+  {
+    proc = p;
+    clock;
+    csa =
+      Csa.create
+        ~lossy:(scenario.Scenario.loss_prob > 0.)
+        ~validate:scenario.Scenario.validate_oracle ~sink spec ~me:p ~lt0;
+    mirror =
+      (if scenario.Scenario.validate then Some (Mirror.create spec ~me:p ~lt0)
+       else None);
+    driftfree =
+      (if scenario.Scenario.run_driftfree then
+         Some
+           (Driftfree.create ~window:scenario.Scenario.driftfree_window spec
+              ~me:p ~lt0)
+       else None);
+    ntp =
+      (if scenario.Scenario.run_ntp then Some (Ntp.create spec ~me:p ~lt0)
+       else None);
+    cristian =
+      (if scenario.Scenario.run_cristian then
+         Some
+           (Cristian.create ~rtt_threshold:scenario.Scenario.cristian_rtt spec
+              ~me:p ~lt0)
+       else None);
+    parents =
+      Topology.parents_toward_source ~n ~links
+        ~source:(System_spec.source spec) p;
+  }
+
+let lt_at t ~rt = Clock.lt_of_rt t.clock rt
+
+let prepare_send t ~dst ~msg ~lt =
+  let payload = Csa.send t.csa ~dst ~msg ~lt in
+  Option.iter (fun m -> Mirror.send m ~payload) t.mirror;
+  Option.iter (fun df -> Driftfree.on_send df ~payload) t.driftfree;
+  let ntp_w = Option.map (fun a -> Ntp.on_send a ~dst ~msg ~lt) t.ntp in
+  let cris_w =
+    Option.map (fun a -> Cristian.on_send a ~dst ~msg ~lt) t.cristian
+  in
+  ({ wire = Codec.encode payload; ntp_w; cris_w }, Payload.size payload)
+
+let receive t ~src ~msg ~lt env =
+  (* messages travel in their encoded form; decode exactly once here *)
+  let payload = Codec.decode env.wire in
+  Csa.receive t.csa ~msg ~lt payload;
+  Option.iter (fun m -> Mirror.receive m ~msg ~lt ~payload) t.mirror;
+  Option.iter (fun df -> Driftfree.on_recv df ~msg ~lt ~payload) t.driftfree;
+  (match t.ntp, env.ntp_w with
+  | Some a, Some w -> Ntp.on_recv a ~src ~msg ~lt w
+  | _ -> ());
+  match t.cristian, env.cris_w with
+  | Some a, Some w -> Cristian.on_recv a ~src ~msg ~lt w
+  | _ -> ()
+
+let estimates t ~lt =
+  ("optimal", Csa.estimate_at t.csa ~lt)
+  :: List.filter_map Fun.id
+       [
+         Option.map
+           (fun df -> (Driftfree.name, Driftfree.estimate_at df ~lt))
+           t.driftfree;
+         Option.map (fun a -> (Ntp.name, Ntp.estimate_at a ~lt)) t.ntp;
+         Option.map
+           (fun a -> (Cristian.name, Cristian.estimate_at a ~lt))
+           t.cristian;
+       ]
+
+let validate t =
+  Option.map
+    (fun mirror ->
+      let expected =
+        Reference.estimate (Csa.spec t.csa) (Mirror.view mirror)
+          ~at:(Mirror.last_id mirror)
+      in
+      Interval.equal expected (Csa.estimate t.csa))
+    t.mirror

@@ -1,0 +1,65 @@
+(** Per-node runtime of the simulator: one drifting clock plus the full
+    algorithm stack riding on it — the optimal CSA, the optional
+    validation mirror, and the optional baseline algorithms, all fed from
+    the very same messages.
+
+    This is the simulator's realization of a {e processor} in the paper's
+    model; {!Engine} is left with scheduling, traffic generation and
+    bookkeeping only.  Nothing here touches the agenda or the transport:
+    a node turns (real time, message) into envelopes and estimates, and
+    that is all. *)
+
+(** What actually crosses a link.  The CSA payload travels Codec-encoded —
+    the real wire format end to end; baseline wire formats ride alongside
+    when those algorithms are enabled.  Application-level message kinds
+    are the engine's business and are deliberately absent. *)
+type envelope = {
+  wire : string;
+  ntp_w : Ntp.wire option;
+  cris_w : Cristian.wire option;
+}
+
+type t = {
+  proc : Event.proc;
+  clock : Clock.t;
+  csa : Csa.t;
+  mirror : Mirror.t option;
+  driftfree : Driftfree.t option;
+  ntp : Ntp.t option;
+  cristian : Cristian.t option;
+  parents : Event.proc list;  (** next hops toward the source *)
+}
+
+val create :
+  Scenario.t ->
+  rng:Rng.t ->
+  links:(Event.proc * Event.proc) list ->
+  sink:Trace.sink ->
+  Event.proc ->
+  t
+(** Boot processor [p]: a random initial offset (except at the source), a
+    drifting clock per the scenario's clock policy, and the algorithm
+    stack the scenario enables.  [sink] is threaded into the CSA (liveness
+    and oracle events).  Draws from [rng]; call in increasing [p] order
+    for a reproducible stream. *)
+
+val lt_at : t -> rt:Q.t -> Q.t
+(** The node's clock reading at real time [rt]. *)
+
+val prepare_send : t -> dst:Event.proc -> msg:int -> lt:Q.t -> envelope * int
+(** Record the send on every enabled algorithm and build the envelope;
+    also returns the number of piggybacked history events (the
+    communication-overhead measure of Lemma 3.2). *)
+
+val receive : t -> src:Event.proc -> msg:int -> lt:Q.t -> envelope -> unit
+(** Record the delivery on every enabled algorithm (decodes the wire
+    payload exactly once). *)
+
+val estimates : t -> lt:Q.t -> (string * Interval.t) list
+(** Per-algorithm source-time estimates at local time [lt], the optimal
+    CSA first, then enabled baselines in a fixed order. *)
+
+val validate : t -> bool option
+(** Cross-check the CSA estimate against the brute-force
+    {!Reference.estimate} on the mirror's view: [None] when the node has
+    no mirror (validation off), otherwise whether they agree exactly. *)

@@ -1,5 +1,4 @@
-type delay_policy =
-  [ `Uniform | `Min | `Max | `Alternate | `Capped of Q.t ]
+type delay_policy = Transport.delay_policy
 
 type traffic =
   | Ntp_poll of { period : Q.t }
@@ -24,7 +23,9 @@ type t = {
   run_cristian : bool;
   cristian_rtt : Q.t;
   validate : bool;
+  validate_oracle : bool;
   series_cap : int;
+  trace : Trace.sink;
 }
 
 let sec n = Q.of_int n
@@ -49,5 +50,7 @@ let default ~spec ~traffic =
     run_cristian = false;
     cristian_rtt = ms 50;
     validate = false;
+    validate_oracle = false;
     series_cap = 2_000;
+    trace = Trace.null;
   }

@@ -5,13 +5,13 @@
     pattern (the paper's "send module"), and which algorithms to run
     alongside the optimal CSA. *)
 
-type delay_policy =
-  [ `Uniform  (** uniform within the link's [lo, hi] *)
-  | `Min  (** always the lower bound *)
-  | `Max  (** always the upper bound *)
-  | `Alternate  (** adversarial alternation between the extremes *)
-  | `Capped of Q.t  (** uniform within [lo, min hi (lo + cap)] — for
-                        asynchronous links with infinite upper bounds *) ]
+type delay_policy = Transport.delay_policy
+(** See {!Transport.delay_policy}:
+    [`Uniform] — uniform within the link's [lo, hi];
+    [`Min] / [`Max] — always the corresponding bound;
+    [`Alternate] — adversarial alternation between the extremes;
+    [`Capped c] — uniform within [lo, min hi (lo + c)], for asynchronous
+    links with infinite upper bounds. *)
 
 type traffic =
   | Ntp_poll of { period : Q.t }
@@ -51,7 +51,18 @@ type t = {
       (** drive a full-view mirror per node and check, at every receive,
           that the CSA equals the reference optimal algorithm and contains
           the hidden real time (expensive; for tests and E1) *)
+  validate_oracle : bool;
+      (** run every node's CSA on {!Distance_oracle.checked} — the AGDP
+          structure cross-checked against naive Floyd–Warshall after every
+          mutation (very expensive: [Θ(n³)] per insertion over the
+          all-time event count; for short test runs only) *)
   series_cap : int;  (** max number of time-series samples retained *)
+  trace : Trace.sink;
+      (** receives every structured event of the run — sends, deliveries,
+          losses, estimates, validation verdicts, liveness and oracle
+          activity ({!Trace.event}); {!Trace.null} by default.  The
+          engine's own metrics ride the same stream, so a scenario sink
+          sees exactly what the result counters count. *)
 }
 
 val default : spec:System_spec.t -> traffic:traffic -> t

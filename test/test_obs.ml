@@ -1,0 +1,199 @@
+(* Tests for the observability layer: sink composition, the metrics
+   aggregation rules the engine's result numbers depend on, and the JSONL
+   encoding of the trace stream. *)
+
+let send ?(t = 1.) ?(events = 3) ?(bytes = 40) () =
+  Trace.Send { t; src = 0; dst = 1; msg = 1; events; bytes }
+
+let estimate ?(t = 2.) ?(node = 1) ~algo ~width ~contained () =
+  Trace.Estimate { t; node; algo; width; contained }
+
+let test_labels () =
+  let cases =
+    [
+      (send (), "send");
+      (Trace.Receive { t = 1.; src = 0; dst = 1; msg = 1 }, "receive");
+      (Trace.Lost { t = 1.; msg = 1 }, "lost");
+      (estimate ~algo:"optimal" ~width:1. ~contained:true (), "estimate");
+      (Trace.Validation { t = 1.; node = 0; ok = true }, "validation");
+      (Trace.Liveness { node = 0; live = 4 }, "liveness");
+      (Trace.Oracle_insert { key = 0; live = 4 }, "oracle_insert");
+      (Trace.Oracle_gc { key = 0; live = 3 }, "oracle_gc");
+    ]
+  in
+  List.iter
+    (fun (ev, want) -> Alcotest.(check string) want want (Trace.label ev))
+    cases
+
+let test_tee_order () =
+  let seen = ref [] in
+  let tag name = Trace.callback (fun ev -> seen := (name, Trace.label ev) :: !seen) in
+  let s = Trace.tee (tag "a") (Trace.tee (tag "b") (tag "c")) in
+  Trace.emit s (send ());
+  Alcotest.(check (list (pair string string)))
+    "a then b then c"
+    [ ("a", "send"); ("b", "send"); ("c", "send") ]
+    (List.rev !seen);
+  Trace.emit Trace.null (send ()) (* null swallows without complaint *)
+
+let feed m evs = List.iter (Trace.emit (Metrics.sink m)) evs
+
+let test_counters () =
+  let m = Metrics.create () in
+  feed m
+    [
+      send ~events:3 ~bytes:40 ();
+      send ~events:5 ~bytes:60 ();
+      Trace.Receive { t = 2.; src = 0; dst = 1; msg = 1 };
+      Trace.Lost { t = 2.; msg = 2 };
+      Trace.Validation { t = 3.; node = 1; ok = true };
+      Trace.Validation { t = 4.; node = 1; ok = false };
+      Trace.Liveness { node = 0; live = 4 };
+      Trace.Liveness { node = 1; live = 9 };
+      Trace.Liveness { node = 0; live = 2 };
+      Trace.Oracle_insert { key = 0; live = 1 };
+      Trace.Oracle_insert { key = 1; live = 2 };
+      Trace.Oracle_gc { key = 0; live = 1 };
+    ];
+  Alcotest.(check int) "sends" 2 (Metrics.sends m);
+  Alcotest.(check int) "receives" 1 (Metrics.receives m);
+  Alcotest.(check int) "losses" 1 (Metrics.losses m);
+  Alcotest.(check int) "payload events" 8 (Metrics.payload_events_total m);
+  Alcotest.(check int) "payload max" 5 (Metrics.payload_events_max m);
+  Alcotest.(check int) "payload bytes" 100 (Metrics.payload_bytes_total m);
+  Alcotest.(check int) "validation checks" 2 (Metrics.validation_checks m);
+  Alcotest.(check int) "validation failures" 1 (Metrics.validation_failures m);
+  Alcotest.(check int) "liveness peak" 9 (Metrics.liveness_peak m);
+  Alcotest.(check int) "oracle inserts" 2 (Metrics.oracle_inserts m);
+  Alcotest.(check int) "oracle gcs" 1 (Metrics.oracle_gcs m)
+
+let test_algo_stats () =
+  let m = Metrics.create () in
+  feed m
+    [
+      estimate ~algo:"optimal" ~width:2. ~contained:true ();
+      estimate ~algo:"optimal" ~width:4. ~contained:true ();
+      estimate ~algo:"optimal" ~width:infinity ~contained:true ();
+      estimate ~algo:"ntp" ~width:6. ~contained:false ();
+    ];
+  Alcotest.(check (list string))
+    "first-appearance order" [ "optimal"; "ntp" ] (Metrics.algo_names m);
+  let opt = Metrics.algo_stats m "optimal" in
+  Alcotest.(check int) "samples" 3 opt.Metrics.samples;
+  Alcotest.(check int) "contained" 3 opt.Metrics.contained;
+  Alcotest.(check int) "finite" 2 opt.Metrics.finite;
+  Alcotest.(check (float 1e-9)) "mean over finite" 3. opt.Metrics.mean_width;
+  Alcotest.(check (float 1e-9)) "max width" 4. opt.Metrics.max_width;
+  (* a non-contained baseline is not a soundness failure... *)
+  Alcotest.(check int) "baselines may miss" 0 (Metrics.soundness_failures m);
+  (* ...but a non-contained optimal estimate is *)
+  feed m [ estimate ~algo:"optimal" ~width:1. ~contained:false () ];
+  Alcotest.(check int) "optimal miss counted" 1 (Metrics.soundness_failures m);
+  let unseen = Metrics.algo_stats m "nope" in
+  Alcotest.(check int) "unseen algo" 0 unseen.Metrics.samples;
+  Alcotest.(check bool) "unseen mean is nan" true
+    (Float.is_nan unseen.Metrics.mean_width)
+
+let test_summary_json () =
+  let m = Metrics.create () in
+  feed m
+    [
+      send ();
+      estimate ~algo:"optimal" ~width:infinity ~contained:true ();
+    ];
+  let line = Json_out.to_line (Metrics.summary_json m) in
+  Alcotest.(check bool) "single line" false (String.contains line '\n');
+  let has sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length line && (String.sub line i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "discriminator" true (has "\"event\":\"summary\"");
+  Alcotest.(check bool) "sends" true (has "\"sends\":1");
+  Alcotest.(check bool) "algo block" true (has "\"optimal\":");
+  (* no finite sample: mean_width is nan, which JSON must render null *)
+  Alcotest.(check bool) "nan as null" true (has "\"mean_width\":null")
+
+let test_jsonl_sink () =
+  let path = Filename.temp_file "trace" ".jsonl" in
+  let oc = open_out path in
+  let s = Trace.jsonl oc in
+  Trace.emit s (send ());
+  Trace.emit s (estimate ~algo:"optimal" ~width:2.5 ~contained:true ());
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let lines = List.rev !lines in
+  Alcotest.(check int) "two lines" 2 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "object per line" true
+        (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines;
+  let first = List.nth lines 0 in
+  Alcotest.(check string) "send line"
+    "{\"event\":\"send\",\"t\":1,\"src\":0,\"dst\":1,\"msg\":1,\"events\":3,\"bytes\":40}"
+    first
+
+(* the guarantee bin/clocksync relies on for --trace: a Metrics teed onto
+   the same stream as the engine's internal one reproduces the result *)
+let test_external_metrics_match_result () =
+  let spec =
+    System_spec.uniform ~n:3 ~source:0 ~drift:(Drift.of_ppm 100)
+      ~transit:(Transit.of_q (Scenario.ms 1) (Scenario.ms 10))
+      ~links:(Topology.star 3)
+  in
+  let m = Metrics.create () in
+  let scenario =
+    {
+      (Scenario.default ~spec
+         ~traffic:(Scenario.Ntp_poll { period = Scenario.sec 1 }))
+      with
+      Scenario.duration = Scenario.sec 10;
+      trace = Metrics.sink m;
+      seed = 23;
+    }
+  in
+  let r = Engine.run scenario in
+  Alcotest.(check int) "sends" r.Engine.messages_sent (Metrics.sends m);
+  Alcotest.(check int) "losses" r.Engine.messages_lost (Metrics.losses m);
+  Alcotest.(check int) "payload events" r.Engine.payload_events_total
+    (Metrics.payload_events_total m);
+  Alcotest.(check int) "payload bytes" r.Engine.payload_bytes_total
+    (Metrics.payload_bytes_total m);
+  Alcotest.(check int) "soundness" r.Engine.soundness_failures
+    (Metrics.soundness_failures m);
+  let opt_r = List.assoc "optimal" r.Engine.per_algo in
+  let opt_m = Metrics.algo_stats m "optimal" in
+  Alcotest.(check int) "optimal samples" opt_r.Engine.samples
+    opt_m.Metrics.samples;
+  Alcotest.(check int) "optimal contained" opt_r.Engine.contained
+    opt_m.Metrics.contained
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "labels" `Quick test_labels;
+          Alcotest.test_case "tee order" `Quick test_tee_order;
+          Alcotest.test_case "jsonl sink" `Quick test_jsonl_sink;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "algo stats and soundness" `Quick test_algo_stats;
+          Alcotest.test_case "summary json" `Quick test_summary_json;
+          Alcotest.test_case "external metrics match engine result" `Quick
+            test_external_metrics_match_result;
+        ] );
+    ]

@@ -1,0 +1,271 @@
+(* Tests for the distance-oracle seam: the naive Floyd–Warshall reference
+   must agree with the incremental AGDP structure on random executions
+   (the Lemma 3.4 invariant, checked across implementations), the checked
+   decorator must mirror and compare faithfully, and snapshots must be
+   portable between implementations. *)
+
+let q = Q.of_int
+let ext = Alcotest.testable Ext.pp Ext.equal
+let fin n = Ext.Fin (q n)
+
+module O = Distance_oracle
+
+let impls =
+  [ ("agdp", fun () -> O.agdp ()); ("fw", fun () -> O.floyd_warshall ()) ]
+
+(* run the same scenario against every implementation *)
+let each_impl f = List.iter (fun (name, impl) -> f name (O.create (impl ()))) impls
+
+let test_chain () =
+  each_impl (fun name t ->
+      O.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+      O.insert t ~key:1 ~in_edges:[ (0, q 3) ] ~out_edges:[ (0, q 5) ];
+      O.insert t ~key:2 ~in_edges:[ (1, q 2) ] ~out_edges:[ (1, q 7) ];
+      Alcotest.check ext (name ^ ": 0->2") (fin 5) (O.dist t 0 2);
+      Alcotest.check ext (name ^ ": 2->0") (fin 12) (O.dist t 2 0);
+      Alcotest.(check (list int)) (name ^ ": live keys") [ 0; 1; 2 ]
+        (O.live_keys t))
+
+let test_kill_preserves_relay () =
+  (* the killed node stays a relay: live-pair distances through it
+     survive (Lemma 3.4) in both implementations *)
+  each_impl (fun name t ->
+      O.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+      O.insert t ~key:1 ~in_edges:[ (0, q 3) ] ~out_edges:[];
+      O.insert t ~key:2 ~in_edges:[ (1, q 2) ] ~out_edges:[];
+      O.kill t 1;
+      Alcotest.(check int) (name ^ ": size") 2 (O.size t);
+      Alcotest.check ext (name ^ ": relay path survives") (fin 5) (O.dist t 0 2);
+      Alcotest.(check bool) (name ^ ": dead not mem") false (O.mem t 1))
+
+let test_unreachable () =
+  each_impl (fun name t ->
+      O.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+      O.insert t ~key:1 ~in_edges:[] ~out_edges:[];
+      Alcotest.check ext (name ^ ": disconnected") Ext.Inf (O.dist t 0 1))
+
+let test_negative_cycle_exception_safety () =
+  each_impl (fun name t ->
+      O.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+      O.insert t ~key:1 ~in_edges:[ (0, q 2) ] ~out_edges:[ (0, q 9) ];
+      Alcotest.check_raises
+        (name ^ ": negative cycle")
+        O.Negative_cycle
+        (fun () ->
+          O.insert t ~key:2 ~in_edges:[ (1, q 1) ] ~out_edges:[ (0, q (-20)) ]);
+      (* the rejected key must be fully rolled back and reusable *)
+      Alcotest.(check bool) (name ^ ": not half-inserted") false (O.mem t 2);
+      Alcotest.(check int) (name ^ ": size unchanged") 2 (O.size t);
+      Alcotest.check ext (name ^ ": dists unchanged") (fin 2) (O.dist t 0 1);
+      O.insert t ~key:2 ~in_edges:[ (1, q 1) ] ~out_edges:[];
+      Alcotest.check ext (name ^ ": reuse after rejection") (fin 3)
+        (O.dist t 0 2))
+
+let test_killed_key_reusable () =
+  (* Agdp forgets killed keys, so re-inserting one is legal; the
+     reference must agree or the checked decorator would diverge *)
+  each_impl (fun name t ->
+      O.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+      O.insert t ~key:7 ~in_edges:[ (0, q 1) ] ~out_edges:[];
+      O.kill t 7;
+      O.insert t ~key:7 ~in_edges:[ (0, q 4) ] ~out_edges:[];
+      Alcotest.check ext (name ^ ": fresh incarnation wins shorter path")
+        (fin 4)
+        (* 0 -> old 7 was 1, but old 7 is dead; new 7 is reached directly
+           at 4 (the relay can't help: it had no out-edges) *)
+        (O.dist t 0 7))
+
+let test_snapshot_cross_restore () =
+  (* a snapshot taken from either implementation restores onto the other
+     with identical live sets and distances *)
+  let build t =
+    O.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+    O.insert t ~key:1 ~in_edges:[ (0, q 3) ] ~out_edges:[ (0, q 5) ];
+    O.insert t ~key:2 ~in_edges:[ (1, q 2) ] ~out_edges:[ (1, q 7) ];
+    O.kill t 1
+  in
+  List.iter
+    (fun (from_name, from_impl) ->
+      List.iter
+        (fun (to_name, to_impl) ->
+          let a = O.create (from_impl ()) in
+          build a;
+          let b = O.restore (to_impl ()) (O.snapshot a) in
+          let label = Printf.sprintf "%s -> %s" from_name to_name in
+          Alcotest.(check (list int))
+            (label ^ ": live keys") (O.live_keys a) (O.live_keys b);
+          List.iter
+            (fun x ->
+              List.iter
+                (fun y ->
+                  Alcotest.check ext
+                    (Printf.sprintf "%s: d(%d,%d)" label x y)
+                    (O.dist a x y) (O.dist b x y))
+                (O.live_keys a))
+            (O.live_keys a);
+          (* the restored instance keeps working *)
+          O.insert b ~key:9 ~in_edges:[ (0, q 1) ] ~out_edges:[];
+          Alcotest.check ext (label ^ ": post-restore insert") (fin 1)
+            (O.dist b 0 9))
+        impls)
+    impls
+
+let test_checked_mirrors () =
+  let t = O.create (O.checked ~primary:(O.agdp ()) ~reference:(O.floyd_warshall ())) in
+  O.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+  O.insert t ~key:1 ~in_edges:[ (0, q 3) ] ~out_edges:[ (0, q 5) ];
+  O.insert t ~key:2 ~in_edges:[ (1, q 2) ] ~out_edges:[ (1, q 7) ];
+  O.kill t 1;
+  Alcotest.check ext "checked answers" (fin 5) (O.dist t 0 2);
+  Alcotest.(check (list int)) "checked live keys" [ 0; 2 ] (O.live_keys t);
+  (* a rejected insert must raise the shared exception and leave both
+     sides consistent *)
+  Alcotest.check_raises "mirrored negative cycle" O.Negative_cycle (fun () ->
+      O.insert t ~key:3 ~in_edges:[ (2, q 1) ] ~out_edges:[ (0, q (-20)) ]);
+  Alcotest.check_raises "mirrored validation"
+    (Invalid_argument "Agdp: node 1 is not live") (fun () ->
+      O.insert t ~key:4 ~in_edges:[ (1, q 1) ] ~out_edges:[]);
+  O.insert t ~key:4 ~in_edges:[ (2, q 1) ] ~out_edges:[];
+  Alcotest.check ext "usable after rejections" (fin 6) (O.dist t 0 4)
+
+let test_checked_snapshot_roundtrip () =
+  let mk () = O.checked ~primary:(O.agdp ()) ~reference:(O.floyd_warshall ()) in
+  let t = O.create (mk ()) in
+  O.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+  O.insert t ~key:1 ~in_edges:[ (0, q 3) ] ~out_edges:[ (0, q 5) ];
+  let t' = O.restore (mk ()) (O.snapshot t) in
+  Alcotest.check ext "restored checked" (fin 3) (O.dist t' 0 1);
+  O.insert t' ~key:2 ~in_edges:[ (1, q 2) ] ~out_edges:[];
+  Alcotest.check ext "insert after restore" (fin 5) (O.dist t' 0 2)
+
+(* Property: a random insert/kill schedule gives identical live sets and
+   distances on both implementations at every step — equivalently, the
+   checked decorator never fails. *)
+let arbitrary_schedule =
+  let open QCheck in
+  let gen =
+    Gen.(
+      list_size (int_range 1 20)
+        (pair
+           (pair (list_size (int_range 0 3) (int_range 0 100))
+              (list_size (int_range 0 3) (int_range 0 100)))
+           (int_range 0 100)))
+  in
+  make
+    ~print:(fun ops ->
+      String.concat " "
+        (List.map
+           (fun ((i, o), k) ->
+             Printf.sprintf "ins(in:%s out:%s kill:%d)"
+               (String.concat "," (List.map string_of_int i))
+               (String.concat "," (List.map string_of_int o))
+               k)
+           ops))
+    gen
+
+let run_schedule t ops =
+  let live = ref [] in
+  let n_nodes = ref 0 in
+  List.iter
+    (fun ((ins, outs), kill_pick) ->
+      let k = !n_nodes in
+      incr n_nodes;
+      let pick targets =
+        List.filter_map
+          (fun r ->
+            match !live with
+            | [] -> None
+            | l -> Some (List.nth l (r mod List.length l)))
+          targets
+      in
+      let in_nodes = List.sort_uniq compare (pick ins) in
+      let out_nodes = List.sort_uniq compare (pick outs) in
+      let in_edges = List.map (fun x -> (x, q ((x + k) mod 7))) in_nodes in
+      let out_edges =
+        List.map (fun y -> (y, q ((y + (2 * k)) mod 5))) out_nodes
+      in
+      O.insert t ~key:k ~in_edges ~out_edges;
+      live := k :: !live;
+      (* kill a pseudo-random live node now and then *)
+      if kill_pick mod 3 = 0 && List.length !live > 1 then begin
+        let victim = List.nth !live (kill_pick mod List.length !live) in
+        O.kill t victim;
+        live := List.filter (fun x -> x <> victim) !live
+      end)
+    ops
+
+let prop_impls_agree =
+  QCheck.Test.make ~name:"oracle: agdp and floyd-warshall agree" ~count:100
+    arbitrary_schedule (fun ops ->
+      let a = O.create (O.agdp ()) in
+      let b = O.create (O.floyd_warshall ()) in
+      run_schedule a ops;
+      run_schedule b ops;
+      let ka = O.live_keys a and kb = O.live_keys b in
+      ka = kb
+      && List.for_all
+           (fun x ->
+             List.for_all (fun y -> Ext.equal (O.dist a x y) (O.dist b x y)) ka)
+           ka)
+
+let prop_checked_never_fails =
+  QCheck.Test.make ~name:"oracle: checked decorator accepts random schedules"
+    ~count:50 arbitrary_schedule (fun ops ->
+      let t =
+        O.create (O.checked ~primary:(O.agdp ()) ~reference:(O.floyd_warshall ()))
+      in
+      run_schedule t ops;
+      (* Failure from the decorator (a divergence) fails the property by
+         escaping; getting here means every mirror check passed *)
+      O.size t >= 0)
+
+(* an end-to-end run with the oracle cross-check live on every insert *)
+let test_engine_validate_oracle () =
+  let spec =
+    System_spec.uniform ~n:3 ~source:0 ~drift:(Drift.of_ppm 200)
+      ~transit:(Transit.of_q (Scenario.ms 1) (Scenario.ms 10))
+      ~links:(Topology.star 3)
+  in
+  let scenario =
+    {
+      (Scenario.default ~spec
+         ~traffic:(Scenario.Ntp_poll { period = Scenario.sec 1 }))
+      with
+      Scenario.duration = Scenario.sec 6;
+      validate = true;
+      validate_oracle = true;
+      seed = 17;
+    }
+  in
+  let r = Engine.run scenario in
+  Alcotest.(check (option int))
+    "no estimate divergence" (Some 0) r.Engine.validation_failures;
+  Alcotest.(check int) "sound" 0 r.Engine.soundness_failures;
+  Alcotest.(check bool) "messages flowed" true (r.Engine.messages_sent > 0)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "chain distances" `Quick test_chain;
+          Alcotest.test_case "kill preserves relay paths" `Quick
+            test_kill_preserves_relay;
+          Alcotest.test_case "unreachable is infinite" `Quick test_unreachable;
+          Alcotest.test_case "negative-cycle exception safety" `Quick
+            test_negative_cycle_exception_safety;
+          Alcotest.test_case "killed keys reusable" `Quick
+            test_killed_key_reusable;
+          Alcotest.test_case "snapshot crosses implementations" `Quick
+            test_snapshot_cross_restore;
+          Alcotest.test_case "checked decorator mirrors" `Quick
+            test_checked_mirrors;
+          Alcotest.test_case "checked snapshot roundtrip" `Quick
+            test_checked_snapshot_roundtrip;
+          Alcotest.test_case "engine with validate_oracle" `Slow
+            test_engine_validate_oracle;
+        ] );
+      qsuite "props" [ prop_impls_agree; prop_checked_never_fails ];
+    ]

@@ -212,7 +212,9 @@ let test_engine_ntp_poll_validated () =
     }
   in
   let r = Engine.run scenario in
-  Alcotest.(check int) "no validation failures" 0 r.Engine.validation_failures;
+  Alcotest.(check (option int))
+    "no validation failures" (Some 0) r.Engine.validation_failures;
+  Alcotest.(check int) "no soundness failures" 0 r.Engine.soundness_failures;
   Alcotest.(check bool) "messages flowed" true (r.Engine.messages_sent > 20);
   List.iter
     (fun (name, a) ->
@@ -242,6 +244,8 @@ let test_engine_deterministic () =
     }
   in
   let r1 = Engine.run scenario and r2 = Engine.run scenario in
+  Alcotest.(check (option int))
+    "validation off reports no count" None r1.Engine.validation_failures;
   Alcotest.(check int) "same message count" r1.Engine.messages_sent
     r2.Engine.messages_sent;
   Alcotest.(check int) "same event count" r1.Engine.events_total
@@ -262,7 +266,7 @@ let test_engine_ring_token () =
     }
   in
   let r = Engine.run scenario in
-  Alcotest.(check int) "validated" 0 r.Engine.validation_failures;
+  Alcotest.(check (option int)) "validated" (Some 0) r.Engine.validation_failures;
   Alcotest.(check bool) "token circulated" true (r.Engine.messages_sent > 30)
 
 let test_engine_burst () =
@@ -328,8 +332,11 @@ let test_engine_adversarial_policies () =
         }
       in
       let r = Engine.run scenario in
-      Alcotest.(check int) "validated under adversarial policies" 0
-        r.Engine.validation_failures)
+      Alcotest.(check (option int))
+        "validated under adversarial policies" (Some 0)
+        r.Engine.validation_failures;
+      Alcotest.(check int) "sound under adversarial policies" 0
+        r.Engine.soundness_failures)
     [ `Min; `Max; `Alternate; `Uniform ]
 
 let test_engine_bounded_state () =

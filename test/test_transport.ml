@@ -1,0 +1,212 @@
+(* Tests for the transport seam: delay policies stay within the link's
+   transit bounds, the FIFO decorator forbids overtaking per directed
+   link (the paper's FIFO-link assumption), and the loss decorator's
+   Bernoulli gate behaves at the extremes and never lets a loss disturb
+   the FIFO clamp. *)
+
+let q = Q.of_int
+let qq = Alcotest.testable Q.pp Q.equal
+
+let spec ?(lo = q 2) ?(hi = Ext.Fin (q 10)) () =
+  System_spec.uniform ~n:3 ~source:0 ~drift:(Drift.of_ppm 100)
+    ~transit:(Transit.make ~lo ~hi)
+    ~links:[ (0, 1); (1, 2) ]
+
+let deliver_at = function
+  | Transport.Deliver_at at -> at
+  | Transport.Lost _ -> Alcotest.fail "unexpected loss"
+
+let test_min_max () =
+  let rng = Rng.create 1 in
+  let tmin = Transport.policy (spec ()) ~rng ~delay:`Min in
+  let tmax = Transport.policy (spec ()) ~rng ~delay:`Max in
+  Alcotest.check qq "min = now + lo" (q 7)
+    (deliver_at (Transport.send tmin ~now:(q 5) ~seq:1 ~src:0 ~dst:1));
+  Alcotest.check qq "max = now + hi" (q 15)
+    (deliver_at (Transport.send tmax ~now:(q 5) ~seq:1 ~src:0 ~dst:1))
+
+let test_alternate_parity () =
+  (* odd send attempts draw the slow extreme, even ones the fast — the
+     adversarial round-trip pattern of the optimality argument *)
+  let rng = Rng.create 1 in
+  let t = Transport.policy (spec ()) ~rng ~delay:`Alternate in
+  Alcotest.check qq "seq 1 is slow" (q 10)
+    (deliver_at (Transport.send t ~now:Q.zero ~seq:1 ~src:0 ~dst:1));
+  Alcotest.check qq "seq 2 is fast" (q 2)
+    (deliver_at (Transport.send t ~now:Q.zero ~seq:2 ~src:0 ~dst:1));
+  Alcotest.check qq "seq 3 is slow again" (q 10)
+    (deliver_at (Transport.send t ~now:Q.zero ~seq:3 ~src:0 ~dst:1))
+
+let test_infinite_hi_fallback () =
+  (* an asynchronous link has no finite hi; bounded policies fall back to
+     lo + 1 so the simulation still makes progress *)
+  let rng = Rng.create 1 in
+  let s = spec ~hi:Ext.Inf () in
+  let t = Transport.policy s ~rng ~delay:`Max in
+  Alcotest.check qq "max on async link = lo + 1" (q 3)
+    (deliver_at (Transport.send t ~now:Q.zero ~seq:1 ~src:0 ~dst:1))
+
+let test_unknown_link_rejected () =
+  let rng = Rng.create 1 in
+  let t = Transport.policy (spec ()) ~rng ~delay:`Min in
+  match Transport.send t ~now:Q.zero ~seq:1 ~src:0 ~dst:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "send on a non-link must raise Invalid_argument"
+
+let test_policy_bounds () =
+  (* every random draw stays within [now + lo, now + hi] *)
+  let check_policy delay name =
+    let rng = Rng.create 42 in
+    let t = Transport.policy (spec ()) ~rng ~delay in
+    for i = 1 to 200 do
+      let now = q i in
+      let at = deliver_at (Transport.send t ~now ~seq:i ~src:1 ~dst:2) in
+      if Q.compare at (Q.add now (q 2)) < 0 then
+        Alcotest.failf "%s: arrival before now + lo" name;
+      if Q.compare at (Q.add now (q 10)) > 0 then
+        Alcotest.failf "%s: arrival after now + hi" name
+    done
+  in
+  check_policy `Uniform "uniform";
+  check_policy (`Capped (q 3)) "capped"
+
+let test_capped_bound () =
+  let rng = Rng.create 7 in
+  let t = Transport.policy (spec ()) ~rng ~delay:(`Capped (q 3)) in
+  for i = 1 to 200 do
+    let at = deliver_at (Transport.send t ~now:Q.zero ~seq:i ~src:0 ~dst:1) in
+    if Q.compare at (q 5) > 0 then
+      Alcotest.fail "capped draw exceeded lo + cap"
+  done
+
+let test_fifo_clamps_overtaking () =
+  (* Alternate gives the first message the slow extreme and the second
+     the fast one; sent back to back, the second would overtake — the
+     FIFO clamp must hold it behind the first *)
+  let rng = Rng.create 1 in
+  let raw = Transport.policy (spec ()) ~rng ~delay:`Alternate in
+  let t = Transport.fifo raw in
+  Alcotest.check qq "first arrives slow" (q 10)
+    (deliver_at (Transport.send t ~now:Q.zero ~seq:1 ~src:0 ~dst:1));
+  Alcotest.check qq "second clamped behind it" (q 10)
+    (deliver_at (Transport.send t ~now:Q.zero ~seq:2 ~src:0 ~dst:1));
+  (* independent links are not coupled by the clamp *)
+  Alcotest.check qq "other link unaffected" (q 2)
+    (deliver_at (Transport.send t ~now:Q.zero ~seq:4 ~src:1 ~dst:2));
+  (* the reverse direction is its own FIFO stream *)
+  Alcotest.check qq "reverse direction unaffected" (q 2)
+    (deliver_at (Transport.send t ~now:Q.zero ~seq:6 ~src:1 ~dst:0))
+
+let test_lossy_extremes () =
+  let rng = Rng.create 3 in
+  let never =
+    Transport.lossy ~rng ~loss_prob:0. ~detect_delay:(q 1)
+      (Transport.policy (spec ()) ~rng ~delay:`Min)
+  in
+  for i = 1 to 100 do
+    ignore (deliver_at (Transport.send never ~now:(q i) ~seq:i ~src:0 ~dst:1))
+  done;
+  let always =
+    Transport.lossy ~rng ~loss_prob:1. ~detect_delay:(q 4)
+      (Transport.policy (spec ()) ~rng ~delay:`Min)
+  in
+  for i = 1 to 100 do
+    match Transport.send always ~now:(q i) ~seq:i ~src:0 ~dst:1 with
+    | Transport.Lost { detect_at } ->
+      Alcotest.check qq "detected detect_delay after send"
+        (Q.add (q i) (q 4))
+        detect_at
+    | Transport.Deliver_at _ -> Alcotest.fail "loss_prob 1 must lose"
+  done
+
+let test_loss_does_not_advance_fifo () =
+  (* compose the decorators the other way around — fifo outside lossy —
+     so losses pass through the clamp: their far-future detect time must
+     not be mistaken for an arrival *)
+  let rng = Rng.create 5 in
+  let t =
+    Transport.fifo
+      (Transport.lossy ~rng ~loss_prob:0.5 ~detect_delay:(q 100000)
+         (Transport.policy (spec ()) ~rng ~delay:`Uniform))
+  in
+  let last = ref Q.zero in
+  for i = 1 to 300 do
+    let now = q i in
+    match Transport.send t ~now ~seq:i ~src:0 ~dst:1 with
+    | Transport.Lost _ -> ()
+    | Transport.Deliver_at at ->
+      if Q.compare at !last < 0 then Alcotest.fail "overtaking under loss";
+      if Q.compare at (Q.add now (q 10)) > 0 then
+        Alcotest.fail "loss detect time leaked into the FIFO clamp";
+      last := at
+  done
+
+let test_names () =
+  let rng = Rng.create 1 in
+  let stack =
+    Transport.lossy ~rng ~loss_prob:0.25 ~detect_delay:Q.one
+      (Transport.fifo (Transport.policy (spec ()) ~rng ~delay:`Uniform))
+  in
+  Alcotest.(check string)
+    "stock stack name" "lossy(0.25;fifo(policy))" (Transport.name stack)
+
+(* Property: under the stock stack with random sends across every link
+   and direction, deliveries never overtake per directed link and always
+   respect the transit lower bound. *)
+let prop_fifo_per_link =
+  QCheck.Test.make ~name:"transport: stock stack is FIFO per directed link"
+    ~count:100
+    QCheck.(pair small_int (list_of_size (Gen.int_range 1 60) (int_bound 3)))
+    (fun (seed, picks) ->
+      let rng = Rng.create (seed + 1) in
+      let t =
+        Transport.lossy ~rng ~loss_prob:0.2 ~detect_delay:(q 3)
+          (Transport.fifo (Transport.policy (spec ()) ~rng ~delay:`Uniform))
+      in
+      let links = [| (0, 1); (1, 0); (1, 2); (2, 1) |] in
+      let last = Hashtbl.create 8 in
+      let ok = ref true in
+      List.iteri
+        (fun i pick ->
+          let src, dst = links.(pick) in
+          let now = q i in
+          match Transport.send t ~now ~seq:(i + 1) ~src ~dst with
+          | Transport.Lost { detect_at } ->
+            if Q.compare detect_at now <= 0 then ok := false
+          | Transport.Deliver_at at ->
+            if Q.compare at (Q.add now (q 2)) < 0 then ok := false;
+            (match Hashtbl.find_opt last (src, dst) with
+            | Some prev when Q.compare at prev < 0 -> ok := false
+            | _ -> ());
+            Hashtbl.replace last (src, dst) at)
+        picks;
+      !ok)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "min and max extremes" `Quick test_min_max;
+          Alcotest.test_case "alternate parity" `Quick test_alternate_parity;
+          Alcotest.test_case "infinite hi fallback" `Quick
+            test_infinite_hi_fallback;
+          Alcotest.test_case "unknown link rejected" `Quick
+            test_unknown_link_rejected;
+          Alcotest.test_case "random draws within bounds" `Quick
+            test_policy_bounds;
+          Alcotest.test_case "capped bound" `Quick test_capped_bound;
+        ] );
+      ( "decorators",
+        [
+          Alcotest.test_case "fifo clamps overtaking" `Quick
+            test_fifo_clamps_overtaking;
+          Alcotest.test_case "lossy extremes" `Quick test_lossy_extremes;
+          Alcotest.test_case "loss does not advance fifo" `Quick
+            test_loss_does_not_advance_fifo;
+          Alcotest.test_case "stack names" `Quick test_names;
+        ] );
+      qsuite "props" [ prop_fifo_per_link ];
+    ]
