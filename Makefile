@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench-smoke check fmt fmt-check clean
+.PHONY: all build test bench-smoke net-smoke check fmt fmt-check clean
 
 all: build
 
@@ -16,6 +16,12 @@ test:
 
 bench-smoke:
 	$(DUNE) exec bench/main.exe -- smoke --json _build/bench_smoke.json
+
+# 3-process localhost UDP session with injected loss; asserts every
+# printed peer interval contained the reference node's true time and
+# that all three processes shut down cleanly (see scripts/net_smoke.sh)
+net-smoke: build
+	sh scripts/net_smoke.sh
 
 check: build test bench-smoke
 	@echo "check: OK"

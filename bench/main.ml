@@ -938,6 +938,89 @@ let microbenches () =
          ])
        data)
 
+(* ------------------------------------------- E15: net frame throughput *)
+
+(* a single-processor timeline of [l] events ending in the carrying send
+   — the shape the full-information protocol piggybacks, at a controlled
+   size *)
+let synthetic_payload ~events:l =
+  let evs =
+    List.init l (fun i ->
+        let kind =
+          if i = l - 1 then Event.Send { msg = 999_999; dst = 1 }
+          else if i = 0 then Event.Init
+          else if i mod 3 = 0 then Event.Internal
+          else Event.Send { msg = i; dst = 1 }
+        in
+        {
+          Event.id = { Event.proc = 0; seq = i };
+          lt = Q.of_ints ((i * 17) + 1) 1000;
+          kind;
+        })
+  in
+  let send_event = List.nth evs (l - 1) in
+  { Payload.send_event; events = evs }
+
+let e15_frame_throughput () =
+  section "E15" "net frame codec throughput (whole-frame encode/decode)";
+  let rows =
+    List.map
+      (fun l ->
+        let payload = Codec.encode (synthetic_payload ~events:l) in
+        let body =
+          Frame.Data { msg = 1; dst = 0; lost = [ 7; 11; 13 ]; payload }
+        in
+        let frame = Frame.encode { Frame.sender = 1; body } in
+        let bytes = String.length frame in
+        let reps = 2_000 in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          ignore (Frame.encode { Frame.sender = 1; body })
+        done;
+        let enc_s = Unix.gettimeofday () -. t0 in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          (* the full receive path: frame decode + payload decode, as the
+             session does per datagram *)
+          match Frame.decode frame with
+          | Ok { Frame.body = Frame.Data { payload; _ }; _ } -> (
+            match Codec.decode_result payload with
+            | Ok _ -> ()
+            | Error e -> failwith ("E15: payload decode failed: " ^ e))
+          | _ -> failwith "E15: frame decode failed"
+        done;
+        let dec_s = Unix.gettimeofday () -. t0 in
+        ( l,
+          bytes,
+          float_of_int reps /. enc_s,
+          float_of_int reps /. dec_s ))
+      [ 64; 128 ]
+  in
+  metric "frame_codec"
+    (J.List
+       (List.map
+          (fun (l, bytes, enc, dec) ->
+            J.Obj
+              [
+                ("payload_events", J.Int l);
+                ("frame_bytes", J.Int bytes);
+                ("encode_frames_per_s", J.Float enc);
+                ("decode_frames_per_s", J.Float dec);
+              ])
+          rows));
+  Table.print
+    ~header:
+      [ "payload events"; "frame bytes"; "encode frames/s"; "decode frames/s" ]
+    (List.map
+       (fun (l, bytes, enc, dec) ->
+         [
+           string_of_int l;
+           string_of_int bytes;
+           Printf.sprintf "%.0f" enc;
+           Printf.sprintf "%.0f" dec;
+         ])
+       rows)
+
 (* --------------------------------------------------------------- smoke *)
 
 (* A sub-second slice of E5, wired into `dune runtest` (see bench/dune) so
@@ -983,6 +1066,7 @@ let all =
     ("E12", e12_delay_policies);
     ("E13", e13_heterogeneous);
     ("E14", e14_convergence_figure);
+    ("E15", e15_frame_throughput);
     ("uB", microbenches);
   ]
 

@@ -206,14 +206,20 @@ let run_cmd =
         | Some path ->
           (* mirror the event stream to disk, and aggregate it a second
              time independently of the engine so the trailing summary
-             line is computed from exactly what was written *)
+             line is computed from exactly what was written; the sink is
+             closed — with its summary trailer — even when the engine
+             raises mid-run, so a partial trace is still a valid one *)
           let oc = open_out path in
           let m = Metrics.create () in
           let sink = Trace.tee (Trace.jsonl oc) (Metrics.sink m) in
-          let r = Engine.run { scenario with Scenario.trace = sink } in
-          output_string oc (Json_out.to_line (Metrics.summary_json m));
-          output_char oc '\n';
-          close_out oc;
+          let r =
+            Fun.protect
+              ~finally:(fun () ->
+                output_string oc (Json_out.to_line (Metrics.summary_json m));
+                output_char oc '\n';
+                close_out oc)
+              (fun () -> Engine.run { scenario with Scenario.trace = sink })
+          in
           Format.printf "wrote %s@.@." path;
           r
       in
@@ -307,6 +313,269 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Sweep one parameter and tabulate results.") term
 
+(* ---- serve / peer: the socket runtime ---- *)
+
+module Unet = Loop.Make (Udp)
+
+(* one JSONL sink with a summary trailer, closed even on exceptions *)
+let with_net_trace trace f =
+  match trace with
+  | None -> f Trace.null
+  | Some path ->
+    let oc = open_out path in
+    let m = Metrics.create () in
+    let sink = Trace.tee (Trace.jsonl oc) (Metrics.sink m) in
+    Fun.protect
+      ~finally:(fun () ->
+        output_string oc (Json_out.to_line (Metrics.summary_json m));
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "wrote %s@." path)
+      (fun () -> f sink)
+
+let net_spec ~nodes ~drift_ppm ~hi_ms =
+  System_spec.uniform ~n:nodes ~source:0 ~drift:(Drift.of_ppm drift_ppm)
+    ~transit:(Transit.of_q Q.zero (Scenario.ms hi_ms))
+    ~links:(Topology.star nodes)
+
+(* poll until the wall deadline, sampling every [sample_every]; both
+   subcommands share this driver *)
+let drive ~loop ~net ~session ~duration ~sample_every ~print ~stop_early =
+  let start = Udp.now net in
+  let deadline = Q.add start duration in
+  let next_sample = ref (Q.add start sample_every) in
+  let rec go () =
+    let now = Udp.now net in
+    if Q.(now < deadline) && not (stop_early ()) then begin
+      if Q.(now >= !next_sample) then begin
+        print ~now;
+        next_sample := Q.add now sample_every
+      end;
+      let wait =
+        Q.min
+          (Q.min (Q.sub deadline now)
+             (Q.max Q.zero (Q.sub !next_sample now)))
+          (Q.of_ints 1 5)
+      in
+      Unet.poll loop ~max_wait:wait;
+      go ()
+    end
+  in
+  go ();
+  Session.stop session ~now:(Udp.now net);
+  (* a last poll flushes the byes *)
+  Unet.poll loop ~max_wait:Q.zero
+
+let q_of_float_s f = Q.of_ints (int_of_float (f *. 1_000_000.)) 1_000_000
+
+let port_opt =
+  Arg.(value & opt int 9460 & info [ "port" ] ~docv:"PORT"
+         ~doc:"UDP port to bind (serve) — 0 picks a free port.")
+
+let net_nodes =
+  Arg.(value & opt int 3 & info [ "nodes"; "n" ] ~docv:"N"
+         ~doc:"Total processors in the system spec (reference node is \
+               processor 0; peers take ids 1..N-1).  Every participant \
+               must agree on this — it is part of the hello digest.")
+
+let net_drift =
+  Arg.(value & opt int 500 & info [ "drift" ] ~docv:"PPM"
+         ~doc:"Specified clock drift bound; peers' --skew-ppm must stay \
+               within it or the intervals are no longer guaranteed sound.")
+
+let net_hi_ms =
+  Arg.(value & opt int 250 & info [ "max-delay" ] ~docv:"MS"
+         ~doc:"Specified one-way transit upper bound.  Must genuinely \
+               bound the real network (generous for localhost).")
+
+let net_duration =
+  Arg.(value & opt float 15.0 & info [ "duration"; "d" ] ~docv:"SECONDS"
+         ~doc:"How long to run before saying bye.")
+
+let net_sample =
+  Arg.(value & opt float 1.0 & info [ "sample" ] ~docv:"SECONDS"
+         ~doc:"Interval between printed estimate samples.")
+
+let net_heartbeat =
+  Arg.(value & opt float 0.5 & info [ "heartbeat" ] ~docv:"SECONDS"
+         ~doc:"Data cadence per established peer.")
+
+let net_drop =
+  Arg.(value & opt float 0.0 & info [ "drop" ] ~docv:"P"
+         ~doc:"Inject receive-side loss with this probability (testing \
+               the Section 3.3 ack/retransmit machinery without tc).")
+
+let serve_cmd =
+  let action port nodes drift_ppm hi_ms duration sample heartbeat drop seed
+      trace =
+    if nodes < 2 then `Error (false, "need at least 2 nodes")
+    else begin
+      with_net_trace trace (fun sink ->
+          let spec = net_spec ~nodes ~drift_ppm ~hi_ms in
+          let net = Udp.create ~drop ~seed ~port () in
+          Format.printf "clocksync reference node: processor 0 of %d, %s@."
+            nodes
+            (Udp.string_of_addr (Udp.loopback (Udp.port net)));
+          Format.printf
+            "spec: drift %d ppm, transit [0, %d ms]; waiting for peers@."
+            drift_ppm hi_ms;
+          let cfg =
+            {
+              (Session.default_config ~me:0 ~spec) with
+              Session.heartbeat = q_of_float_s heartbeat;
+            }
+          in
+          let start = Udp.now net in
+          let session = Session.create ~sink cfg ~now:start in
+          let loop = Unet.create ~net ~session in
+          let print ~now =
+            let up =
+              List.filter (Session.established session)
+                (Session.peer_ids session)
+            in
+            (* the reference node is the source: its interval is the
+               exact point [now, now] — sampling it still feeds the
+               trace stream *)
+            ignore (Session.sample session ~now ~truth:now ());
+            Format.printf "t=%6.2f  peers up: %d/%d%s@."
+              (Q.to_float (Q.sub now start))
+              (List.length up) (nodes - 1)
+              (if up = [] then ""
+               else
+                 "  [" ^ String.concat ","
+                   (List.map string_of_int up) ^ "]")
+          in
+          let all_done () = Session.all_peers_done session in
+          drive ~loop ~net ~session ~duration:(q_of_float_s duration)
+            ~sample_every:(q_of_float_s sample) ~print ~stop_early:all_done;
+          Udp.close net;
+          Format.printf "reference node done (%s)@."
+            (if all_done () then "all peers came up and said bye"
+             else "duration elapsed");
+          `Ok ())
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ port_opt $ net_nodes $ net_drift $ net_hi_ms
+       $ net_duration $ net_sample $ net_heartbeat $ net_drop $ seed
+       $ trace_file))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the reference node (processor 0, the time source) on a UDP \
+          port.  Peers connect with $(b,clocksync peer).")
+    term
+
+let peer_cmd =
+  let server =
+    Arg.(value & opt string "127.0.0.1:9460" & info [ "server" ]
+           ~docv:"HOST:PORT" ~doc:"The reference node's address.")
+  in
+  let id =
+    Arg.(value & opt int 1 & info [ "id" ] ~docv:"ID"
+           ~doc:"This peer's processor id (1..N-1; unique per peer).")
+  in
+  let offset_ms =
+    Arg.(value & opt int 0 & info [ "offset-ms" ] ~docv:"MS"
+           ~doc:"Emulated initial clock offset.")
+  in
+  let skew_ppm =
+    Arg.(value & opt int 0 & info [ "skew-ppm" ] ~docv:"PPM"
+           ~doc:"Emulated clock rate error (must stay within --drift).")
+  in
+  let action server id nodes drift_ppm hi_ms duration sample heartbeat drop
+      offset_ms skew_ppm seed trace =
+    match Udp.addr_of_string server with
+    | Error m -> `Error (false, m)
+    | Ok server_addr ->
+      if id < 1 || id >= nodes then
+        `Error (false, "peer id must be in 1..nodes-1")
+      else if abs skew_ppm > drift_ppm then
+        `Error (false, "--skew-ppm exceeds the --drift bound: the \
+                        resulting intervals would be unsound")
+      else begin
+        with_net_trace trace (fun sink ->
+            let spec = net_spec ~nodes ~drift_ppm ~hi_ms in
+            let rate = Q.add Q.one (Q.of_ints skew_ppm 1_000_000) in
+            let net =
+              Udp.create ~offset:(Scenario.ms offset_ms) ~rate ~drop
+                ~seed:(seed + id) ~port:0 ()
+            in
+            Format.printf
+              "clocksync peer: processor %d of %d -> %s (offset %d ms, \
+               skew %d ppm)@."
+              id nodes server offset_ms skew_ppm;
+            let cfg =
+              {
+                (Session.default_config ~me:id ~spec) with
+                Session.heartbeat = q_of_float_s heartbeat;
+              }
+            in
+            let session = Session.create ~sink cfg ~now:(Udp.now net) in
+            let loop = Unet.create ~net ~session in
+            Unet.learn loop ~peer:0 server_addr;
+            let samples = ref 0
+            and finite = ref 0
+            and uncontained = ref 0 in
+            let print ~now =
+              (* on localhost every process shares the wall clock, and
+                 the reference node runs offset 0 / rate 1: the wall
+                 clock IS the source's local time, so soundness is
+                 checkable end to end *)
+              let truth = Udp.wall () in
+              let est = Session.sample session ~now ~truth () in
+              let w =
+                match Interval.width est with
+                | Ext.Fin w -> Q.to_float w
+                | Ext.Inf -> infinity
+              in
+              let ok = Interval.mem truth est in
+              incr samples;
+              if Float.is_finite w then incr finite;
+              if not ok then incr uncontained;
+              Format.printf
+                "lt=%10.3f  source time in %s  width=%s  contained=%s@."
+                (Q.to_float now)
+                (Interval.to_string_approx est)
+                (if Float.is_finite w then Printf.sprintf "%.6f" w
+                 else "inf")
+                (if ok then "yes" else "NO")
+            in
+            drive ~loop ~net ~session ~duration:(q_of_float_s duration)
+              ~sample_every:(q_of_float_s sample) ~print
+              ~stop_early:(fun () -> false);
+            Udp.close net;
+            Format.printf
+              "peer %d done: %d samples, %d finite, %d containment \
+               failures@."
+              id !samples !finite !uncontained;
+            if !uncontained > 0 then
+              `Error (false, "soundness violated: some intervals missed \
+                              the reference time")
+            else if !finite = 0 then
+              `Error (false, "never converged to a finite interval")
+            else `Ok ())
+      end
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ server $ id $ net_nodes $ net_drift $ net_hi_ms
+       $ net_duration $ net_sample $ net_heartbeat $ net_drop $ offset_ms
+       $ skew_ppm $ seed $ trace_file))
+  in
+  Cmd.v
+    (Cmd.info "peer"
+       ~doc:
+         "Run one peer processor against a $(b,clocksync serve) reference \
+          node, printing live optimal offset intervals (and checking, on \
+          localhost, that each interval contains the reference node's \
+          true time).")
+    term
+
 (* ---- verify ---- *)
 
 let verify_cmd =
@@ -371,4 +640,6 @@ let () =
      (Ostrovsky & Patt-Shamir, PODC 1999)"
   in
   let info = Cmd.info "clocksync" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; verify_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; sweep_cmd; verify_cmd; serve_cmd; peer_cmd ]))

@@ -86,7 +86,11 @@ let read_varint r =
     let acc = acc lor ((b land 0x7f) lsl shift) in
     if b land 0x80 = 0 then acc else go (shift + 7) acc
   in
-  go 0 0
+  let v = go 0 0 in
+  (* bits 56.. can reach the sign bit of a 63-bit int; encoders only ever
+     emit non-negative values, so a negative result is adversarial *)
+  if v < 0 then failwith "Codec.decode: varint overflow";
+  v
 
 let read_bigint r =
   let sign = byte r - 1 in
@@ -139,22 +143,42 @@ let reader_of_string s = { s; pos = 0 }
 let at_end r = r.pos >= String.length r.s
 let remaining r = String.length r.s - r.pos
 
+let read_bytes r len =
+  if len < 0 || len > remaining r then failwith "Codec.decode: truncated";
+  let s = String.sub r.s r.pos len in
+  r.pos <- r.pos + len;
+  s
+
 let decode s =
-  let r = reader_of_string s in
-  let count = read_varint r in
-  if count <= 0 then failwith "Codec.decode: empty payload";
-  let events = ref [] in
-  for _ = 1 to count do
-    events := read_event r :: !events
-  done;
-  let events = List.rev !events in
-  let index = read_varint r in
-  if r.pos <> String.length s then failwith "Codec.decode: trailing bytes";
-  match List.nth_opt events index with
-  | None -> failwith "Codec.decode: bad send index"
-  | Some send_event ->
+  try
+    let r = reader_of_string s in
+    let count = read_varint r in
+    if count <= 0 then failwith "Codec.decode: empty payload";
+    (* every encoded event occupies at least one byte, so a count beyond
+       the remaining bytes is a length bomb: fail before looping *)
+    if count > remaining r then failwith "Codec.decode: truncated";
+    let events = ref [] in
+    for _ = 1 to count do
+      events := read_event r :: !events
+    done;
+    let events = List.rev !events in
+    let index = read_varint r in
+    if r.pos <> String.length s then failwith "Codec.decode: trailing bytes";
+    if index < 0 || index >= count then failwith "Codec.decode: bad send index";
+    let send_event = List.nth events index in
     if not (Event.is_send send_event) then
       failwith "Codec.decode: send index does not reference a send";
     { Payload.send_event; events }
+  with
+  | Failure _ as e -> raise e
+  (* belt and braces at the socket boundary: whatever a primitive raises
+     on adversarial bytes, the caller sees [Failure] and nothing else *)
+  | Invalid_argument m -> failwith ("Codec.decode: " ^ m)
+  | Division_by_zero -> failwith "Codec.decode: division by zero"
+
+let decode_result s =
+  match decode s with
+  | p -> Ok p
+  | exception Failure m -> Error m
 
 let size p = String.length (encode p)

@@ -12,7 +12,15 @@
 val encode : Payload.t -> string
 
 val decode : string -> Payload.t
-(** @raise Failure on malformed input. *)
+(** @raise Failure on malformed input — and only [Failure]: adversarial
+    bytes (truncations, bit flips, length bombs) must never surface as
+    [Invalid_argument], [Out_of_memory], or a crash.  Fuzzed in
+    [test_hist.ml]. *)
+
+val decode_result : string -> (Payload.t, string) result
+(** Non-raising wrapper around {!decode}; what the net layer calls at the
+    socket boundary, where malformed input is an expected event rather
+    than a programming error. *)
 
 val size : Payload.t -> int
 (** [String.length (encode p)] — bytes on the wire. *)
@@ -36,6 +44,12 @@ val add_varint : Buffer.t -> int -> unit
 (** Non-negative integers only. *)
 
 val read_varint : reader -> int
+
+val read_bytes : reader -> int -> string
+(** [read_bytes r len] consumes the next [len] raw bytes (the net layer's
+    frame bodies embed Codec-encoded payloads as length-prefixed blobs).
+    @raise Failure when fewer than [len] bytes remain. *)
+
 val add_bigint : Buffer.t -> Bigint.t -> unit
 val read_bigint : reader -> Bigint.t
 val add_q : Buffer.t -> Q.t -> unit

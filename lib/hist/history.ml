@@ -59,15 +59,36 @@ let bump_peak t =
   let s = h_size t in
   if s > t.peak_h then t.peak_h <- s
 
-(* An event may leave H once every neighbor's frontier covers it. *)
+(* An event may leave H once every neighbor's frontier covers it.  In
+   lossy mode the frontier advances optimistically at send time, before
+   any acknowledgement; collecting against it would discard events whose
+   only carrier is a message that may yet be declared lost — a loss
+   verdict rolls the frontier back, but the events would be gone from H
+   and could never be re-reported.  So coverage for a neighbor is the
+   pointwise min of its frontier and the pre-send frontier of every
+   message still inflight to it: what the neighbor is *known* to have
+   been shown, not what we hope it has. *)
+let acked_coverage t u =
+  let c = Array.copy (frontier_exn t u) in
+  if t.lossy then
+    Hashtbl.iter
+      (fun _ { dst; prev_frontier; _ } ->
+        if dst = u then
+          for p = 0 to t.n_procs - 1 do
+            if prev_frontier.(p) < c.(p) then c.(p) <- prev_frontier.(p)
+          done)
+      t.inflight;
+  c
+
 let garbage_collect t =
+  let coverage = List.map (fun u -> acked_coverage t u) t.neighbors in
   let victims = ref [] in
   Event.Id_tbl.iter
     (fun id _ ->
       let covered =
         List.for_all
-          (fun u -> (frontier_exn t u).(id.Event.proc) >= id.Event.seq)
-          t.neighbors
+          (fun c -> c.(id.Event.proc) >= id.Event.seq)
+          coverage
       in
       if covered then victims := id :: !victims)
     t.h;
@@ -139,8 +160,30 @@ let topo_sort t batch =
       let ready, blocked =
         List.partition (fun e -> List.for_all satisfied (deps e)) remaining
       in
-      if ready = [] then
-        invalid_arg "History.integrate: payload not causally closed";
+      if ready = [] then begin
+        (* name the first few unmet dependencies: over a real network
+           this string ends up in net_drop trace events, where knowing
+           *which* events a sender under-reported is what makes loss
+           bugs diagnosable *)
+        let missing =
+          List.concat_map
+            (fun e ->
+              List.filter (fun d -> not (satisfied d)) (deps e)
+              |> List.map (fun (d : Event.id) ->
+                     Format.asprintf "%a needs %a" Event.pp_id e.Event.id
+                       Event.pp_id d))
+            remaining
+        in
+        let shown, rest =
+          if List.length missing > 4 then
+            ( List.filteri (fun i _ -> i < 4) missing,
+              Printf.sprintf "; +%d more" (List.length missing - 4) )
+          else (missing, "")
+        in
+        invalid_arg
+          ("History.integrate: payload not causally closed: "
+          ^ String.concat "; " shown ^ rest)
+      end;
       List.iter
         (fun (e : Event.t) ->
           Event.Id_tbl.replace emitted e.id ();
@@ -222,7 +265,13 @@ let restore ~n_procs ~me ~neighbors ?(lossy = false) s =
   t.reported_count <- s.s_reported;
   t
 
-let on_delivered t ~msg = if t.lossy then Hashtbl.remove t.inflight msg
+let on_delivered t ~msg =
+  if t.lossy && Hashtbl.mem t.inflight msg then begin
+    Hashtbl.remove t.inflight msg;
+    (* an acknowledgement is exactly when acked coverage improves, so
+       events retained only for this message's sake can go now *)
+    garbage_collect t
+  end
 
 let on_lost t ~msg =
   if t.lossy then begin
@@ -233,7 +282,14 @@ let on_lost t ~msg =
       let c = frontier_exn t dst in
       (* Roll back conservatively: anything this message was the evidence
          for is no longer considered shown.  Over-rollback only causes
-         re-reporting, never incorrectness. *)
-      Array.blit prev_frontier 0 c 0 t.n_procs;
+         re-reporting, never incorrectness.  Pointwise min, not a blit:
+         with several messages inflight to the same destination, loss
+         verdicts can arrive oldest-first, and overwriting would raise
+         the frontier back past an earlier rollback — the gap would then
+         never be re-reported and every later payload to dst would be
+         rejected as not causally closed. *)
+      for p = 0 to t.n_procs - 1 do
+        if prev_frontier.(p) < c.(p) then c.(p) <- prev_frontier.(p)
+      done;
       List.iter (add_to_h t) reported
   end

@@ -1,0 +1,112 @@
+let version = 1
+let max_frame = 65507
+
+type body =
+  | Hello of { nodes : int; digest : int }
+  | Hello_ack of { nodes : int; digest : int }
+  | Data of { msg : int; dst : int; lost : int list; payload : string }
+  | Ack of { msg : int }
+  | Bye
+
+type t = { sender : int; body : body }
+
+let kind_label = function
+  | Hello _ -> "hello"
+  | Hello_ack _ -> "hello_ack"
+  | Data _ -> "data"
+  | Ack _ -> "ack"
+  | Bye -> "bye"
+
+let kind_tag = function
+  | Hello _ -> 0
+  | Hello_ack _ -> 1
+  | Data _ -> 2
+  | Ack _ -> 3
+  | Bye -> 4
+
+let fnv1a32 s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+    s;
+  !h
+
+let encode { sender; body } =
+  let body_buf = Buffer.create 128 in
+  (match body with
+  | Hello { nodes; digest } | Hello_ack { nodes; digest } ->
+    Codec.add_varint body_buf nodes;
+    Codec.add_varint body_buf digest
+  | Data { msg; dst; lost; payload } ->
+    Codec.add_varint body_buf msg;
+    Codec.add_varint body_buf dst;
+    Codec.add_varint body_buf (List.length lost);
+    List.iter (Codec.add_varint body_buf) lost;
+    Codec.add_varint body_buf (String.length payload);
+    Buffer.add_string body_buf payload
+  | Ack { msg } -> Codec.add_varint body_buf msg
+  | Bye -> ());
+  let buf = Buffer.create (Buffer.length body_buf + 16) in
+  Buffer.add_char buf (Char.chr version);
+  Buffer.add_char buf (Char.chr (kind_tag body));
+  Codec.add_varint buf sender;
+  Codec.add_varint buf (Buffer.length body_buf);
+  Buffer.add_buffer buf body_buf;
+  let h = fnv1a32 (Buffer.contents buf) in
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((h lsr (8 * i)) land 0xff))
+  done;
+  let s = Buffer.contents buf in
+  if String.length s > max_frame then
+    invalid_arg "Frame.encode: frame exceeds max datagram size";
+  s
+
+let decode s =
+  try
+    let n = String.length s in
+    if n < 8 then failwith "frame too short";
+    if n > max_frame then failwith "frame too large";
+    let head = String.sub s 0 (n - 4) in
+    let stored =
+      let b i = Char.code s.[n - 4 + i] in
+      b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+    in
+    if fnv1a32 head <> stored then failwith "bad checksum";
+    let r = Codec.reader_of_string head in
+    let v = Char.code (Codec.read_bytes r 1).[0] in
+    if v <> version then
+      failwith (Printf.sprintf "unsupported version %d" v);
+    let kind = Char.code (Codec.read_bytes r 1).[0] in
+    let sender = Codec.read_varint r in
+    let body_len = Codec.read_varint r in
+    if body_len <> Codec.remaining r then failwith "bad body length";
+    let body =
+      match kind with
+      | 0 | 1 ->
+        let nodes = Codec.read_varint r in
+        let digest = Codec.read_varint r in
+        if kind = 0 then Hello { nodes; digest }
+        else Hello_ack { nodes; digest }
+      | 2 ->
+        let msg = Codec.read_varint r in
+        let dst = Codec.read_varint r in
+        let n_lost = Codec.read_varint r in
+        (* every lost id occupies at least one byte: length-bomb guard *)
+        if n_lost > Codec.remaining r then failwith "truncated loss list";
+        let lost = ref [] in
+        for _ = 1 to n_lost do
+          lost := Codec.read_varint r :: !lost
+        done;
+        let lost = List.rev !lost in
+        let payload_len = Codec.read_varint r in
+        let payload = Codec.read_bytes r payload_len in
+        Data { msg; dst; lost; payload }
+      | 3 -> Ack { msg = Codec.read_varint r }
+      | 4 -> Bye
+      | k -> failwith (Printf.sprintf "unknown frame kind %d" k)
+    in
+    if not (Codec.at_end r) then failwith "trailing bytes in body";
+    Ok { sender; body }
+  with
+  | Failure m -> Error m
+  | Invalid_argument m -> Error m

@@ -1,0 +1,68 @@
+module Make (N : Net_intf.NET) = struct
+  type t = {
+    net : N.t;
+    session : Session.t;
+    mutable routes : (Event.proc * N.addr) list;
+  }
+
+  let create ~net ~session = { net; session; routes = [] }
+  let net t = t.net
+  let session t = t.session
+
+  let learn t ~peer addr =
+    if Session.is_peer t.session peer then begin
+      (match List.assoc_opt peer t.routes with
+      | Some a when N.equal_addr a addr -> ()
+      | _ ->
+        t.routes <- (peer, addr) :: List.remove_assoc peer t.routes);
+      Session.peer_reachable t.session ~peer ~now:(N.now t.net)
+    end
+
+  let flush t =
+    List.iter
+      (fun (dst, bytes) ->
+        (* the session only addresses reachable peers, and reachability
+           is only ever set by [learn]; a missing route is a bug, but
+           dropping matches the datagram contract *)
+        match List.assoc_opt dst t.routes with
+        | Some addr -> N.send t.net addr bytes
+        | None -> ())
+      (Session.drain t.session)
+
+  let poll t ~max_wait =
+    let now = N.now t.net in
+    Session.tick t.session ~now;
+    flush t;
+    let timeout =
+      match Session.next_deadline t.session with
+      | None -> max_wait
+      | Some d -> Q.max Q.zero (Q.min max_wait (Q.sub d now))
+    in
+    match N.recv t.net ~timeout with
+    | None -> ()
+    | Some (addr, bytes) -> (
+      let now = N.now t.net in
+      match Frame.decode bytes with
+      | Error e -> Session.note_drop t.session ~now ("frame: " ^ e)
+      | Ok frame ->
+        if Session.is_peer t.session frame.Frame.sender then begin
+          learn t ~peer:frame.Frame.sender addr;
+          Session.handle t.session ~now ~bytes:(String.length bytes) frame;
+          flush t
+        end
+        else
+          Session.note_drop t.session ~now
+            (Printf.sprintf "frame from non-neighbor %d" frame.Frame.sender)
+      )
+
+  let run_until t ~deadline ~stop =
+    let step = Q.of_ints 1 5 in
+    let rec go () =
+      let now = N.now t.net in
+      if (not (stop ())) && Q.(now < deadline) then begin
+        poll t ~max_wait:(Q.min step (Q.sub deadline now));
+        go ()
+      end
+    in
+    go ()
+end

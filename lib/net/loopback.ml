@@ -1,0 +1,171 @@
+type packet = { at : Q.t; seq : int; src : int; dst : int; bytes : string }
+
+type fabric = {
+  rng : Rng.t;
+  loss : float;
+  delay_lo : Q.t;
+  delay_hi : Q.t;
+  mutable vnow : Q.t;
+  mutable queue : packet list;  (* sorted by (at, seq) *)
+  mutable next_seq : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+type endpoint = { fab : fabric; id : int; offset : Q.t; rate : Q.t }
+
+let fabric ?(seed = 11) ?(loss = 0.) ~delay_lo ~delay_hi () =
+  if Q.sign delay_lo <= 0 then
+    invalid_arg "Loopback.fabric: delay_lo must be positive";
+  if Q.(delay_hi < delay_lo) then
+    invalid_arg "Loopback.fabric: delay_hi < delay_lo";
+  {
+    rng = Rng.create seed;
+    loss;
+    delay_lo;
+    delay_hi;
+    vnow = Q.zero;
+    queue = [];
+    next_seq = 0;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let endpoint fab ~id ?(offset = Q.zero) ?(rate = Q.one) () =
+  if Q.sign rate <= 0 then
+    invalid_arg "Loopback.endpoint: rate must be positive";
+  { fab; id; offset; rate }
+
+let vnow fab = fab.vnow
+let delivered fab = fab.delivered
+let dropped fab = fab.dropped
+let local_of_virtual ep vt = Q.add ep.offset (Q.mul ep.rate vt)
+let virtual_of_local ep lt = Q.div (Q.sub lt ep.offset) ep.rate
+
+let insert_sorted fab p =
+  let earlier q =
+    Q.(q.at < p.at) || (Q.(q.at = p.at) && q.seq < p.seq)
+  in
+  let rec go = function
+    | q :: rest when earlier q -> q :: go rest
+    | rest -> p :: rest
+  in
+  fab.queue <- go fab.queue
+
+module Net = struct
+  type t = endpoint
+  type addr = int
+
+  let equal_addr = Int.equal
+  let string_of_addr = string_of_int
+  let now ep = local_of_virtual ep ep.fab.vnow
+
+  let send ep dst bytes =
+    let fab = ep.fab in
+    if fab.loss > 0. && Rng.bernoulli fab.rng ~p:fab.loss then
+      fab.dropped <- fab.dropped + 1
+    else begin
+      let d =
+        if Q.(fab.delay_lo = fab.delay_hi) then fab.delay_lo
+        else Rng.q_between fab.rng fab.delay_lo fab.delay_hi
+      in
+      let p =
+        {
+          at = Q.add fab.vnow d;
+          seq = fab.next_seq;
+          src = ep.id;
+          dst;
+          bytes;
+        }
+      in
+      fab.next_seq <- fab.next_seq + 1;
+      insert_sorted fab p
+    end
+
+  (* non-blocking by design: time only moves in [run] *)
+  let recv ep ~timeout:_ =
+    let fab = ep.fab in
+    let rec pick acc = function
+      | [] -> None
+      | p :: rest when p.dst = ep.id && Q.(p.at <= fab.vnow) ->
+        fab.queue <- List.rev_append acc rest;
+        fab.delivered <- fab.delivered + 1;
+        Some (p.src, p.bytes)
+      | p :: rest -> pick (p :: acc) rest
+    in
+    pick [] fab.queue
+end
+
+module L = Loop.Make (Net)
+
+let deliverable fab =
+  match fab.queue with [] -> false | p :: _ -> Q.(p.at <= fab.vnow)
+
+let run fab ~loops ~until ?(script = []) () =
+  let script =
+    ref (List.stable_sort (fun (a, _) (b, _) -> Q.compare a b) script)
+  in
+  let fire_due () =
+    let rec go () =
+      match !script with
+      | (at, f) :: rest when Q.(at <= fab.vnow) ->
+        script := rest;
+        f ();
+        go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let poll_all () = List.iter (fun l -> L.poll l ~max_wait:Q.zero) loops in
+  (* polls deliver at most one datagram per endpoint, so repeat until the
+     due set is empty; the delivered counter guards against a datagram
+     addressed to an endpoint nobody polls *)
+  let rec drain () =
+    if deliverable fab then begin
+      let d0 = fab.delivered in
+      poll_all ();
+      if fab.delivered > d0 then drain ()
+    end
+  in
+  let step () =
+    fire_due ();
+    poll_all ();
+    drain ()
+  in
+  let next_deadline_vt () =
+    List.fold_left
+      (fun acc l ->
+        match Session.next_deadline (L.session l) with
+        | None -> acc
+        | Some d ->
+          let vt = virtual_of_local (L.net l) d in
+          (match acc with
+          | None -> Some vt
+          | Some a -> Some (Q.min a vt)))
+      None loops
+  in
+  step ();
+  let rec go () =
+    if Q.(fab.vnow < until) then begin
+      let cands = [] in
+      let cands =
+        match fab.queue with p :: _ -> p.at :: cands | [] -> cands
+      in
+      let cands =
+        match !script with (at, _) :: _ -> at :: cands | [] -> cands
+      in
+      let cands =
+        match next_deadline_vt () with Some a -> a :: cands | None -> cands
+      in
+      (* a step leaves every timer strictly in the future and every due
+         packet/script entry consumed, so filtering keeps us moving *)
+      match List.filter (fun a -> Q.(a > fab.vnow)) cands with
+      | [] -> fab.vnow <- until
+      | fut ->
+        fab.vnow <- Q.min until (List.fold_left Q.min (List.hd fut) fut);
+        step ();
+        go ()
+    end
+  in
+  go ();
+  step ()

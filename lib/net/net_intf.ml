@@ -1,0 +1,33 @@
+(** The seam between the protocol machinery and the actual network.
+
+    Everything above this signature — {!Session}, {!Loop} — is pure
+    protocol logic; everything below it is either real sockets ({!Udp})
+    or the deterministic in-process fabric ({!Loopback}).  The test
+    suite drives the exact code that runs over UDP, with no real sockets
+    and no wall clock, by swapping the functor argument.
+
+    [now] is the endpoint's {e local} clock (the paper's [LT]): possibly
+    offset and skewed relative to real time, but monotone.  All session
+    timers are local-time durations. *)
+
+module type NET = sig
+  type t
+  (** One endpoint: a bound socket, or a loopback port. *)
+
+  type addr
+
+  val equal_addr : addr -> addr -> bool
+  val string_of_addr : addr -> string
+
+  val now : t -> Q.t
+  (** Local clock reading; non-decreasing across calls. *)
+
+  val send : t -> addr -> string -> unit
+  (** Best-effort datagram send; silently drops on transient errors
+      (that is UDP's contract, and the protocol tolerates loss). *)
+
+  val recv : t -> timeout:Q.t -> (addr * string) option
+  (** Wait up to [timeout] (local-time units) for one datagram.  [None]
+      on timeout.  The loopback fabric never blocks: it returns whatever
+      is deliverable at the current virtual time. *)
+end

@@ -1,0 +1,385 @@
+type config = {
+  me : Event.proc;
+  spec : System_spec.t;
+  lossy : bool;
+  heartbeat : Q.t;
+  announce_base : Q.t;
+  announce_cap : Q.t;
+  ack_timeout : Q.t;
+  peer_timeout : Q.t;
+}
+
+let default_config ~me ~spec =
+  {
+    me;
+    spec;
+    lossy = true;
+    heartbeat = Q.of_ints 1 2;
+    announce_base = Q.of_ints 1 4;
+    announce_cap = Q.of_int 8;
+    ack_timeout = Q.one;
+    peer_timeout = Q.of_int 5;
+  }
+
+(* Two endpoints pairing with different specs would exchange payloads and
+   produce confidently wrong intervals; the digest makes the mismatch a
+   refusal at hello time instead.  It covers the shape the wire protocol
+   itself depends on — anything finer (exact drift/transit bounds) still
+   matters for soundness but cannot corrupt the state machines. *)
+let config_digest cfg =
+  let n = System_spec.n cfg.spec in
+  let src = System_spec.source cfg.spec in
+  let links = System_spec.n_links cfg.spec in
+  (Frame.version * 1000003)
+  lxor (n * 8191)
+  lxor (src * 131)
+  lxor (links * 17)
+  lxor (if cfg.lossy then 1 else 0)
+
+type peer = {
+  id : Event.proc;
+  mutable reachable : bool;
+  mutable established : bool;
+  mutable was_up : bool;
+  mutable said_bye : bool;
+  mutable last_heard : Q.t;
+  mutable next_announce : Q.t;
+  mutable backoff : Q.t;
+  mutable next_heartbeat : Q.t;
+  mutable last_seen_msg : int;  (* highest data msg id accepted; -1 none *)
+  mutable inflight : (int * Q.t) list;  (* msg id, ack deadline *)
+}
+
+type t = {
+  cfg : config;
+  csa : Csa.t;
+  sink : Trace.sink;
+  peers : (Event.proc, peer) Hashtbl.t;
+  peer_order : Event.proc list;
+  out : (Event.proc * string) Queue.t;
+  alloc_msg : unit -> int;
+  mutable lost_ring : int list;  (* recent loss verdicts, newest first *)
+  mutable stopped : bool;
+}
+
+let lost_ring_cap = 64
+
+let create ?(sink = Trace.null) ?alloc_msg ?(preestablished = false) cfg ~now
+    =
+  let csa =
+    Csa.create ~lossy:cfg.lossy ~sink cfg.spec ~me:cfg.me ~lt0:now
+  in
+  let alloc_msg =
+    match alloc_msg with
+    | Some f -> f
+    | None ->
+      (* [me + k*n] never collides across nodes of one system *)
+      let k = ref 0 in
+      let n = System_spec.n cfg.spec in
+      fun () ->
+        let m = cfg.me + (!k * n) in
+        incr k;
+        m
+  in
+  let neighbors = System_spec.neighbors cfg.spec cfg.me in
+  let peers = Hashtbl.create (List.length neighbors) in
+  List.iter
+    (fun id ->
+      Hashtbl.replace peers id
+        {
+          id;
+          reachable = preestablished;
+          established = preestablished;
+          was_up = preestablished;
+          said_bye = false;
+          last_heard = now;
+          next_announce = now;
+          backoff = cfg.announce_base;
+          next_heartbeat = Q.add now cfg.heartbeat;
+          last_seen_msg = -1;
+          inflight = [];
+        })
+    neighbors;
+  {
+    cfg;
+    csa;
+    sink;
+    peers;
+    peer_order = neighbors;
+    out = Queue.create ();
+    alloc_msg;
+    lost_ring = [];
+    stopped = false;
+  }
+
+let csa t = t.csa
+let is_peer t id = Hashtbl.mem t.peers id
+let peer_ids t = t.peer_order
+let established t id =
+  match Hashtbl.find_opt t.peers id with
+  | Some p -> p.established
+  | None -> false
+
+let ft now = Q.to_float now
+
+let emit_frame t ~now ~dst body =
+  let bytes = Frame.encode { sender = t.cfg.me; body } in
+  Trace.emit t.sink
+    (Trace.Net_tx
+       {
+         t = ft now;
+         dst;
+         kind = Frame.kind_label body;
+         bytes = String.length bytes;
+       });
+  Queue.add (dst, bytes) t.out
+
+let drain t =
+  let rec go acc =
+    match Queue.take_opt t.out with
+    | None -> List.rev acc
+    | Some x -> go (x :: acc)
+  in
+  go []
+
+let note_drop t ~now reason =
+  Trace.emit t.sink (Trace.Net_drop { t = ft now; reason })
+
+let remember_lost t msg =
+  if not (List.mem msg t.lost_ring) then begin
+    let ring = msg :: t.lost_ring in
+    t.lost_ring <-
+      (if List.length ring > lost_ring_cap then
+         List.filteri (fun i _ -> i < lost_ring_cap) ring
+       else ring)
+  end
+
+(* A verdict can concern a message we ourselves received successfully (the
+   sender's ack got lost); [Csa.on_msg_lost] is idempotent and a no-op for
+   such points, so applying every verdict unconditionally is safe. *)
+let apply_loss_verdict t msg =
+  Csa.on_msg_lost t.csa ~msg;
+  remember_lost t msg
+
+let send_data t ~now ~dst =
+  let p = Hashtbl.find t.peers dst in
+  let msg = t.alloc_msg () in
+  let payload = Csa.send t.csa ~dst ~msg ~lt:now in
+  let wire = Codec.encode payload in
+  Trace.emit t.sink
+    (Trace.Send
+       {
+         t = ft now;
+         src = t.cfg.me;
+         dst;
+         msg;
+         events = List.length payload.Payload.events;
+         bytes = String.length wire;
+       });
+  emit_frame t ~now ~dst
+    (Frame.Data { msg; dst; lost = t.lost_ring; payload = wire });
+  if t.cfg.lossy then
+    p.inflight <- (msg, Q.add now t.cfg.ack_timeout) :: p.inflight;
+  p.next_heartbeat <- Q.add now t.cfg.heartbeat
+
+let mark_established t p ~now =
+  if not p.established then begin
+    p.established <- true;
+    p.was_up <- true;
+    p.said_bye <- false;
+    p.backoff <- t.cfg.announce_base;
+    Trace.emit t.sink (Trace.Peer_up { t = ft now; peer = p.id });
+    (* get a payload to the fresh peer right away *)
+    p.next_heartbeat <- now
+  end;
+  p.last_heard <- now
+
+let hello_body t =
+  Frame.Hello
+    { nodes = System_spec.n t.cfg.spec; digest = config_digest t.cfg }
+
+let hello_ack_body t =
+  Frame.Hello_ack
+    { nodes = System_spec.n t.cfg.spec; digest = config_digest t.cfg }
+
+let digest_matches t nodes digest =
+  nodes = System_spec.n t.cfg.spec && digest = config_digest t.cfg
+
+let handle t ~now ~bytes (frame : Frame.t) =
+  match Hashtbl.find_opt t.peers frame.sender with
+  | None ->
+    note_drop t ~now
+      (Printf.sprintf "frame from non-neighbor %d" frame.sender)
+  | Some p -> (
+    Trace.emit t.sink
+      (Trace.Net_rx
+         {
+           t = ft now;
+           src = frame.sender;
+           kind = Frame.kind_label frame.body;
+           bytes;
+         });
+    p.last_heard <- now;
+    match frame.body with
+    | Frame.Hello { nodes; digest } ->
+      if not (digest_matches t nodes digest) then
+        note_drop t ~now
+          (Printf.sprintf "config mismatch with peer %d" p.id)
+      else begin
+        mark_established t p ~now;
+        emit_frame t ~now ~dst:p.id (hello_ack_body t)
+      end
+    | Frame.Hello_ack { nodes; digest } ->
+      if not (digest_matches t nodes digest) then
+        note_drop t ~now
+          (Printf.sprintf "config mismatch with peer %d" p.id)
+      else mark_established t p ~now
+    | Frame.Data { msg; dst; lost; payload } ->
+      List.iter (apply_loss_verdict t) lost;
+      if dst <> t.cfg.me then
+        note_drop t ~now (Printf.sprintf "data for %d misrouted" dst)
+      else if msg <= p.last_seen_msg then begin
+        (* duplicate or reordered datagram: the CSA must not record a
+           second receive event, but re-acking quiets the sender's
+           retransmission timer when our first ack was lost *)
+        if t.cfg.lossy then emit_frame t ~now ~dst:p.id (Frame.Ack { msg });
+        note_drop t ~now (Printf.sprintf "stale data msg %d" msg)
+      end
+      else (
+        match Codec.decode_result payload with
+        | Error e -> note_drop t ~now ("payload: " ^ e)
+        | Ok pl -> (
+          match Csa.receive t.csa ~msg ~lt:now pl with
+          | () ->
+            p.last_seen_msg <- msg;
+            Trace.emit t.sink
+              (Trace.Receive
+                 { t = ft now; src = p.id; dst = t.cfg.me; msg });
+            if t.cfg.lossy then
+              emit_frame t ~now ~dst:p.id (Frame.Ack { msg });
+            (* data implies the peer considers us up *)
+            mark_established t p ~now
+          | exception Invalid_argument m ->
+            note_drop t ~now ("protocol violation: " ^ m)
+          | exception Failure m -> note_drop t ~now ("bad payload: " ^ m)))
+    | Frame.Ack { msg } ->
+      (* an ack after the timeout already declared the loss is ignored:
+         the verdict stands (and stays sound — see DESIGN.md) *)
+      if List.mem_assoc msg p.inflight then begin
+        p.inflight <- List.remove_assoc msg p.inflight;
+        Csa.on_msg_delivered t.csa ~msg
+      end
+    | Frame.Bye ->
+      p.said_bye <- true;
+      if p.established then begin
+        p.established <- false;
+        Trace.emit t.sink (Trace.Peer_down { t = ft now; peer = p.id })
+      end)
+
+let peer_reachable t ~peer ~now =
+  match Hashtbl.find_opt t.peers peer with
+  | None -> ()
+  | Some p ->
+    if not p.reachable then begin
+      p.reachable <- true;
+      p.next_announce <- now;
+      p.backoff <- t.cfg.announce_base;
+      (* an address just learned counts as a sign of life *)
+      p.last_heard <- now
+    end
+
+let tick_peer t p ~now =
+  if p.reachable && (not p.established) && (not p.said_bye)
+     && (not t.stopped)
+     && Q.(p.next_announce <= now)
+  then begin
+    emit_frame t ~now ~dst:p.id (hello_body t);
+    p.next_announce <- Q.add now p.backoff;
+    p.backoff <- Q.min (Q.mul_int p.backoff 2) t.cfg.announce_cap
+  end;
+  if p.established && Q.(Q.add p.last_heard t.cfg.peer_timeout <= now)
+  then begin
+    p.established <- false;
+    Trace.emit t.sink (Trace.Peer_down { t = ft now; peer = p.id });
+    p.next_announce <- now;
+    p.backoff <- t.cfg.announce_base
+  end;
+  (let due, rest =
+     List.partition (fun (_, dl) -> Q.(dl <= now)) p.inflight
+   in
+   if due <> [] then begin
+     p.inflight <- rest;
+     List.iter
+       (fun (msg, _) ->
+         apply_loss_verdict t msg;
+         Trace.emit t.sink (Trace.Lost { t = ft now; msg });
+         Trace.emit t.sink
+           (Trace.Retransmit { t = ft now; peer = p.id; msg }))
+       due;
+     (* the re-buffered events should travel promptly, not wait out the
+        full heartbeat *)
+     if p.established then p.next_heartbeat <- now
+   end);
+  if p.established && (not t.stopped) && Q.(p.next_heartbeat <= now) then
+    send_data t ~now ~dst:p.id
+
+let tick t ~now = List.iter (fun id -> tick_peer t (Hashtbl.find t.peers id) ~now) t.peer_order
+
+let next_deadline t =
+  let add acc d = match acc with None -> Some d | Some a -> Some (Q.min a d) in
+  Hashtbl.fold
+    (fun _ p acc ->
+      let acc =
+        if p.reachable && (not p.established) && (not p.said_bye)
+           && not t.stopped
+        then add acc p.next_announce
+        else acc
+      in
+      let acc =
+        if p.established then
+          let acc =
+            if t.stopped then acc else add acc p.next_heartbeat
+          in
+          add acc (Q.add p.last_heard t.cfg.peer_timeout)
+        else acc
+      in
+      List.fold_left (fun acc (_, dl) -> add acc dl) acc p.inflight)
+    t.peers None
+
+let float_width i =
+  match Interval.width i with
+  | Ext.Fin w -> Q.to_float w
+  | Ext.Inf -> infinity
+
+let sample t ~now ?truth () =
+  let est = Csa.estimate_at t.csa ~lt:now in
+  let contained =
+    match truth with Some tr -> Interval.mem tr est | None -> true
+  in
+  Trace.emit t.sink
+    (Trace.Estimate
+       {
+         t = ft now;
+         node = t.cfg.me;
+         algo = "optimal";
+         width = float_width est;
+         contained;
+       });
+  est
+
+let stop t ~now =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Hashtbl.iter
+      (fun _ p ->
+        if p.reachable then emit_frame t ~now ~dst:p.id Frame.Bye)
+      t.peers
+  end
+
+let all_peers_done t =
+  t.peer_order <> []
+  && List.for_all
+       (fun id ->
+         let p = Hashtbl.find t.peers id in
+         p.was_up && p.said_bye)
+       t.peer_order

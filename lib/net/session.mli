@@ -1,0 +1,99 @@
+(** Per-peer session state over an unreliable datagram transport.
+
+    One {!t} wraps one {!Csa.t} and runs the protocol against every
+    neighbor in the spec: handshake (hello / hello_ack with a config
+    digest), heartbeat data cadence, ack-based loss detection with
+    bounded-exponential-backoff re-announce, peer liveness timeouts, and
+    in-band gossip of loss verdicts (Section 3.3 assumes every processor
+    eventually learns each message's fate; over a real network that
+    knowledge must travel in-band, so every [Data] frame carries the
+    sender's recent lost-message ids).
+
+    The module is transport-free and clock-free: callers pass [~now]
+    (the endpoint's local time) into every entry point, and outgoing
+    frames accumulate in a queue drained with {!drain}.  {!Loop} binds
+    it to a {!Net_intf.NET}.  This is what makes the whole protocol
+    stack runnable — and deterministic — under [dune runtest]. *)
+
+type config = {
+  me : Event.proc;
+  spec : System_spec.t;
+  lossy : bool;  (** run the Section 3.3 ack/retransmit machinery *)
+  heartbeat : Q.t;  (** data cadence per established peer *)
+  announce_base : Q.t;  (** initial hello retry interval *)
+  announce_cap : Q.t;  (** backoff ceiling (bounded exponential) *)
+  ack_timeout : Q.t;
+      (** lossy mode: declare a data message lost this long after
+          sending with no ack.  Must exceed a round trip's upper bound
+          or sound deliveries get declared lost (see DESIGN.md). *)
+  peer_timeout : Q.t;  (** silence before a peer is marked down *)
+}
+
+val default_config : me:Event.proc -> spec:System_spec.t -> config
+(** Localhost-friendly defaults: heartbeat 0.5 s, announce 0.25 s
+    doubling to 8 s, ack timeout 1 s, peer timeout 5 s, [lossy] on. *)
+
+val config_digest : config -> int
+(** Fingerprint of the spec shape two endpoints must agree on; carried
+    in hello frames and checked before pairing. *)
+
+type t
+
+val create :
+  ?sink:Trace.sink ->
+  ?alloc_msg:(unit -> int) ->
+  ?preestablished:bool ->
+  config ->
+  now:Q.t ->
+  t
+(** Boot the node's CSA at local time [now] with one session slot per
+    spec neighbor.  [alloc_msg] overrides message-id allocation (ids
+    must be globally unique; the default strides by node count).
+    [preestablished] skips the handshake — every peer starts reachable
+    and up, which the deterministic equivalence tests use to mirror the
+    simulator exactly. *)
+
+val csa : t -> Csa.t
+val is_peer : t -> Event.proc -> bool
+
+val peer_reachable : t -> peer:Event.proc -> now:Q.t -> unit
+(** The transport learned an address for [peer]; start announcing. *)
+
+val handle : t -> now:Q.t -> bytes:int -> Frame.t -> unit
+(** Dispatch one decoded frame.  Never raises on adversarial input:
+    protocol violations become [net_drop] trace events. *)
+
+val note_drop : t -> now:Q.t -> string -> unit
+(** Record an undecodable datagram (called by the loop when
+    {!Frame.decode} fails). *)
+
+val tick : t -> now:Q.t -> unit
+(** Fire every due timer: hello re-announce (with backoff), heartbeats,
+    ack timeouts (declaring losses), peer-silence downs.  After a tick
+    at [now], every internal deadline is strictly after [now]. *)
+
+val next_deadline : t -> Q.t option
+(** Earliest pending timer, for the transport's select timeout. *)
+
+val drain : t -> (Event.proc * string) list
+(** Remove and return queued outgoing frames, oldest first. *)
+
+val send_data : t -> now:Q.t -> dst:Event.proc -> unit
+(** Queue one data frame to [dst] immediately (heartbeats call this;
+    tests and the CLI can force a round). *)
+
+val sample : t -> now:Q.t -> ?truth:Q.t -> unit -> Interval.t
+(** Estimate the source time at local time [now], emitting an
+    [estimate] trace event.  [truth] enables the containment check
+    (meaningful on localhost where all endpoints share a wall clock);
+    without it the event reports [contained = true] vacuously. *)
+
+val stop : t -> now:Q.t -> unit
+(** Queue a bye to every reachable peer and stop announcing. *)
+
+val established : t -> Event.proc -> bool
+val peer_ids : t -> Event.proc list
+
+val all_peers_done : t -> bool
+(** Every peer was up at some point and has since said bye — the
+    reference node's natural exit condition. *)

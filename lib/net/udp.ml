@@ -1,0 +1,93 @@
+type addr = Unix.sockaddr
+
+type t = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  offset : Q.t;
+  rate : Q.t;
+  drop : float;
+  rng : Rng.t;
+  mutable last_now : Q.t;
+}
+
+(* exact microseconds: floats in this range hold integers exactly, and
+   the quotient stays well inside 63-bit ints *)
+let q_of_wall f = Q.of_ints (int_of_float (f *. 1e6)) 1_000_000
+let wall () = q_of_wall (Unix.gettimeofday ())
+
+let create ?(offset = Q.zero) ?(rate = Q.one) ?(drop = 0.) ?(seed = 7)
+    ~port () =
+  if Q.sign rate <= 0 then invalid_arg "Udp.create: rate must be positive";
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  {
+    fd;
+    buf = Bytes.create Frame.max_frame;
+    offset;
+    rate;
+    drop;
+    rng = Rng.create seed;
+    last_now = Q.neg (Q.of_int max_int);
+  }
+
+let port t =
+  match Unix.getsockname t.fd with
+  | Unix.ADDR_INET (_, p) -> p
+  | _ -> 0
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let now t =
+  let lt = Q.add t.offset (Q.mul t.rate (wall ())) in
+  let lt = Q.max lt t.last_now in
+  t.last_now <- lt;
+  lt
+
+let send t a s =
+  try
+    ignore
+      (Unix.sendto t.fd (Bytes.unsafe_of_string s) 0 (String.length s) [] a)
+  with Unix.Unix_error _ ->
+    (* ECONNREFUSED from a not-yet-bound peer, transient ENOBUFS, ...:
+       a dropped datagram, which the protocol already tolerates *)
+    ()
+
+let recv t ~timeout =
+  (* [timeout] is a local-time duration; real seconds differ by [rate] *)
+  let secs = Float.max 0. (Q.to_float (Q.div timeout t.rate)) in
+  match Unix.select [ t.fd ] [] [] secs with
+  | [], _, _ -> None
+  | _ -> (
+    let len, from =
+      Unix.recvfrom t.fd t.buf 0 (Bytes.length t.buf) []
+    in
+    if t.drop > 0. && Rng.bernoulli t.rng ~p:t.drop then None
+    else Some (from, Bytes.sub_string t.buf 0 len))
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
+
+let equal_addr (a : addr) (b : addr) = a = b
+
+let string_of_addr = function
+  | Unix.ADDR_INET (a, p) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+  | Unix.ADDR_UNIX p -> p
+
+let loopback p = Unix.ADDR_INET (Unix.inet_addr_loopback, p)
+
+let addr_of_string s =
+  match String.rindex_opt s ':' with
+  | None -> Error "expected HOST:PORT"
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | None -> Error ("bad port: " ^ port)
+    | Some p -> (
+      match Unix.inet_addr_of_string host with
+      | ip -> Ok (Unix.ADDR_INET (ip, p))
+      | exception Failure _ -> (
+        match (Unix.gethostbyname host).Unix.h_addr_list with
+        | [||] -> Error ("unknown host: " ^ host)
+        | addrs -> Ok (Unix.ADDR_INET (addrs.(0), p))
+        | exception Not_found -> Error ("unknown host: " ^ host))))

@@ -1,0 +1,40 @@
+(** Real-socket {!Net_intf.NET}: one bound UDP socket per endpoint.
+
+    The local clock is an affine view of the wall clock,
+    [lt = offset + rate * wall], clamped monotone — so a peer process
+    can emulate a skewed, offset clock while the reference node runs
+    [offset = 0, rate = 1] and its local time {e is} the wall time.  On
+    localhost all processes share the wall clock, which is what lets the
+    smoke test check end-to-end soundness: every peer's interval must
+    contain the reference node's local time.
+
+    [drop] injects receive-side Bernoulli loss (seeded, per-endpoint)
+    without needing root or tc(8); the smoke test runs with
+    [drop = 0.15] to exercise the re-announce machinery. *)
+
+type t
+
+val create :
+  ?offset:Q.t ->
+  ?rate:Q.t ->
+  ?drop:float ->
+  ?seed:int ->
+  port:int ->
+  unit ->
+  t
+(** Bind a UDP socket on [port] ([0] picks a free port; read it back
+    with {!port}).  [rate] must be positive. *)
+
+val port : t -> int
+val close : t -> unit
+
+val wall : unit -> Q.t
+(** Wall-clock seconds as an exact rational (microsecond resolution). *)
+
+val addr_of_string : string -> (Unix.sockaddr, string) result
+(** Parse ["HOST:PORT"] (numeric IP or resolvable name). *)
+
+val loopback : int -> Unix.sockaddr
+(** [127.0.0.1:port]. *)
+
+include Net_intf.NET with type t := t and type addr = Unix.sockaddr

@@ -27,6 +27,14 @@ type t = {
   mutable liveness_peak : int;
   mutable oracle_inserts : int;
   mutable oracle_gcs : int;
+  mutable net_tx : int;
+  mutable net_tx_bytes : int;
+  mutable net_rx : int;
+  mutable net_rx_bytes : int;
+  mutable net_drops : int;
+  mutable peer_ups : int;
+  mutable peer_downs : int;
+  mutable retransmits : int;
   algos : (string, acc) Hashtbl.t;
   mutable algo_order : string list; (* first-appearance order, reversed *)
 }
@@ -45,6 +53,14 @@ let create () =
     liveness_peak = 0;
     oracle_inserts = 0;
     oracle_gcs = 0;
+    net_tx = 0;
+    net_tx_bytes = 0;
+    net_rx = 0;
+    net_rx_bytes = 0;
+    net_drops = 0;
+    peer_ups = 0;
+    peer_downs = 0;
+    retransmits = 0;
     algos = Hashtbl.create 8;
     algo_order = [];
   }
@@ -87,6 +103,16 @@ let on_event t (ev : Trace.event) =
     if live > t.liveness_peak then t.liveness_peak <- live
   | Trace.Oracle_insert _ -> t.oracle_inserts <- t.oracle_inserts + 1
   | Trace.Oracle_gc _ -> t.oracle_gcs <- t.oracle_gcs + 1
+  | Trace.Net_tx { bytes; _ } ->
+    t.net_tx <- t.net_tx + 1;
+    t.net_tx_bytes <- t.net_tx_bytes + bytes
+  | Trace.Net_rx { bytes; _ } ->
+    t.net_rx <- t.net_rx + 1;
+    t.net_rx_bytes <- t.net_rx_bytes + bytes
+  | Trace.Net_drop _ -> t.net_drops <- t.net_drops + 1
+  | Trace.Peer_up _ -> t.peer_ups <- t.peer_ups + 1
+  | Trace.Peer_down _ -> t.peer_downs <- t.peer_downs + 1
+  | Trace.Retransmit _ -> t.retransmits <- t.retransmits + 1
 
 module Sink = struct
   type nonrec t = t
@@ -108,6 +134,14 @@ let soundness_failures t = t.soundness_failures
 let liveness_peak t = t.liveness_peak
 let oracle_inserts t = t.oracle_inserts
 let oracle_gcs t = t.oracle_gcs
+let net_tx t = t.net_tx
+let net_tx_bytes t = t.net_tx_bytes
+let net_rx t = t.net_rx
+let net_rx_bytes t = t.net_rx_bytes
+let net_drops t = t.net_drops
+let peer_ups t = t.peer_ups
+let peer_downs t = t.peer_downs
+let retransmits t = t.retransmits
 let algo_names t = List.rev t.algo_order
 
 let algo_stats t name =
@@ -142,6 +176,14 @@ let summary_json t =
       ("liveness_peak", J.Int t.liveness_peak);
       ("oracle_inserts", J.Int t.oracle_inserts);
       ("oracle_gcs", J.Int t.oracle_gcs);
+      ("net_tx", J.Int t.net_tx);
+      ("net_tx_bytes", J.Int t.net_tx_bytes);
+      ("net_rx", J.Int t.net_rx);
+      ("net_rx_bytes", J.Int t.net_rx_bytes);
+      ("net_drops", J.Int t.net_drops);
+      ("peer_ups", J.Int t.peer_ups);
+      ("peer_downs", J.Int t.peer_downs);
+      ("retransmits", J.Int t.retransmits);
       ( "algos",
         J.Obj
           (List.map

@@ -52,6 +52,25 @@ val liveness_peak : t -> int
 val oracle_inserts : t -> int
 val oracle_gcs : t -> int
 
+(** {1 Net runtime aggregates}
+
+    Counted from the [Net_*]/[Peer_*]/[Retransmit] events the socket
+    runtime ({!Session}, {!Loop}) emits; all zero on simulator runs. *)
+
+val net_tx : t -> int
+val net_tx_bytes : t -> int
+val net_rx : t -> int
+val net_rx_bytes : t -> int
+
+val net_drops : t -> int
+(** Incoming datagrams rejected at the frame boundary. *)
+
+val peer_ups : t -> int
+val peer_downs : t -> int
+
+val retransmits : t -> int
+(** Data messages declared lost after an ack timeout (Section 3.3). *)
+
 val summary_json : t -> Json_out.t
 (** One object with every aggregate above — the trailer record a JSONL
     trace ends with (see DESIGN.md, "Trace schema"). *)

@@ -20,6 +20,12 @@ type event =
   | Liveness of { node : int; live : int }
   | Oracle_insert of { key : int; live : int }
   | Oracle_gc of { key : int; live : int }
+  | Net_tx of { t : float; dst : int; kind : string; bytes : int }
+  | Net_rx of { t : float; src : int; kind : string; bytes : int }
+  | Net_drop of { t : float; reason : string }
+  | Peer_up of { t : float; peer : int }
+  | Peer_down of { t : float; peer : int }
+  | Retransmit of { t : float; peer : int; msg : int }
 
 module type SINK = sig
   type t
@@ -66,6 +72,12 @@ let label = function
   | Liveness _ -> "liveness"
   | Oracle_insert _ -> "oracle_insert"
   | Oracle_gc _ -> "oracle_gc"
+  | Net_tx _ -> "net_tx"
+  | Net_rx _ -> "net_rx"
+  | Net_drop _ -> "net_drop"
+  | Peer_up _ -> "peer_up"
+  | Peer_down _ -> "peer_down"
+  | Retransmit _ -> "retransmit"
 
 let json_of_event ev =
   let module J = Json_out in
@@ -93,6 +105,22 @@ let json_of_event ev =
     | Oracle_insert { key; live } ->
       [ ("key", J.Int key); ("live", J.Int live) ]
     | Oracle_gc { key; live } -> [ ("key", J.Int key); ("live", J.Int live) ]
+    | Net_tx { t; dst; kind; bytes } ->
+      [
+        ("t", J.Float t); ("dst", J.Int dst); ("kind", J.Str kind);
+        ("bytes", J.Int bytes);
+      ]
+    | Net_rx { t; src; kind; bytes } ->
+      [
+        ("t", J.Float t); ("src", J.Int src); ("kind", J.Str kind);
+        ("bytes", J.Int bytes);
+      ]
+    | Net_drop { t; reason } ->
+      [ ("t", J.Float t); ("reason", J.Str reason) ]
+    | Peer_up { t; peer } -> [ ("t", J.Float t); ("peer", J.Int peer) ]
+    | Peer_down { t; peer } -> [ ("t", J.Float t); ("peer", J.Int peer) ]
+    | Retransmit { t; peer; msg } ->
+      [ ("t", J.Float t); ("peer", J.Int peer); ("msg", J.Int msg) ]
   in
   J.Obj (("event", J.Str (label ev)) :: fields)
 

@@ -40,6 +40,22 @@ type event =
   | Oracle_insert of { key : int; live : int }
   | Oracle_gc of { key : int; live : int }
       (** distance-oracle node garbage-collected (Definition 3.1) *)
+  | Net_tx of { t : float; dst : int; kind : string; bytes : int }
+      (** net runtime: frame put on the wire ([kind] is the frame kind
+          label, [bytes] the whole-frame size) *)
+  | Net_rx of { t : float; src : int; kind : string; bytes : int }
+      (** net runtime: well-formed frame accepted from the wire *)
+  | Net_drop of { t : float; reason : string }
+      (** net runtime: incoming bytes rejected (bad frame, bad checksum,
+          config mismatch, undecodable payload) *)
+  | Peer_up of { t : float; peer : int }
+      (** net runtime: session with [peer] established *)
+  | Peer_down of { t : float; peer : int }
+      (** net runtime: session with [peer] lost (silence past the
+          receive timeout, or an explicit bye) *)
+  | Retransmit of { t : float; peer : int; msg : int }
+      (** net runtime: data message [msg] declared lost after an ack
+          timeout; its events will be re-reported (Section 3.3) *)
 
 (** Consumers implement this signature; {!sink} packs one with its
     state. *)
@@ -73,4 +89,5 @@ val jsonl : out_channel -> sink
 val label : event -> string
 (** The ["event"] discriminator: ["send"], ["receive"], ["lost"],
     ["estimate"], ["validation"], ["liveness"], ["oracle_insert"],
-    ["oracle_gc"]. *)
+    ["oracle_gc"], ["net_tx"], ["net_rx"], ["net_drop"], ["peer_up"],
+    ["peer_down"], ["retransmit"]. *)

@@ -54,6 +54,7 @@ type sim_event =
   | Gossip_tick
   | Token_send of { p : Event.proc }
   | Burst_check of { p : Event.proc }
+  | Script_send of { src : Event.proc; dst : Event.proc }
 
 type state = {
   scenario : Scenario.t;
@@ -284,8 +285,12 @@ let bootstrap st =
           Heap.push st.agenda ~at:jitter (Burst_check { p = node.Node_rt.proc })
         end)
       st.nodes
+  | Scenario.Script { sends } ->
+    List.iter
+      (fun (at, src, dst) -> Heap.push st.agenda ~at (Script_send { src; dst }))
+      sends
 
-let run (scenario : Scenario.t) =
+let run_nodes (scenario : Scenario.t) =
   let rng = Rng.create scenario.Scenario.seed in
   let metrics = Metrics.create () in
   let trace = Trace.tee (Metrics.sink metrics) scenario.Scenario.trace in
@@ -330,7 +335,8 @@ let run (scenario : Scenario.t) =
       | Poll { p } -> poll st ~p
       | Gossip_tick -> gossip_tick st
       | Token_send { p } -> token_send st ~p
-      | Burst_check { p } -> burst_check st ~p)
+      | Burst_check { p } -> burst_check st ~p
+      | Script_send { src; dst } -> send st ~src ~dst ~app:Chat)
   done;
   st.now <- scenario.Scenario.duration;
   let per_algo =
@@ -370,7 +376,7 @@ let run (scenario : Scenario.t) =
         })
       st.nodes
   in
-  {
+  ( {
     rt_end = st.now;
     messages_sent = Metrics.sends st.metrics;
     messages_lost = Metrics.losses st.metrics;
@@ -390,7 +396,10 @@ let run (scenario : Scenario.t) =
          Some (Metrics.validation_failures st.metrics)
        else None);
     soundness_failures = Metrics.soundness_failures st.metrics;
-  }
+  },
+    st.nodes )
+
+let run scenario = fst (run_nodes scenario)
 
 let pp_result fmt r =
   Format.fprintf fmt "@[<v>rt_end=%s messages=%d lost=%d events=%d@,"

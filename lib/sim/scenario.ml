@@ -5,6 +5,7 @@ type traffic =
   | Gossip of { mean_gap : Q.t }
   | Ring_token of { gap : Q.t }
   | Burst of { check_period : Q.t; width_target : Q.t }
+  | Script of { sends : (Q.t * Event.proc * Event.proc) list }
 
 type t = {
   spec : System_spec.t;

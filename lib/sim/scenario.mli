@@ -30,6 +30,11 @@ type traffic =
           node checks its estimate every [check_period] of local time and
           fires rapid round-trip probes at a parent while the estimate is
           wider than [width_target] *)
+  | Script of { sends : (Q.t * Event.proc * Event.proc) list }
+      (** fully explicit send schedule — [(rt, src, dst)] one-way
+          messages, no responses.  The deterministic replay pattern the
+          net-layer equivalence tests use to run the simulator and the
+          loopback socket runtime over the same execution. *)
 
 type t = {
   spec : System_spec.t;

@@ -1,0 +1,80 @@
+#!/bin/sh
+# Three-process localhost UDP smoke test for the net runtime:
+#   - a reference node (processor 0) plus two peers with emulated clock
+#     offset/skew, each injecting 15% receive-side loss;
+#   - every peer sample must report contained=yes (the printed interval
+#     contains the reference node's wall-clock time);
+#   - both peers must converge to finite intervals and exit 0, and the
+#     reference node must shut down cleanly.
+# Exercises: handshake with backoff re-announce, heartbeat data, ack
+# timeouts + loss-verdict gossip (Section 3.3), and bye teardown.
+set -eu
+
+BIN=${CLOCKSYNC:-_build/default/bin/clocksync.exe}
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+# a throwaway socket would be nicer, but a randomized high port keeps
+# this POSIX-sh simple and collisions vanishingly rare
+PORT=$((20000 + $$ % 40000))
+DURATION=${NET_SMOKE_DURATION:-8}
+PEER_DURATION=$((DURATION - 2))
+DROP=0.15
+
+echo "net-smoke: 3-process UDP session on 127.0.0.1:$PORT (drop=$DROP)"
+
+"$BIN" serve --port "$PORT" --nodes 3 --duration "$DURATION" \
+  --sample 1 --drop "$DROP" --trace "$DIR/serve.jsonl" \
+  >"$DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+
+sleep 1
+
+"$BIN" peer --server "127.0.0.1:$PORT" --id 1 --nodes 3 \
+  --duration "$PEER_DURATION" --sample 1 --drop "$DROP" \
+  --offset-ms=250 --skew-ppm=200 >"$DIR/peer1.log" 2>&1 &
+PEER1_PID=$!
+
+"$BIN" peer --server "127.0.0.1:$PORT" --id 2 --nodes 3 \
+  --duration "$PEER_DURATION" --sample 1 --drop "$DROP" \
+  --offset-ms=-400 --skew-ppm=-150 >"$DIR/peer2.log" 2>&1 &
+PEER2_PID=$!
+
+fail=0
+wait "$PEER1_PID" || { echo "net-smoke: peer 1 FAILED"; fail=1; }
+wait "$PEER2_PID" || { echo "net-smoke: peer 2 FAILED"; fail=1; }
+wait "$SERVE_PID" || { echo "net-smoke: reference node FAILED"; fail=1; }
+
+for peer in 1 2; do
+  log="$DIR/peer$peer.log"
+  if grep -q "contained=NO" "$log"; then
+    echo "net-smoke: peer $peer printed an unsound interval"
+    fail=1
+  fi
+  if ! grep -q "contained=yes" "$log"; then
+    echo "net-smoke: peer $peer never printed a contained sample"
+    fail=1
+  fi
+  if ! grep -q "0 containment failures" "$log"; then
+    echo "net-smoke: peer $peer containment summary missing or nonzero"
+    fail=1
+  fi
+done
+
+if ! grep -q "peers up: 2/2" "$DIR/serve.log"; then
+  echo "net-smoke: reference node never saw both peers up"
+  fail=1
+fi
+if ! grep -q "reference node done" "$DIR/serve.log"; then
+  echo "net-smoke: reference node did not shut down cleanly"
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "--- serve ---";  cat "$DIR/serve.log"
+  echo "--- peer 1 ---"; cat "$DIR/peer1.log"
+  echo "--- peer 2 ---"; cat "$DIR/peer2.log"
+  exit 1
+fi
+
+echo "net-smoke: OK (both peers converged, every sample contained)"

@@ -181,9 +181,13 @@ let test_bad_payload_rejected () =
       kind = Event.Send { msg = 1; dst = 1 } }
   in
   let payload = { Payload.send_event = orphan_send; events = [ orphan_send ] } in
-  Alcotest.check_raises "not causally closed"
-    (Invalid_argument "History.integrate: payload not causally closed")
-    (fun () -> ignore (History.integrate b.hist payload))
+  match History.integrate b.hist payload with
+  | _ -> Alcotest.fail "expected a causal-closure rejection"
+  | exception Invalid_argument m ->
+    let prefix = "History.integrate: payload not causally closed" in
+    Alcotest.(check bool) "names the closure failure" true
+      (String.length m >= String.length prefix
+      && String.sub m 0 (String.length prefix) = prefix)
 
 let test_lossy_retransmission (* Section 3.3 *) () =
   let a = mk_node ~lossy:true ~n:2 ~proc:0 ~neighbors:[ 1 ] () in
@@ -206,6 +210,57 @@ let test_lossy_retransmission (* Section 3.3 *) () =
   let p3 = do_send a ~dst:1 ~msg:3 ~lt:10 in
   Alcotest.(check (list (pair int int))) "no spurious re-report"
     [ (0, 3) ] (ids p3)
+
+(* Regression: with several messages inflight to one destination, loss
+   verdicts arriving oldest-first used to overwrite the rollback of the
+   older message with the newer one's higher pre-send frontier; the gap
+   was then never re-reported and the receiver rejected every later
+   payload as not causally closed. *)
+let test_loss_verdict_order_independent () =
+  let a = mk_node ~lossy:true ~n:2 ~proc:0 ~neighbors:[ 1 ] () in
+  let b = mk_node ~lossy:true ~n:2 ~proc:1 ~neighbors:[ 0 ] () in
+  let _p1 = do_send a ~dst:1 ~msg:1 ~lt:1 in
+  let _p2 = do_send a ~dst:1 ~msg:2 ~lt:2 in
+  History.on_lost a.hist ~msg:1;
+  History.on_lost a.hist ~msg:2;
+  let p3 = do_send a ~dst:1 ~msg:3 ~lt:3 in
+  Alcotest.(check (list (pair int int)))
+    "rollback floors at the oldest loss"
+    [ (0, 0); (0, 1); (0, 2); (0, 3) ]
+    (ids p3);
+  let news = do_recv b ~src:0 ~msg:3 ~lt:4 p3 in
+  Alcotest.(check int) "receiver integrates everything" 4 (List.length news)
+
+(* Regression: garbage collection used to trust the optimistic frontier
+   advance of unacknowledged sends.  Rolling back one lost message then
+   preparing a payload while a second message was still inflight scanned
+   an H missing the events collected under the second message's
+   coverage — every payload was under-inclusive until that second loss
+   was also declared, and with heartbeats faster than the ack timeout a
+   real peer never saw a complete payload at all. *)
+let test_gc_waits_for_acks () =
+  let a = mk_node ~lossy:true ~n:2 ~proc:0 ~neighbors:[ 1 ] () in
+  let b = mk_node ~lossy:true ~n:2 ~proc:1 ~neighbors:[ 0 ] () in
+  let _p1 = do_send a ~dst:1 ~msg:1 ~lt:1 in
+  History.learn_own a.hist (fresh a 2 Event.Internal);
+  let _p2 = do_send a ~dst:1 ~msg:2 ~lt:3 in
+  Alcotest.(check int) "unacked events stay in H" 4 (History.h_size a.hist);
+  History.on_lost a.hist ~msg:1;
+  (* msg 2 is still inflight when this payload is prepared *)
+  let p3 = do_send a ~dst:1 ~msg:3 ~lt:4 in
+  Alcotest.(check (list (pair int int)))
+    "causally closed re-report"
+    [ (0, 0); (0, 1); (0, 2); (0, 3); (0, 4) ]
+    (ids p3);
+  let news = do_recv b ~src:0 ~msg:3 ~lt:5 p3 in
+  Alcotest.(check int) "receiver integrates everything" 5 (List.length news);
+  (* acknowledging the survivors releases the retained events *)
+  History.on_delivered a.hist ~msg:2;
+  History.on_delivered a.hist ~msg:3;
+  let p4 = do_send a ~dst:1 ~msg:4 ~lt:6 in
+  ignore (do_recv b ~src:0 ~msg:4 ~lt:7 p4);
+  History.on_delivered a.hist ~msg:4;
+  Alcotest.(check int) "H drains once acked" 0 (History.h_size a.hist)
 
 let test_reliable_mode_ignores_loss_hooks () =
   let a = mk_node ~n:2 ~proc:0 ~neighbors:[ 1 ] () in
@@ -375,6 +430,56 @@ let test_codec_malformed () =
   reject "trailing garbage" (good ^ "x");
   reject "chopped" (String.sub good 0 (String.length good - 2))
 
+(* adversarial robustness: whatever the bytes, [decode] either succeeds
+   or raises [Failure] — never [Invalid_argument], [Out_of_memory], or a
+   crash (the net layer depends on this at the socket boundary) *)
+let decode_total name s =
+  match Codec.decode s with
+  | (_ : Payload.t) -> ()
+  | exception Failure _ -> ()
+  | exception e ->
+    Alcotest.failf "%s: decode raised %s" name (Printexc.to_string e)
+
+let fuzz_subject () =
+  let a = mk_node ~n:3 ~proc:0 ~neighbors:[ 1; 2 ] () in
+  ignore (do_send a ~dst:1 ~msg:5 ~lt:4);
+  Codec.encode (do_send a ~dst:2 ~msg:6 ~lt:7)
+
+let test_codec_fuzz_truncations () =
+  let good = fuzz_subject () in
+  for len = 0 to String.length good - 1 do
+    decode_total (Printf.sprintf "prefix of %d bytes" len)
+      (String.sub good 0 len)
+  done
+
+let test_codec_fuzz_bitflips () =
+  let good = fuzz_subject () in
+  for i = 0 to String.length good - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string good in
+      Bytes.set b i (Char.chr (Char.code good.[i] lxor (1 lsl bit)));
+      decode_total (Printf.sprintf "bit %d of byte %d flipped" bit i)
+        (Bytes.to_string b)
+    done
+  done
+
+let test_codec_fuzz_random_bytes () =
+  let rng = Rng.create 2024 in
+  for case = 1 to 500 do
+    let len = Rng.int rng 64 in
+    let s = String.init len (fun _ -> Char.chr (Rng.int rng 256)) in
+    decode_total (Printf.sprintf "random case %d" case) s
+  done
+
+let test_decode_result () =
+  let good = fuzz_subject () in
+  (match Codec.decode_result good with
+  | Ok p -> Alcotest.(check bool) "nonempty" true (Payload.size p > 0)
+  | Error e -> Alcotest.failf "valid bytes rejected: %s" e);
+  match Codec.decode_result (String.sub good 0 3) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated bytes accepted"
+
 let arbitrary_payload =
   let open QCheck in
   let gen =
@@ -445,6 +550,9 @@ let () =
         ] );
       ( "loss",
         [
+          Alcotest.test_case "loss verdict order independent" `Quick
+            test_loss_verdict_order_independent;
+          Alcotest.test_case "gc waits for acks" `Quick test_gc_waits_for_acks;
           Alcotest.test_case "lossy retransmission (Section 3.3)" `Quick
             test_lossy_retransmission;
           Alcotest.test_case "reliable mode ignores loss hooks" `Quick
@@ -457,6 +565,13 @@ let () =
             test_codec_rational_timestamps;
           Alcotest.test_case "malformed input rejected" `Quick
             test_codec_malformed;
+          Alcotest.test_case "fuzz: every truncation fails cleanly" `Quick
+            test_codec_fuzz_truncations;
+          Alcotest.test_case "fuzz: every bit flip fails cleanly" `Quick
+            test_codec_fuzz_bitflips;
+          Alcotest.test_case "fuzz: random bytes fail cleanly" `Quick
+            test_codec_fuzz_random_bytes;
+          Alcotest.test_case "decode_result" `Quick test_decode_result;
         ] );
       qsuite "props" [ prop_causal_closure; prop_codec_roundtrip ];
     ]
