@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench-smoke net-smoke check fmt fmt-check clean
+.PHONY: all build test bench-smoke net-smoke crash-smoke check fmt fmt-check clean
 
 all: build
 
@@ -22,6 +22,12 @@ bench-smoke:
 # that all three processes shut down cleanly (see scripts/net_smoke.sh)
 net-smoke: build
 	sh scripts/net_smoke.sh
+
+# kill -9 a checkpointed UDP peer mid-session, restart it on the same
+# checkpoint directory, and assert it recovers with every post-recovery
+# interval still containing true time (see scripts/crash_smoke.sh)
+crash-smoke: build
+	sh scripts/crash_smoke.sh
 
 check: build test bench-smoke
 	@echo "check: OK"

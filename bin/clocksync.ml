@@ -191,37 +191,59 @@ let trace_file =
 
 (* ---- run ---- *)
 
+(* one JSONL sink with a summary trailer, closed even on exceptions: the
+   stream is mirrored to disk and aggregated a second time independently
+   of the engine, so the trailing summary line is computed from exactly
+   what was written, and a partial trace is still a valid one.  Shared
+   by run, serve and peer. *)
+let with_trace trace f =
+  match trace with
+  | None -> f Trace.null
+  | Some path ->
+    let oc = open_out path in
+    let m = Metrics.create () in
+    let sink = Trace.tee (Trace.jsonl oc) (Metrics.sink m) in
+    Fun.protect
+      ~finally:(fun () ->
+        output_string oc (Json_out.to_line (Metrics.summary_json m));
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "wrote %s@." path)
+      (fun () -> f sink)
+
+let chaos_opt =
+  Arg.(value & opt int 0 & info [ "chaos" ] ~docv:"CYCLES"
+         ~doc:"Inject CYCLES random crash/restart cycles (never the \
+               source), drawn from the run's seed; crashed nodes recover \
+               from write-ahead checkpoints (see DESIGN.md, \"Fault model \
+               & recovery\").")
+
 let run_cmd =
   let action topology nodes traffic duration drift_ppm lo_ms hi_ms period_s
-      loss seed ntp cristian driftfree validate csv trace =
+      loss seed ntp cristian driftfree validate chaos csv trace =
     match
       build_scenario ~topology ~nodes ~traffic ~duration ~drift_ppm ~lo_ms
         ~hi_ms ~period_s ~loss ~seed ~ntp ~cristian ~driftfree ~validate
     with
     | Error (`Msg m) -> `Error (false, m)
+    | Ok scenario when chaos > 0 && validate ->
+      ignore scenario;
+      `Error (false, "--chaos cannot be combined with --validate: the \
+                      full-view mirror does not survive crashes")
     | Ok scenario ->
+      let scenario =
+        if chaos = 0 then scenario
+        else
+          {
+            scenario with
+            Scenario.faults =
+              Fault.Chaos.schedule ~seed ~nodes:(System_spec.n scenario.Scenario.spec)
+                ~duration:scenario.Scenario.duration ~cycles:chaos ();
+          }
+      in
       let r =
-        match trace with
-        | None -> Engine.run scenario
-        | Some path ->
-          (* mirror the event stream to disk, and aggregate it a second
-             time independently of the engine so the trailing summary
-             line is computed from exactly what was written; the sink is
-             closed — with its summary trailer — even when the engine
-             raises mid-run, so a partial trace is still a valid one *)
-          let oc = open_out path in
-          let m = Metrics.create () in
-          let sink = Trace.tee (Trace.jsonl oc) (Metrics.sink m) in
-          let r =
-            Fun.protect
-              ~finally:(fun () ->
-                output_string oc (Json_out.to_line (Metrics.summary_json m));
-                output_char oc '\n';
-                close_out oc)
-              (fun () -> Engine.run { scenario with Scenario.trace = sink })
-          in
-          Format.printf "wrote %s@.@." path;
-          r
+        with_trace trace (fun sink ->
+            Engine.run { scenario with Scenario.trace = sink })
       in
       print_result r;
       Option.iter
@@ -239,7 +261,7 @@ let run_cmd =
       ret
         (const action $ topology $ nodes $ traffic $ duration $ drift_ppm
        $ lo_ms $ hi_ms $ period_s $ loss $ seed $ ntp_flag $ cristian_flag
-       $ driftfree_flag $ validate_flag $ csv_prefix $ trace_file))
+       $ driftfree_flag $ validate_flag $ chaos_opt $ csv_prefix $ trace_file))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one scenario and print accuracy/resources.")
@@ -317,22 +339,6 @@ let sweep_cmd =
 
 module Unet = Loop.Make (Udp)
 
-(* one JSONL sink with a summary trailer, closed even on exceptions *)
-let with_net_trace trace f =
-  match trace with
-  | None -> f Trace.null
-  | Some path ->
-    let oc = open_out path in
-    let m = Metrics.create () in
-    let sink = Trace.tee (Trace.jsonl oc) (Metrics.sink m) in
-    Fun.protect
-      ~finally:(fun () ->
-        output_string oc (Json_out.to_line (Metrics.summary_json m));
-        output_char oc '\n';
-        close_out oc;
-        Format.printf "wrote %s@." path)
-      (fun () -> f sink)
-
 let net_spec ~nodes ~drift_ppm ~hi_ms =
   System_spec.uniform ~n:nodes ~source:0 ~drift:(Drift.of_ppm drift_ppm)
     ~transit:(Transit.of_q Q.zero (Scenario.ms hi_ms))
@@ -405,12 +411,49 @@ let net_drop =
          ~doc:"Inject receive-side loss with this probability (testing \
                the Section 3.3 ack/retransmit machinery without tc).")
 
+let checkpoint_opt =
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR"
+         ~doc:"Durable state directory.  The session checkpoints through \
+               $(docv) before every data frame and every ack (write-ahead \
+               — see DESIGN.md); on startup, an existing checkpoint is \
+               restored and the node re-handshakes with its dedup floors \
+               and pending loss verdicts intact, so a kill -9 at any \
+               instant is recoverable.")
+
+(* Build the session, through the checkpoint store when one is asked
+   for.  A corrupt checkpoint is a refusal, not a silent fresh start:
+   rebooting amnesiac after having participated would re-issue event
+   sequence numbers peers already hold. *)
+let mk_session ~sink ~checkpoint cfg ~now =
+  match checkpoint with
+  | None -> Ok (Session.create ~sink cfg ~now)
+  | Some dir ->
+    let store = Fault.Store.create ~dir ~node:cfg.Session.me in
+    let attach session =
+      Session.set_checkpoint session (Fault.Store.save store);
+      session
+    in
+    (match Fault.Store.load_result store with
+    | Error m -> Error ("checkpoint unusable (wipe it to start fresh): " ^ m)
+    | Ok None ->
+      Format.printf "checkpointing to %s@." (Fault.Store.path store);
+      Ok (attach (Session.create ~sink cfg ~now))
+    | Ok (Some blob) -> (
+      match Session.restore ~sink cfg ~now blob with
+      | Error m -> Error m
+      | Ok session ->
+        Trace.emit sink
+          (Trace.Recover { t = Q.to_float now; node = cfg.Session.me });
+        Format.printf "recovered from checkpoint %s@."
+          (Fault.Store.path store);
+        Ok (attach session)))
+
 let serve_cmd =
   let action port nodes drift_ppm hi_ms duration sample heartbeat drop seed
-      trace =
+      checkpoint trace =
     if nodes < 2 then `Error (false, "need at least 2 nodes")
     else begin
-      with_net_trace trace (fun sink ->
+      with_trace trace (fun sink ->
           let spec = net_spec ~nodes ~drift_ppm ~hi_ms in
           let net = Udp.create ~drop ~seed ~port () in
           Format.printf "clocksync reference node: processor 0 of %d, %s@."
@@ -426,7 +469,11 @@ let serve_cmd =
             }
           in
           let start = Udp.now net in
-          let session = Session.create ~sink cfg ~now:start in
+          match mk_session ~sink ~checkpoint cfg ~now:start with
+          | Error m ->
+            Udp.close net;
+            `Error (false, m)
+          | Ok session ->
           let loop = Unet.create ~net ~session in
           let print ~now =
             let up =
@@ -460,7 +507,7 @@ let serve_cmd =
       ret
         (const action $ port_opt $ net_nodes $ net_drift $ net_hi_ms
        $ net_duration $ net_sample $ net_heartbeat $ net_drop $ seed
-       $ trace_file))
+       $ checkpoint_opt $ trace_file))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -487,7 +534,7 @@ let peer_cmd =
            ~doc:"Emulated clock rate error (must stay within --drift).")
   in
   let action server id nodes drift_ppm hi_ms duration sample heartbeat drop
-      offset_ms skew_ppm seed trace =
+      offset_ms skew_ppm seed checkpoint trace =
     match Udp.addr_of_string server with
     | Error m -> `Error (false, m)
     | Ok server_addr ->
@@ -497,7 +544,7 @@ let peer_cmd =
         `Error (false, "--skew-ppm exceeds the --drift bound: the \
                         resulting intervals would be unsound")
       else begin
-        with_net_trace trace (fun sink ->
+        with_trace trace (fun sink ->
             let spec = net_spec ~nodes ~drift_ppm ~hi_ms in
             let rate = Q.add Q.one (Q.of_ints skew_ppm 1_000_000) in
             let net =
@@ -514,7 +561,11 @@ let peer_cmd =
                 Session.heartbeat = q_of_float_s heartbeat;
               }
             in
-            let session = Session.create ~sink cfg ~now:(Udp.now net) in
+            match mk_session ~sink ~checkpoint cfg ~now:(Udp.now net) with
+            | Error m ->
+              Udp.close net;
+              `Error (false, m)
+            | Ok session ->
             let loop = Unet.create ~net ~session in
             Unet.learn loop ~peer:0 server_addr;
             let samples = ref 0
@@ -565,7 +616,7 @@ let peer_cmd =
       ret
         (const action $ server $ id $ net_nodes $ net_drift $ net_hi_ms
        $ net_duration $ net_sample $ net_heartbeat $ net_drop $ offset_ms
-       $ skew_ppm $ seed $ trace_file))
+       $ skew_ppm $ seed $ checkpoint_opt $ trace_file))
   in
   Cmd.v
     (Cmd.info "peer"

@@ -194,6 +194,7 @@ let receive t ~msg ~lt (payload : Payload.t) =
   insert_event t recv
 
 let on_msg_delivered t ~msg = History.on_delivered t.hist ~msg
+let inflight t = History.inflight_msgs t.hist
 
 let on_msg_lost t ~msg =
   History.on_lost t.hist ~msg;

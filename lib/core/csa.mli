@@ -67,6 +67,12 @@ val on_msg_lost : t -> msg:int -> unit
     corresponding send point; at the sender also re-buffers the payload
     events for retransmission. *)
 
+val inflight : t -> (int * Event.proc) list
+(** Messages this node sent that still await a delivery or loss verdict,
+    as [(msg id, destination)] sorted by id (empty in reliable mode).
+    Preserved by {!snapshot}/{!restore}: after a restart the net runtime
+    re-arms an acknowledgement deadline for each. *)
+
 val estimate : t -> Interval.t
 (** Optimal bounds on the source time at this processor's last event. *)
 

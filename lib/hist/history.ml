@@ -265,6 +265,10 @@ let restore ~n_procs ~me ~neighbors ?(lossy = false) s =
   t.reported_count <- s.s_reported;
   t
 
+let inflight_msgs t =
+  Hashtbl.fold (fun msg { dst; _ } acc -> (msg, dst) :: acc) t.inflight []
+  |> List.sort compare
+
 let on_delivered t ~msg =
   if t.lossy && Hashtbl.mem t.inflight msg then begin
     Hashtbl.remove t.inflight msg;

@@ -62,6 +62,12 @@ val integrate : t -> Payload.t -> Event.t list
     @raise Invalid_argument when the payload is not causally closed with
     respect to current knowledge (a protocol violation). *)
 
+val inflight_msgs : t -> (int * Event.proc) list
+(** Messages sent but not yet acknowledged or declared lost, as
+    [(msg id, destination)] sorted by id; always empty in reliable mode.
+    After a restore this is what still awaits a verdict — the net
+    runtime re-arms an ack deadline per entry. *)
+
 val on_delivered : t -> msg:int -> unit
 (** Loss-detection hook: the message is known to have arrived.  No-op in
     reliable mode. *)

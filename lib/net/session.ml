@@ -57,48 +57,44 @@ type t = {
   peers : (Event.proc, peer) Hashtbl.t;
   peer_order : Event.proc list;
   out : (Event.proc * string) Queue.t;
-  alloc_msg : unit -> int;
+  custom_alloc : (unit -> int) option;
+  (* default allocator counter: [me + next_k * n].  Serialized in every
+     checkpoint, and every send checkpoints first, so a restored counter
+     is a floor strictly above every id that ever left this node —
+     peers' dedup state stays monotone across our reboot. *)
+  mutable next_k : int;
   mutable lost_ring : int list;  (* recent loss verdicts, newest first *)
   mutable stopped : bool;
+  mutable save_checkpoint : (string -> unit) option;
 }
 
 let lost_ring_cap = 64
+
+let fresh_peer cfg ~now ~preestablished id =
+  {
+    id;
+    reachable = preestablished;
+    established = preestablished;
+    was_up = preestablished;
+    said_bye = false;
+    last_heard = now;
+    next_announce = now;
+    backoff = cfg.announce_base;
+    next_heartbeat = Q.add now cfg.heartbeat;
+    last_seen_msg = -1;
+    inflight = [];
+  }
 
 let create ?(sink = Trace.null) ?alloc_msg ?(preestablished = false) cfg ~now
     =
   let csa =
     Csa.create ~lossy:cfg.lossy ~sink cfg.spec ~me:cfg.me ~lt0:now
   in
-  let alloc_msg =
-    match alloc_msg with
-    | Some f -> f
-    | None ->
-      (* [me + k*n] never collides across nodes of one system *)
-      let k = ref 0 in
-      let n = System_spec.n cfg.spec in
-      fun () ->
-        let m = cfg.me + (!k * n) in
-        incr k;
-        m
-  in
   let neighbors = System_spec.neighbors cfg.spec cfg.me in
   let peers = Hashtbl.create (List.length neighbors) in
   List.iter
     (fun id ->
-      Hashtbl.replace peers id
-        {
-          id;
-          reachable = preestablished;
-          established = preestablished;
-          was_up = preestablished;
-          said_bye = false;
-          last_heard = now;
-          next_announce = now;
-          backoff = cfg.announce_base;
-          next_heartbeat = Q.add now cfg.heartbeat;
-          last_seen_msg = -1;
-          inflight = [];
-        })
+      Hashtbl.replace peers id (fresh_peer cfg ~now ~preestablished id))
     neighbors;
   {
     cfg;
@@ -107,10 +103,21 @@ let create ?(sink = Trace.null) ?alloc_msg ?(preestablished = false) cfg ~now
     peers;
     peer_order = neighbors;
     out = Queue.create ();
-    alloc_msg;
+    custom_alloc = alloc_msg;
+    next_k = 0;
     lost_ring = [];
     stopped = false;
+    save_checkpoint = None;
   }
+
+let alloc_msg t =
+  match t.custom_alloc with
+  | Some f -> f ()
+  | None ->
+    (* [me + k*n] never collides across nodes of one system *)
+    let m = t.cfg.me + (t.next_k * System_spec.n t.cfg.spec) in
+    t.next_k <- t.next_k + 1;
+    m
 
 let csa t = t.csa
 let is_peer t id = Hashtbl.mem t.peers id
@@ -161,11 +168,129 @@ let apply_loss_verdict t msg =
   Csa.on_msg_lost t.csa ~msg;
   remember_lost t msg
 
+(* --- persistence ---------------------------------------------------- *)
+
+let session_snapshot_version = 1
+
+(* Session layer on top of the CSA blob: format version; me; config
+   digest; the msg-id allocation counter; the loss-verdict gossip ring;
+   per-peer dedup floors (id, last accepted msg + 1); then the CSA
+   snapshot as a length-prefixed blob.  Address/liveness state
+   (reachable, established, deadlines) is deliberately absent: a
+   restarted process re-learns addresses and re-handshakes. *)
+let snapshot t =
+  let buf = Buffer.create 256 in
+  Codec.add_varint buf session_snapshot_version;
+  Codec.add_varint buf t.cfg.me;
+  Codec.add_varint buf (config_digest t.cfg);
+  Codec.add_varint buf t.next_k;
+  Codec.add_varint buf (List.length t.lost_ring);
+  List.iter (Codec.add_varint buf) t.lost_ring;
+  Codec.add_varint buf (List.length t.peer_order);
+  List.iter
+    (fun id ->
+      let p = Hashtbl.find t.peers id in
+      Codec.add_varint buf id;
+      Codec.add_varint buf (p.last_seen_msg + 1))
+    t.peer_order;
+  let blob = Csa.snapshot t.csa in
+  Codec.add_varint buf (String.length blob);
+  Buffer.add_string buf blob;
+  Buffer.contents buf
+
+let set_checkpoint t save = t.save_checkpoint <- Some save
+
+let do_checkpoint t ~now =
+  match t.save_checkpoint with
+  | None -> ()
+  | Some save ->
+    let blob = snapshot t in
+    save blob;
+    Trace.emit t.sink
+      (Trace.Checkpoint
+         { t = ft now; node = t.cfg.me; bytes = String.length blob })
+
+let restore ?(sink = Trace.null) ?alloc_msg cfg ~now blob =
+  try
+    let r = Codec.reader_of_string blob in
+    if Codec.read_varint r <> session_snapshot_version then
+      failwith "unsupported session snapshot version";
+    let me = Codec.read_varint r in
+    if me <> cfg.me then
+      failwith (Printf.sprintf "snapshot is for node %d, not %d" me cfg.me);
+    let digest = Codec.read_varint r in
+    if digest <> config_digest cfg then
+      (* same refusal the hello handshake would give a mismatched peer:
+         an operator restarting under a different system spec must not
+         silently reinterpret old state *)
+      failwith "snapshot config digest does not match this configuration";
+    let next_k = Codec.read_varint r in
+    let n_lost = Codec.read_varint r in
+    if n_lost > Codec.remaining r then failwith "truncated loss ring";
+    let lost_ring = List.init n_lost (fun _ -> Codec.read_varint r) in
+    let n_peers = Codec.read_varint r in
+    if n_peers > Codec.remaining r then failwith "truncated peer list";
+    let floors =
+      List.init n_peers (fun _ ->
+          let id = Codec.read_varint r in
+          let floor = Codec.read_varint r - 1 in
+          (id, floor))
+    in
+    let len = Codec.read_varint r in
+    let csa_blob = Codec.read_bytes r len in
+    if not (Codec.at_end r) then failwith "trailing bytes in snapshot";
+    let csa = Csa.restore ~sink cfg.spec csa_blob in
+    let neighbors = System_spec.neighbors cfg.spec cfg.me in
+    let peers = Hashtbl.create (List.length neighbors) in
+    List.iter
+      (fun id ->
+        let p = fresh_peer cfg ~now ~preestablished:false id in
+        (match List.assoc_opt id floors with
+        | Some floor -> p.last_seen_msg <- floor
+        | None -> ());
+        Hashtbl.replace peers id p)
+      neighbors;
+    let t =
+      {
+        cfg;
+        csa;
+        sink;
+        peers;
+        peer_order = neighbors;
+        out = Queue.create ();
+        custom_alloc = alloc_msg;
+        next_k;
+        lost_ring;
+        stopped = false;
+        save_checkpoint = None;
+      }
+    in
+    (* messages we sent before the crash that never got a verdict: arm a
+       fresh ack deadline each, so the Section 3.3 timeout machinery
+       declares them lost (and re-reports their events) if the ack never
+       comes.  The inflight records themselves live in the CSA blob. *)
+    List.iter
+      (fun (msg, dst) ->
+        match Hashtbl.find_opt peers dst with
+        | Some p ->
+          p.inflight <- (msg, Q.add now cfg.ack_timeout) :: p.inflight
+        | None -> ())
+      (Csa.inflight csa);
+    Ok t
+  with Failure m -> Error ("Session.restore: " ^ m)
+
+(* -------------------------------------------------------------------- *)
+
 let send_data t ~now ~dst =
   let p = Hashtbl.find t.peers dst in
-  let msg = t.alloc_msg () in
+  let msg = alloc_msg t in
   let payload = Csa.send t.csa ~dst ~msg ~lt:now in
   let wire = Codec.encode payload in
+  (* write-ahead: the payload carries our own events and the allocator
+     counter moved — both must be durable before the frame exists *)
+  if t.cfg.lossy then
+    p.inflight <- (msg, Q.add now t.cfg.ack_timeout) :: p.inflight;
+  do_checkpoint t ~now;
   Trace.emit t.sink
     (Trace.Send
        {
@@ -178,8 +303,6 @@ let send_data t ~now ~dst =
        });
   emit_frame t ~now ~dst
     (Frame.Data { msg; dst; lost = t.lost_ring; payload = wire });
-  if t.cfg.lossy then
-    p.inflight <- (msg, Q.add now t.cfg.ack_timeout) :: p.inflight;
   p.next_heartbeat <- Q.add now t.cfg.heartbeat
 
 let mark_established t p ~now =
@@ -255,6 +378,10 @@ let handle t ~now ~bytes (frame : Frame.t) =
             Trace.emit t.sink
               (Trace.Receive
                  { t = ft now; src = p.id; dst = t.cfg.me; msg });
+            (* write-ahead: an ack licenses the sender to garbage-collect
+               what it showed us, so the receive (and the dedup floor
+               just raised) must be durable before the ack leaves *)
+            do_checkpoint t ~now;
             if t.cfg.lossy then
               emit_frame t ~now ~dst:p.id (Frame.Ack { msg });
             (* data implies the peer considers us up *)

@@ -53,6 +53,38 @@ val create :
     and up, which the deterministic equivalence tests use to mirror the
     simulator exactly. *)
 
+val snapshot : t -> string
+(** Serialize everything a restart needs: the CSA blob plus the session
+    layer's durable state — the msg-id allocation counter, per-peer
+    dedup floors, and the loss-verdict gossip ring.  Liveness state
+    (addresses, established flags, timers) is excluded; a restarted
+    process re-handshakes. *)
+
+val restore :
+  ?sink:Trace.sink ->
+  ?alloc_msg:(unit -> int) ->
+  config ->
+  now:Q.t ->
+  string ->
+  (t, string) result
+(** Rebuild a session from {!snapshot} output at local time [now].
+    Refuses (like the hello handshake) when the snapshot's config digest
+    does not match [config], or when it belongs to a different node id.
+    Every peer starts unestablished — the restored node re-announces and
+    re-handshakes — but dedup floors survive, so a peer's stale data
+    frames from before the crash are still rejected; and messages we
+    sent that never got a verdict get a fresh ack deadline each, so the
+    loss oracle eventually rules on them.  Total: returns [Error] on any
+    malformed blob, never raises. *)
+
+val set_checkpoint : t -> (string -> unit) -> unit
+(** Install a durable-write callback.  Once set, the session writes a
+    {!snapshot} {e before} every data frame leaves (the payload carries
+    our events and moves the allocator) and {e before} every ack
+    (acks license the sender to garbage-collect) — the write-ahead
+    discipline that makes a crash at any instant recoverable.  Emits a
+    [Checkpoint] trace event per write. *)
+
 val csa : t -> Csa.t
 val is_peer : t -> Event.proc -> bool
 

@@ -35,6 +35,10 @@ type t = {
   mutable peer_ups : int;
   mutable peer_downs : int;
   mutable retransmits : int;
+  mutable checkpoints : int;
+  mutable checkpoint_bytes : int;
+  mutable crashes : int;
+  mutable recoveries : int;
   algos : (string, acc) Hashtbl.t;
   mutable algo_order : string list; (* first-appearance order, reversed *)
 }
@@ -61,6 +65,10 @@ let create () =
     peer_ups = 0;
     peer_downs = 0;
     retransmits = 0;
+    checkpoints = 0;
+    checkpoint_bytes = 0;
+    crashes = 0;
+    recoveries = 0;
     algos = Hashtbl.create 8;
     algo_order = [];
   }
@@ -113,6 +121,11 @@ let on_event t (ev : Trace.event) =
   | Trace.Peer_up _ -> t.peer_ups <- t.peer_ups + 1
   | Trace.Peer_down _ -> t.peer_downs <- t.peer_downs + 1
   | Trace.Retransmit _ -> t.retransmits <- t.retransmits + 1
+  | Trace.Checkpoint { bytes; _ } ->
+    t.checkpoints <- t.checkpoints + 1;
+    t.checkpoint_bytes <- t.checkpoint_bytes + bytes
+  | Trace.Crash _ -> t.crashes <- t.crashes + 1
+  | Trace.Recover _ -> t.recoveries <- t.recoveries + 1
 
 module Sink = struct
   type nonrec t = t
@@ -142,6 +155,10 @@ let net_drops t = t.net_drops
 let peer_ups t = t.peer_ups
 let peer_downs t = t.peer_downs
 let retransmits t = t.retransmits
+let checkpoints t = t.checkpoints
+let checkpoint_bytes t = t.checkpoint_bytes
+let crashes t = t.crashes
+let recoveries t = t.recoveries
 let algo_names t = List.rev t.algo_order
 
 let algo_stats t name =
@@ -184,6 +201,10 @@ let summary_json t =
       ("peer_ups", J.Int t.peer_ups);
       ("peer_downs", J.Int t.peer_downs);
       ("retransmits", J.Int t.retransmits);
+      ("checkpoints", J.Int t.checkpoints);
+      ("checkpoint_bytes", J.Int t.checkpoint_bytes);
+      ("crashes", J.Int t.crashes);
+      ("recoveries", J.Int t.recoveries);
       ( "algos",
         J.Obj
           (List.map

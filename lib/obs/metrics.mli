@@ -71,6 +71,17 @@ val peer_downs : t -> int
 val retransmits : t -> int
 (** Data messages declared lost after an ack timeout (Section 3.3). *)
 
+(** {1 Fault-layer aggregates}
+
+    Counted from the [Checkpoint]/[Crash]/[Recover] events the fault
+    subsystem emits; all zero when no faults or checkpointing are
+    configured. *)
+
+val checkpoints : t -> int
+val checkpoint_bytes : t -> int
+val crashes : t -> int
+val recoveries : t -> int
+
 val summary_json : t -> Json_out.t
 (** One object with every aggregate above — the trailer record a JSONL
     trace ends with (see DESIGN.md, "Trace schema"). *)

@@ -26,6 +26,9 @@ type event =
   | Peer_up of { t : float; peer : int }
   | Peer_down of { t : float; peer : int }
   | Retransmit of { t : float; peer : int; msg : int }
+  | Checkpoint of { t : float; node : int; bytes : int }
+  | Crash of { t : float; node : int }
+  | Recover of { t : float; node : int }
 
 module type SINK = sig
   type t
@@ -78,6 +81,9 @@ let label = function
   | Peer_up _ -> "peer_up"
   | Peer_down _ -> "peer_down"
   | Retransmit _ -> "retransmit"
+  | Checkpoint _ -> "checkpoint"
+  | Crash _ -> "crash"
+  | Recover _ -> "recover"
 
 let json_of_event ev =
   let module J = Json_out in
@@ -121,6 +127,10 @@ let json_of_event ev =
     | Peer_down { t; peer } -> [ ("t", J.Float t); ("peer", J.Int peer) ]
     | Retransmit { t; peer; msg } ->
       [ ("t", J.Float t); ("peer", J.Int peer); ("msg", J.Int msg) ]
+    | Checkpoint { t; node; bytes } ->
+      [ ("t", J.Float t); ("node", J.Int node); ("bytes", J.Int bytes) ]
+    | Crash { t; node } -> [ ("t", J.Float t); ("node", J.Int node) ]
+    | Recover { t; node } -> [ ("t", J.Float t); ("node", J.Int node) ]
   in
   J.Obj (("event", J.Str (label ev)) :: fields)
 

@@ -56,6 +56,15 @@ type event =
   | Retransmit of { t : float; peer : int; msg : int }
       (** net runtime: data message [msg] declared lost after an ack
           timeout; its events will be re-reported (Section 3.3) *)
+  | Checkpoint of { t : float; node : int; bytes : int }
+      (** fault layer: [node]'s state written durably ([bytes] is the
+          encoded snapshot size).  Write-ahead: a checkpoint precedes
+          every externalization of the state it covers. *)
+  | Crash of { t : float; node : int }
+      (** fault layer: [node] lost its in-memory state (crash or leave) *)
+  | Recover of { t : float; node : int }
+      (** fault layer: [node] restarted from its last checkpoint (or
+          joined the network) *)
 
 (** Consumers implement this signature; {!sink} packs one with its
     state. *)
@@ -90,4 +99,5 @@ val label : event -> string
 (** The ["event"] discriminator: ["send"], ["receive"], ["lost"],
     ["estimate"], ["validation"], ["liveness"], ["oracle_insert"],
     ["oracle_gc"], ["net_tx"], ["net_rx"], ["net_drop"], ["peer_up"],
-    ["peer_down"], ["retransmit"]. *)
+    ["peer_down"], ["retransmit"], ["checkpoint"], ["crash"],
+    ["recover"]. *)

@@ -55,11 +55,33 @@ type sim_event =
   | Token_send of { p : Event.proc }
   | Burst_check of { p : Event.proc }
   | Script_send of { src : Event.proc; dst : Event.proc }
+  | Fault_ev of Fault.Injection.event
+
+(* One checkpoint slot per node: Fault.Store files when the scenario
+   names a directory, an in-memory cell otherwise (same restore path,
+   no disk in property tests). *)
+type ckpt_store = { save : string -> unit; load : unit -> string option }
+
+type verdict = Acked of int | Lost_v of int (* msg ids *)
+
+type fault_rt = {
+  down : bool array;
+  stores : ckpt_store array;
+  policies : Fault.Policy.t array;
+  (* receives processed since the node's last checkpoint: their acks are
+     withheld until a checkpoint makes the receive durable (write-ahead;
+     an acked message may be garbage-collected by its sender) *)
+  unacked : (int * Event.proc) list array; (* msg, sender *)
+  (* verdicts whose target was down when they fired, replayed on revive *)
+  queued : verdict list array;
+  mutable partitions : (Q.t * int list) list; (* heal time, island *)
+}
 
 type state = {
   scenario : Scenario.t;
   rng : Rng.t;
   nodes : Node_rt.t array;
+  frt : fault_rt option;
   transport : Transport.t;
   metrics : Metrics.t;
   trace : Trace.sink; (* metrics ∪ the scenario's sink *)
@@ -130,57 +152,208 @@ let validate st (node : Node_rt.t) =
 
 (* ------------------------------------------------------------------ *)
 
-let lossy st = st.scenario.Scenario.loss_prob > 0.
+let lossy st =
+  st.scenario.Scenario.loss_prob > 0. || st.scenario.Scenario.faults <> []
+
+let is_down st p =
+  match st.frt with None -> false | Some f -> f.down.(p)
+
+(* Write-ahead checkpoint of node [p]: persist its CSA, then release the
+   acknowledgements withheld since the last checkpoint — only now are
+   the corresponding receives durable, so only now may their senders
+   garbage-collect against them.  Acks whose sender is down are queued
+   and replayed when it revives. *)
+let checkpoint st p =
+  match st.frt with
+  | None -> ()
+  | Some f ->
+    let blob = Csa.snapshot st.nodes.(p).Node_rt.csa in
+    f.stores.(p).save blob;
+    Trace.emit st.trace
+      (Trace.Checkpoint
+         { t = now_f st; node = p; bytes = String.length blob });
+    Fault.Policy.flushed f.policies.(p);
+    let acks = List.rev f.unacked.(p) in
+    f.unacked.(p) <- [];
+    List.iter
+      (fun (msg, sender) ->
+        if f.down.(sender) then
+          f.queued.(sender) <- Acked msg :: f.queued.(sender)
+        else Csa.on_msg_delivered st.nodes.(sender).Node_rt.csa ~msg)
+      acks
+
+let partitioned st ~src ~dst =
+  match st.frt with
+  | None -> false
+  | Some f ->
+    f.partitions <-
+      List.filter (fun (heal, _) -> Q.compare heal st.now > 0) f.partitions;
+    List.exists
+      (fun (_, island) -> List.mem src island <> List.mem dst island)
+      f.partitions
 
 let send st ~src ~dst ~app =
-  let node = st.nodes.(src) in
-  let lt = lt_now st node in
-  let msg = st.next_msg in
-  st.next_msg <- msg + 1;
-  let env, n_events = Node_rt.prepare_send node ~dst ~msg ~lt in
-  Trace.emit st.trace
-    (Trace.Send
-       {
-         t = now_f st;
-         src;
-         dst;
-         msg;
-         events = n_events;
-         bytes = String.length env.Node_rt.wire;
-       });
-  (* [seq] counts this send: the metrics sink has already seen it *)
-  let seq = Metrics.sends st.metrics in
-  match Transport.send st.transport ~now:st.now ~seq ~src ~dst with
-  | Transport.Lost { detect_at } ->
-    Trace.emit st.trace (Trace.Lost { t = now_f st; msg });
-    Heap.push st.agenda ~at:detect_at (Lost_notify { msg })
-  | Transport.Deliver_at at ->
-    Heap.push st.agenda ~at (Deliver { msg; src; dst; env; app })
+  if is_down st src then ()
+  else begin
+    let node = st.nodes.(src) in
+    let lt = lt_now st node in
+    let msg = st.next_msg in
+    st.next_msg <- msg + 1;
+    let env, n_events = Node_rt.prepare_send node ~dst ~msg ~lt in
+    (* the payload that just left carries src's own events: they must be
+       durable before anything downstream can depend on them *)
+    if st.frt <> None then checkpoint st src;
+    Trace.emit st.trace
+      (Trace.Send
+         {
+           t = now_f st;
+           src;
+           dst;
+           msg;
+           events = n_events;
+           bytes = String.length env.Node_rt.wire;
+         });
+    (* [seq] counts this send: the metrics sink has already seen it *)
+    let seq = Metrics.sends st.metrics in
+    let verdict = Transport.send st.transport ~now:st.now ~seq ~src ~dst in
+    (* a partition overrides the transport verdict but never skips it:
+       the random stream stays aligned with an unpartitioned run *)
+    let verdict =
+      if partitioned st ~src ~dst then
+        Transport.Lost
+          { detect_at = Q.add st.now st.scenario.Scenario.loss_detect }
+      else verdict
+    in
+    match verdict with
+    | Transport.Lost { detect_at } ->
+      Trace.emit st.trace (Trace.Lost { t = now_f st; msg });
+      Heap.push st.agenda ~at:detect_at (Lost_notify { msg })
+    | Transport.Deliver_at at ->
+      Heap.push st.agenda ~at (Deliver { msg; src; dst; env; app })
+  end
 
 let deliver st ~msg ~src ~dst ~env ~app =
-  let node = st.nodes.(dst) in
-  let lt = lt_now st node in
-  Trace.emit st.trace (Trace.Receive { t = now_f st; src; dst; msg });
-  Node_rt.receive node ~src ~msg ~lt env;
-  if lossy st then Csa.on_msg_delivered st.nodes.(src).Node_rt.csa ~msg;
-  validate st node;
-  record_sample st node;
-  (* application behaviour *)
-  match app with
-  | Request -> send st ~src:dst ~dst:src ~app:Response
-  | Token ->
-    let gap =
-      match st.scenario.Scenario.traffic with
-      | Scenario.Ring_token { gap } -> gap
-      | _ -> Q.one
-    in
-    Heap.push st.agenda ~at:(Q.add st.now gap) (Token_send { p = dst })
-  | Response | Chat -> ()
+  if is_down st dst then begin
+    (* crash-as-loss: the datagram reached a dead host; the loss oracle
+       reports it like any other lost message (Section 3.3) *)
+    Trace.emit st.trace (Trace.Lost { t = now_f st; msg });
+    Heap.push st.agenda
+      ~at:(Q.add st.now st.scenario.Scenario.loss_detect)
+      (Lost_notify { msg })
+  end
+  else begin
+    let node = st.nodes.(dst) in
+    let lt = lt_now st node in
+    match Node_rt.receive node ~src ~msg ~lt env with
+    | exception Invalid_argument _ when lossy st ->
+      (* In lossy mode the sender's frontier advances optimistically at
+         send time (see History), so a payload can presuppose an earlier
+         message that was in fact lost and not yet ruled on.  Such a
+         payload is not integrable; the receiver discards it — exactly
+         what [Session] does over UDP — and the loss oracle reports this
+         message lost too, so the sender rolls back and re-reports. *)
+      Trace.emit st.trace (Trace.Lost { t = now_f st; msg });
+      Heap.push st.agenda
+        ~at:(Q.add st.now st.scenario.Scenario.loss_detect)
+        (Lost_notify { msg })
+    | () ->
+    Trace.emit st.trace (Trace.Receive { t = now_f st; src; dst; msg });
+    (match st.frt with
+    | Some f ->
+      (* withhold the ack until a checkpoint covers this receive *)
+      f.unacked.(dst) <- (msg, src) :: f.unacked.(dst);
+      if Fault.Policy.note_receive f.policies.(dst) then checkpoint st dst
+    | None ->
+      if lossy st then Csa.on_msg_delivered st.nodes.(src).Node_rt.csa ~msg);
+    validate st node;
+    record_sample st node;
+    (* application behaviour *)
+    match app with
+    | Request -> send st ~src:dst ~dst:src ~app:Response
+    | Token ->
+      let gap =
+        match st.scenario.Scenario.traffic with
+        | Scenario.Ring_token { gap } -> gap
+        | _ -> Q.one
+      in
+      Heap.push st.agenda ~at:(Q.add st.now gap) (Token_send { p = dst })
+    | Response | Chat -> ()
+  end
 
 let lost_notify st ~msg =
   Array.iter
-    (fun (node : Node_rt.t) -> Csa.on_msg_lost node.Node_rt.csa ~msg)
+    (fun (node : Node_rt.t) ->
+      let p = node.Node_rt.proc in
+      match st.frt with
+      | Some f when f.down.(p) -> f.queued.(p) <- Lost_v msg :: f.queued.(p)
+      | _ -> Csa.on_msg_lost node.Node_rt.csa ~msg)
     st.nodes
+
+let crash st p =
+  match st.frt with
+  | None -> ()
+  | Some f ->
+    if not f.down.(p) then begin
+      f.down.(p) <- true;
+      Trace.emit st.trace (Trace.Crash { t = now_f st; node = p });
+      (* receives processed but never checkpointed die with the node:
+         their senders must roll back and re-report (the restored state
+         predates them, and write-ahead means they were never
+         externalized, so the rollback is invisible to everyone else) *)
+      let unacked = List.rev f.unacked.(p) in
+      f.unacked.(p) <- [];
+      Fault.Policy.flushed f.policies.(p);
+      List.iter
+        (fun (msg, _) ->
+          Trace.emit st.trace (Trace.Lost { t = now_f st; msg });
+          Heap.push st.agenda
+            ~at:(Q.add st.now st.scenario.Scenario.loss_detect)
+            (Lost_notify { msg }))
+        unacked
+    end
+
+let restart st p =
+  match st.frt with
+  | None -> ()
+  | Some f ->
+    if f.down.(p) then begin
+      let blob =
+        match f.stores.(p).load () with
+        | Some b -> b
+        | None ->
+          (* unreachable: every node is checkpointed at boot *)
+          failwith "Engine: restart without a checkpoint"
+      in
+      let old = st.nodes.(p) in
+      let csa =
+        Csa.restore ~validate:st.scenario.Scenario.validate_oracle
+          ~sink:st.trace st.scenario.Scenario.spec blob
+      in
+      st.nodes.(p) <-
+        Node_rt.revive st.scenario ~clock:old.Node_rt.clock
+          ~parents:old.Node_rt.parents ~csa ~now:st.now p;
+      f.down.(p) <- false;
+      Trace.emit st.trace (Trace.Recover { t = now_f st; node = p });
+      (* verdicts that fired while the node was down *)
+      let q = List.rev f.queued.(p) in
+      f.queued.(p) <- [];
+      List.iter
+        (function
+          | Acked msg -> Csa.on_msg_delivered csa ~msg
+          | Lost_v msg -> Csa.on_msg_lost csa ~msg)
+        q
+    end
+
+let fault_ev st (ev : Fault.Injection.event) =
+  match ev with
+  | Fault.Injection.Crash { node; _ } | Fault.Injection.Leave { node; _ } ->
+    crash st node
+  | Fault.Injection.Restart { node; _ } | Fault.Injection.Join { node; _ } ->
+    restart st node
+  | Fault.Injection.Partition { heal; island; _ } -> (
+    match st.frt with
+    | None -> ()
+    | Some f -> f.partitions <- (heal, island) :: f.partitions)
 
 let schedule_local st node ~after_lt ev =
   (* fire when the node's clock shows (now_lt + after_lt) *)
@@ -220,8 +393,20 @@ let gossip_tick st =
 let token_send st ~p =
   let spec = st.scenario.Scenario.spec in
   let n = System_spec.n spec in
-  let dst = (p + 1) mod n in
-  if System_spec.transit spec p dst <> None then send st ~src:p ~dst ~app:Token
+  if is_down st p then begin
+    (* the token is not lost with the node: it re-fires once the holder
+       revives (otherwise a single crash would silence the ring forever) *)
+    let gap =
+      match st.scenario.Scenario.traffic with
+      | Scenario.Ring_token { gap } -> gap
+      | _ -> Q.one
+    in
+    Heap.push st.agenda ~at:(Q.add st.now gap) (Token_send { p })
+  end
+  else
+    let dst = (p + 1) mod n in
+    if System_spec.transit spec p dst <> None then
+      send st ~src:p ~dst ~app:Token
 
 let burst_check st ~p =
   let node = st.nodes.(p) in
@@ -291,10 +476,48 @@ let bootstrap st =
       sends
 
 let run_nodes (scenario : Scenario.t) =
+  if scenario.Scenario.faults <> [] && scenario.Scenario.validate then
+    invalid_arg
+      "Engine: validate (full-view mirror) cannot be combined with faults";
   let rng = Rng.create scenario.Scenario.seed in
   let metrics = Metrics.create () in
   let trace = Trace.tee (Metrics.sink metrics) scenario.Scenario.trace in
   let nodes = init_nodes scenario rng trace in
+  let frt =
+    if scenario.Scenario.faults = [] then None
+    else begin
+      let n = Array.length nodes in
+      let stores =
+        match scenario.Scenario.checkpoint_dir with
+        | Some dir ->
+          Array.init n (fun p ->
+              let s = Fault.Store.create ~dir ~node:p in
+              {
+                save = Fault.Store.save s;
+                load =
+                  (fun () ->
+                    match Fault.Store.load_result s with
+                    | Ok b -> b
+                    | Error m -> failwith ("Engine: " ^ m));
+              })
+        | None ->
+          Array.init n (fun _ ->
+              let cell = ref None in
+              { save = (fun b -> cell := Some b); load = (fun () -> !cell) })
+      in
+      Some
+        {
+          down = Array.make n false;
+          stores;
+          policies =
+            Array.init n (fun _ ->
+                Fault.Policy.make scenario.Scenario.checkpoint);
+          unacked = Array.make n [];
+          queued = Array.make n [];
+          partitions = [];
+        }
+    end
+  in
   let transport =
     (* the loss gate is always present so the random stream is identical
        whether or not loss is enabled *)
@@ -309,6 +532,7 @@ let run_nodes (scenario : Scenario.t) =
       scenario;
       rng;
       nodes;
+      frt;
       transport;
       metrics;
       trace;
@@ -321,6 +545,30 @@ let run_nodes (scenario : Scenario.t) =
       series_tick = 0;
     }
   in
+  (match st.frt with
+  | None -> ()
+  | Some f ->
+    (* boot checkpoint for every node: a restart must always find a
+       blob — a node that has participated can never reboot amnesiac
+       (it would re-issue event sequence numbers its peers already
+       bound to different events) *)
+    Array.iter (fun (node : Node_rt.t) -> checkpoint st node.Node_rt.proc) st.nodes;
+    List.iter
+      (fun ev ->
+        (* a node whose first fault is a Join is absent from time 0 *)
+        (match ev with
+        | Fault.Injection.Join { node; _ }
+          when not (List.exists
+                      (fun e ->
+                        Fault.Injection.node e = Some node
+                        && Q.compare (Fault.Injection.at e)
+                             (Fault.Injection.at ev)
+                           < 0)
+                      scenario.Scenario.faults) ->
+          f.down.(node) <- true
+        | _ -> ());
+        Heap.push st.agenda ~at:(Fault.Injection.at ev) (Fault_ev ev))
+      scenario.Scenario.faults);
   bootstrap st;
   let continue = ref true in
   while !continue do
@@ -336,7 +584,8 @@ let run_nodes (scenario : Scenario.t) =
       | Gossip_tick -> gossip_tick st
       | Token_send { p } -> token_send st ~p
       | Burst_check { p } -> burst_check st ~p
-      | Script_send { src; dst } -> send st ~src ~dst ~app:Chat)
+      | Script_send { src; dst } -> send st ~src ~dst ~app:Chat
+      | Fault_ev ev -> fault_ev st ev)
   done;
   st.now <- scenario.Scenario.duration;
   let per_algo =

@@ -32,7 +32,8 @@ let create (scenario : Scenario.t) ~rng ~links ~sink p =
     clock;
     csa =
       Csa.create
-        ~lossy:(scenario.Scenario.loss_prob > 0.)
+        ~lossy:
+          (scenario.Scenario.loss_prob > 0. || scenario.Scenario.faults <> [])
         ~validate:scenario.Scenario.validate_oracle ~sink spec ~me:p ~lt0;
     mirror =
       (if scenario.Scenario.validate then Some (Mirror.create spec ~me:p ~lt0)
@@ -55,6 +56,38 @@ let create (scenario : Scenario.t) ~rng ~links ~sink p =
     parents =
       Topology.parents_toward_source ~n ~links
         ~source:(System_spec.source spec) p;
+  }
+
+let revive (scenario : Scenario.t) ~clock ~parents ~csa ~now p =
+  let spec = scenario.Scenario.spec in
+  (* the clock survives a crash (hardware keeps ticking); the restored
+     CSA carries everything durable.  Baselines have no snapshot — a
+     revived node restarts them from scratch, which is exactly the
+     comparison the fault scenarios are after.  No mirror: the full-view
+     mirror cannot survive a crash, and the engine rejects validate
+     scenarios with faults. *)
+  let lt0 = Clock.lt_of_rt clock now in
+  {
+    proc = p;
+    clock;
+    csa;
+    mirror = None;
+    driftfree =
+      (if scenario.Scenario.run_driftfree then
+         Some
+           (Driftfree.create ~window:scenario.Scenario.driftfree_window spec
+              ~me:p ~lt0)
+       else None);
+    ntp =
+      (if scenario.Scenario.run_ntp then Some (Ntp.create spec ~me:p ~lt0)
+       else None);
+    cristian =
+      (if scenario.Scenario.run_cristian then
+         Some
+           (Cristian.create ~rtt_threshold:scenario.Scenario.cristian_rtt spec
+              ~me:p ~lt0)
+       else None);
+    parents;
   }
 
 let lt_at t ~rt = Clock.lt_of_rt t.clock rt

@@ -43,6 +43,21 @@ val create :
     and oracle events).  Draws from [rng]; call in increasing [p] order
     for a reproducible stream. *)
 
+val revive :
+  Scenario.t ->
+  clock:Clock.t ->
+  parents:Event.proc list ->
+  csa:Csa.t ->
+  now:Q.t ->
+  Event.proc ->
+  t
+(** Rebuild processor [p]'s stack after a crash, around a {!Csa.restore}d
+    core.  The clock is the one the node crashed with (hardware keeps
+    ticking through a reboot); baselines restart from scratch at the
+    clock's current reading; the validation mirror is dropped.  Draws
+    nothing from any rng, so reviving keeps a run's random streams
+    aligned with its crash-free twin. *)
+
 val lt_at : t -> rt:Q.t -> Q.t
 (** The node's clock reading at real time [rt]. *)
 

@@ -27,6 +27,9 @@ type t = {
   validate_oracle : bool;
   series_cap : int;
   trace : Trace.sink;
+  faults : Fault.Injection.event list;
+  checkpoint : Fault.Policy.spec;
+  checkpoint_dir : string option;
 }
 
 let sec n = Q.of_int n
@@ -54,4 +57,7 @@ let default ~spec ~traffic =
     validate_oracle = false;
     series_cap = 2_000;
     trace = Trace.null;
+    faults = [];
+    checkpoint = `Sync;
+    checkpoint_dir = None;
   }

@@ -68,6 +68,19 @@ type t = {
           activity ({!Trace.event}); {!Trace.null} by default.  The
           engine's own metrics ride the same stream, so a scenario sink
           sees exactly what the result counters count. *)
+  faults : Fault.Injection.event list;
+      (** crash/restart, join/leave and partition injections, in real
+          time.  Any fault forces lossy CSA mode (crashes surface as
+          message losses to the Section 3.3 machinery) and enables
+          write-ahead checkpointing for every node.  Incompatible with
+          [validate] (the full-view mirror cannot survive a crash). *)
+  checkpoint : Fault.Policy.spec;
+      (** receive-side checkpoint cadence when faults are active; sends
+          always checkpoint first (see {!Fault.Policy}) *)
+  checkpoint_dir : string option;
+      (** when set, checkpoints go through {!Fault.Store} files in this
+          directory; otherwise they live in memory (still exercising the
+          same restore path) *)
 }
 
 val default : spec:System_spec.t -> traffic:traffic -> t

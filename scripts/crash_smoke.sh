@@ -1,0 +1,117 @@
+#!/bin/sh
+# Crash/recovery smoke test for the net runtime's checkpointing:
+#   - a reference node (processor 0) plus one peer running with
+#     --checkpoint, with receive-side loss injected on both ends;
+#   - the peer is kill -9'd mid-session, then restarted on the same
+#     checkpoint directory;
+#   - the restarted peer must print "recovered from checkpoint",
+#     re-handshake, and every post-recovery sample must be contained
+#     (the interval must hold the reference node's wall-clock time).
+# Exercises: write-ahead checkpoints on send/ack, Session.restore's
+# dedup-floor and msg-id-counter persistence, re-armed ack deadlines
+# for in-flight messages, and the re-announce handshake after reboot.
+#
+# Environment knobs (shared with net_smoke.sh):
+#   NET_SMOKE_PORT_BASE   first port of the random range (default 20000)
+#   NET_SMOKE_DROP        receive-side loss probability (default 0.15)
+#   CRASH_SMOKE_DURATION  reference-node lifetime in seconds (default 16)
+#   SMOKE_ARTIFACT_DIR    if set, logs + JSONL traces are copied there on
+#                         failure so CI can upload them
+set -eu
+
+BIN=${CLOCKSYNC:-_build/default/bin/clocksync.exe}
+DIR=$(mktemp -d)
+CKPT="$DIR/ckpt"
+mkdir -p "$CKPT"
+PIDS=""
+
+cleanup() {
+  status=$?
+  for pid in $PIDS; do
+    kill "$pid" 2>/dev/null || true
+  done
+  for pid in $PIDS; do
+    wait "$pid" 2>/dev/null || true
+  done
+  if [ "$status" -ne 0 ] && [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$SMOKE_ARTIFACT_DIR"
+    cp "$DIR"/*.log "$DIR"/*.jsonl "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+  fi
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+PORT_BASE=${NET_SMOKE_PORT_BASE:-20000}
+PORT=$((PORT_BASE + ($$ + 1) % 40000))
+DURATION=${CRASH_SMOKE_DURATION:-16}
+DROP=${NET_SMOKE_DROP:-0.15}
+
+echo "crash-smoke: UDP session on 127.0.0.1:$PORT (drop=$DROP), peer will be kill -9'd"
+
+"$BIN" serve --port "$PORT" --nodes 2 --duration "$DURATION" \
+  --sample 1 --drop "$DROP" --trace "$DIR/serve.jsonl" \
+  >"$DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+PIDS="$PIDS $SERVE_PID"
+
+sleep 1
+
+"$BIN" peer --server "127.0.0.1:$PORT" --id 1 --nodes 2 \
+  --duration $((DURATION - 2)) --sample 1 --drop "$DROP" \
+  --offset-ms=250 --skew-ppm=200 --checkpoint "$CKPT" \
+  --trace "$DIR/peer-run1.jsonl" >"$DIR/peer-run1.log" 2>&1 &
+PEER_PID=$!
+PIDS="$PIDS $PEER_PID"
+
+# let the session establish and exchange a few rounds, then pull the plug
+sleep 4
+echo "crash-smoke: kill -9 peer (pid $PEER_PID)"
+kill -9 "$PEER_PID" 2>/dev/null || true
+wait "$PEER_PID" 2>/dev/null || true
+
+# restart on the same checkpoint directory; it must recover, not boot fresh
+"$BIN" peer --server "127.0.0.1:$PORT" --id 1 --nodes 2 \
+  --duration $((DURATION - 8)) --sample 1 --drop "$DROP" \
+  --offset-ms=250 --skew-ppm=200 --checkpoint "$CKPT" \
+  --trace "$DIR/peer-run2.jsonl" >"$DIR/peer-run2.log" 2>&1 &
+PEER_PID=$!
+PIDS="$SERVE_PID $PEER_PID"
+
+fail=0
+wait "$PEER_PID" || { echo "crash-smoke: restarted peer FAILED"; fail=1; }
+wait "$SERVE_PID" || { echo "crash-smoke: reference node FAILED"; fail=1; }
+PIDS=""
+
+if ! grep -q "checkpointing to" "$DIR/peer-run1.log"; then
+  echo "crash-smoke: first run did not start checkpointing"
+  fail=1
+fi
+if ! grep -q "recovered from checkpoint" "$DIR/peer-run2.log"; then
+  echo "crash-smoke: restarted peer did not recover from the checkpoint"
+  fail=1
+fi
+if grep -q "contained=NO" "$DIR/peer-run2.log"; then
+  echo "crash-smoke: restarted peer printed an unsound interval"
+  fail=1
+fi
+if ! grep -q "contained=yes" "$DIR/peer-run2.log"; then
+  echo "crash-smoke: restarted peer never printed a contained sample"
+  fail=1
+fi
+if ! grep -q "0 containment failures" "$DIR/peer-run2.log"; then
+  echo "crash-smoke: restarted peer containment summary missing or nonzero"
+  fail=1
+fi
+if ! grep -q "reference node done" "$DIR/serve.log"; then
+  echo "crash-smoke: reference node did not shut down cleanly"
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "--- serve ---";      cat "$DIR/serve.log"
+  echo "--- peer run 1 ---"; cat "$DIR/peer-run1.log"
+  echo "--- peer run 2 ---"; cat "$DIR/peer-run2.log"
+  exit 1
+fi
+
+echo "crash-smoke: OK (peer recovered from kill -9, every post-recovery sample contained)"

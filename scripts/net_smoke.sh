@@ -1,25 +1,51 @@
 #!/bin/sh
 # Three-process localhost UDP smoke test for the net runtime:
 #   - a reference node (processor 0) plus two peers with emulated clock
-#     offset/skew, each injecting 15% receive-side loss;
+#     offset/skew, each injecting receive-side loss;
 #   - every peer sample must report contained=yes (the printed interval
 #     contains the reference node's wall-clock time);
 #   - both peers must converge to finite intervals and exit 0, and the
 #     reference node must shut down cleanly.
 # Exercises: handshake with backoff re-announce, heartbeat data, ack
 # timeouts + loss-verdict gossip (Section 3.3), and bye teardown.
+#
+# Environment knobs (shared with crash_smoke.sh):
+#   NET_SMOKE_PORT_BASE   first port of the random range (default 20000)
+#   NET_SMOKE_DROP        receive-side loss probability (default 0.15)
+#   NET_SMOKE_DURATION    reference-node lifetime in seconds (default 8)
+#   SMOKE_ARTIFACT_DIR    if set, logs + JSONL traces are copied there on
+#                         failure so CI can upload them
 set -eu
 
 BIN=${CLOCKSYNC:-_build/default/bin/clocksync.exe}
 DIR=$(mktemp -d)
-trap 'rm -rf "$DIR"' EXIT
+PIDS=""
+
+# On any exit, reap whatever child processes are still alive: a failed
+# assertion must not leave an orphaned serve/peer squatting on the port.
+cleanup() {
+  status=$?
+  for pid in $PIDS; do
+    kill "$pid" 2>/dev/null || true
+  done
+  for pid in $PIDS; do
+    wait "$pid" 2>/dev/null || true
+  done
+  if [ "$status" -ne 0 ] && [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$SMOKE_ARTIFACT_DIR"
+    cp "$DIR"/*.log "$DIR"/*.jsonl "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+  fi
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
 
 # a throwaway socket would be nicer, but a randomized high port keeps
 # this POSIX-sh simple and collisions vanishingly rare
-PORT=$((20000 + $$ % 40000))
+PORT_BASE=${NET_SMOKE_PORT_BASE:-20000}
+PORT=$((PORT_BASE + $$ % 40000))
 DURATION=${NET_SMOKE_DURATION:-8}
 PEER_DURATION=$((DURATION - 2))
-DROP=0.15
+DROP=${NET_SMOKE_DROP:-0.15}
 
 echo "net-smoke: 3-process UDP session on 127.0.0.1:$PORT (drop=$DROP)"
 
@@ -27,6 +53,7 @@ echo "net-smoke: 3-process UDP session on 127.0.0.1:$PORT (drop=$DROP)"
   --sample 1 --drop "$DROP" --trace "$DIR/serve.jsonl" \
   >"$DIR/serve.log" 2>&1 &
 SERVE_PID=$!
+PIDS="$PIDS $SERVE_PID"
 
 sleep 1
 
@@ -34,16 +61,19 @@ sleep 1
   --duration "$PEER_DURATION" --sample 1 --drop "$DROP" \
   --offset-ms=250 --skew-ppm=200 >"$DIR/peer1.log" 2>&1 &
 PEER1_PID=$!
+PIDS="$PIDS $PEER1_PID"
 
 "$BIN" peer --server "127.0.0.1:$PORT" --id 2 --nodes 3 \
   --duration "$PEER_DURATION" --sample 1 --drop "$DROP" \
   --offset-ms=-400 --skew-ppm=-150 >"$DIR/peer2.log" 2>&1 &
 PEER2_PID=$!
+PIDS="$PIDS $PEER2_PID"
 
 fail=0
 wait "$PEER1_PID" || { echo "net-smoke: peer 1 FAILED"; fail=1; }
 wait "$PEER2_PID" || { echo "net-smoke: peer 2 FAILED"; fail=1; }
 wait "$SERVE_PID" || { echo "net-smoke: reference node FAILED"; fail=1; }
+PIDS=""
 
 for peer in 1 2; do
   log="$DIR/peer$peer.log"

@@ -151,6 +151,49 @@ let test_payload_codec_fuzz () =
     done
   done
 
+let test_cross_oracle_restore () =
+  (* Lemma 3.4 says live-pair distances determine all future answers, so
+     a snapshot is a complete checkpoint for any oracle implementation: a
+     state built on the default AGDP structure must restore under the
+     naive Floyd–Warshall reference (and back) with identical distances
+     between every pair of live points and an identical estimate. *)
+  let event_id = Alcotest.testable Event.pp_id ( = ) in
+  let check_pairwise_equal tag x y =
+    let ids = Csa.live_event_ids x in
+    Alcotest.(check (list event_id))
+      (tag ^ ": same live points") ids (Csa.live_event_ids y);
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            Alcotest.(check bool)
+              (Format.asprintf "%s: dist %a -> %a agrees" tag Event.pp_id a
+                 Event.pp_id b)
+              true
+              (Ext.equal (Csa.dist_between x a b) (Csa.dist_between y a b)))
+          ids)
+      ids;
+    Alcotest.(check bool) (tag ^ ": estimates agree") true
+      (Interval.equal (Csa.estimate x) (Csa.estimate y))
+  in
+  let a, b = run_script ~lossy:true [ 0; 1; 4; 3; 2; 6 ] in
+  List.iter
+    (fun csa ->
+      let on_fw =
+        Csa.restore
+          ~oracle:(Distance_oracle.floyd_warshall ())
+          spec2 (Csa.snapshot csa)
+      in
+      Alcotest.(check string)
+        "restored onto the reference oracle" "floyd-warshall"
+        (Csa.oracle_name on_fw);
+      check_pairwise_equal "agdp -> fw" csa on_fw;
+      (* and back: a snapshot taken on the reference implementation
+         restores under the default AGDP oracle unchanged *)
+      let back = Csa.restore spec2 (Csa.snapshot on_fw) in
+      check_pairwise_equal "fw -> agdp" on_fw back)
+    [ a; b ]
+
 let test_restore_continues_lossy () =
   (* one a → b message and one b → a reply, both still in flight; after
      restore, declaring them lost must trigger the exact same
@@ -183,6 +226,8 @@ let () =
           Alcotest.test_case "payload codec fuzz" `Quick test_payload_codec_fuzz;
           Alcotest.test_case "restore continues a lossy run" `Quick
             test_restore_continues_lossy;
+          Alcotest.test_case "cross-oracle restore (agdp <-> fw)" `Quick
+            test_cross_oracle_restore;
         ] );
       qsuite "props" [ prop_snapshot_round_trip ];
     ]
