@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench-smoke net-smoke crash-smoke check fmt fmt-check clean
+.PHONY: all build test bench-smoke analyze-smoke net-smoke crash-smoke check fmt fmt-check clean
 
 all: build
 
@@ -16,6 +16,15 @@ test:
 
 bench-smoke:
 	$(DUNE) exec bench/main.exe -- smoke --json _build/bench_smoke.json
+
+# round-trip the trace loop: a profiled simulator run writes a JSONL
+# trace, then `clocksync analyze` re-parses every line and recomputes
+# the aggregates, which must match the trailer byte for byte
+analyze-smoke: build
+	$(DUNE) exec bin/clocksync.exe -- run -n 4 -d 10 --chaos 1 \
+	  --trace _build/analyze_smoke.jsonl --prof >/dev/null
+	$(DUNE) exec bin/clocksync.exe -- analyze _build/analyze_smoke.jsonl \
+	  --require-estimates
 
 # 3-process localhost UDP session with injected loss; asserts every
 # printed peer interval contained the reference node's true time and
@@ -29,7 +38,7 @@ net-smoke: build
 crash-smoke: build
 	sh scripts/crash_smoke.sh
 
-check: build test bench-smoke
+check: build test bench-smoke analyze-smoke
 	@echo "check: OK"
 
 # Formatting is best-effort: the sealed build image does not ship

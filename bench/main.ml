@@ -17,7 +17,7 @@
 
    Run all:        dune exec bench/main.exe
    Run a subset:   dune exec bench/main.exe -- E3 E5 uB
-   Machine output: dune exec bench/main.exe -- E5 E15 E16 uB --json BENCH_agdp.json
+   Machine output: dune exec bench/main.exe -- E5 E15 E16 E17 uB --json BENCH_agdp.json
 
    With [--json FILE] every experiment that ran also lands in FILE as one
    record (schema "clocksync-bench/1", see EXPERIMENTS.md): the wall clock
@@ -1115,6 +1115,111 @@ let e16_checkpoint_throughput () =
      so checkpointing before every send is a fixed, small cost — the@.\
      durable store adds one tmp write + rename on top of the encode.@."
 
+(* ------------------------------------ E17: instrumentation overhead *)
+
+let e17_instrumentation_overhead () =
+  section "E17"
+    "observability overhead (Trace.null vs metrics vs metrics+prof)";
+  (* The trace/profiler layer promises to be free when disabled: every
+     hot-path site guards on a couple of branches, no clock read, no
+     allocation.  Measure the same engine run under the three sink
+     configurations (min of repetitions, so scheduler noise pushes
+     numbers up, never down), then the primitive costs. *)
+  let scenario trace prof =
+    {
+      (Scenario.default
+         ~spec:(base_spec 6 (Topology.star 6))
+         ~traffic:(Scenario.Gossip { mean_gap = Scenario.ms 100 }))
+      with
+      Scenario.duration = Scenario.sec 10;
+      seed = 7;
+      trace;
+      prof;
+    }
+  in
+  let min_wall reps f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let reps = 3 in
+  let bare =
+    min_wall reps (fun () ->
+        ignore (Engine.run (scenario Trace.null Prof.null)))
+  in
+  let traced =
+    min_wall reps (fun () ->
+        let m = Metrics.create () in
+        ignore (Engine.run (scenario (Metrics.sink m) Prof.null)))
+  in
+  let profiled =
+    min_wall reps (fun () ->
+        let m = Metrics.create () in
+        let sink = Metrics.sink m in
+        let prof = Prof.make ~now:Unix.gettimeofday ~sink () in
+        ignore (Engine.run (scenario sink prof)))
+  in
+  (* primitive costs *)
+  let ns_per reps f =
+    let t0 = Unix.gettimeofday () in
+    f reps;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int reps
+  in
+  let h = Histogram.create () in
+  let hist_ns =
+    ns_per 2_000_000 (fun n ->
+        for i = 1 to n do
+          Histogram.record h (1e-6 *. float_of_int (i land 1023))
+        done)
+  in
+  let off = Prof.null in
+  let off_ns =
+    ns_per 10_000_000 (fun n ->
+        for _ = 1 to n do
+          Prof.stop off "op" (Prof.start off)
+        done)
+  in
+  let on_prof = Prof.make ~now:Unix.gettimeofday ~sink:Trace.null () in
+  let on_ns =
+    ns_per 1_000_000 (fun n ->
+        for _ = 1 to n do
+          Prof.stop on_prof "op" (Prof.start on_prof)
+        done)
+  in
+  metric "engine_wall_s"
+    (J.Obj
+       [
+         ("bare", J.Float bare);
+         ("metrics", J.Float traced);
+         ("metrics_prof", J.Float profiled);
+         ("metrics_over_bare", J.Float (traced /. bare));
+         ("metrics_prof_over_bare", J.Float (profiled /. bare));
+       ]);
+  metric "primitives_ns"
+    (J.Obj
+       [
+         ("histogram_record", J.Float hist_ns);
+         ("prof_pair_disabled", J.Float off_ns);
+         ("prof_pair_enabled", J.Float on_ns);
+       ]);
+  Table.print
+    ~header:[ "configuration"; "engine wall (min)"; "vs bare" ]
+    [
+      [ "Trace.null + Prof.null"; Printf.sprintf "%.3fs" bare; "1.00x" ];
+      [ "Metrics sink"; Printf.sprintf "%.3fs" traced;
+        Printf.sprintf "%.2fx" (traced /. bare) ];
+      [ "Metrics + profiler"; Printf.sprintf "%.3fs" profiled;
+        Printf.sprintf "%.2fx" (profiled /. bare) ];
+    ];
+  Format.printf "@.primitives: Histogram.record %.0f ns, disabled \
+                 Prof.start/stop pair %.1f ns,@.enabled pair %.0f ns (two \
+                 clock reads + one Span emit).@."
+    hist_ns off_ns on_ns
+
 (* --------------------------------------------------------------- smoke *)
 
 (* A sub-second slice of E5, wired into `dune runtest` (see bench/dune) so
@@ -1162,6 +1267,7 @@ let all =
     ("E14", e14_convergence_figure);
     ("E15", e15_frame_throughput);
     ("E16", e16_checkpoint_throughput);
+    ("E17", e17_instrumentation_overhead);
     ("uB", microbenches);
   ]
 

@@ -191,25 +191,34 @@ let trace_file =
 
 (* ---- run ---- *)
 
-(* one JSONL sink with a summary trailer, closed even on exceptions: the
-   stream is mirrored to disk and aggregated a second time independently
-   of the engine, so the trailing summary line is computed from exactly
-   what was written, and a partial trace is still a valid one.  Shared
-   by run, serve and peer. *)
-let with_trace trace f =
+(* The shared observability harness of run, serve and peer: one JSONL
+   sink with a summary trailer (closed even on exceptions — the stream
+   is mirrored to disk and aggregated a second time independently of
+   the engine, so the trailing summary line is computed from exactly
+   what was written, and a partial trace is still a valid one), plus an
+   optional wall-clock profiler and a Metrics aggregate the caller can
+   expose live ([live_metrics] forces aggregation even without a trace
+   file, for --stat-port). *)
+let with_obs ?(profile = false) ?(live_metrics = false) trace f =
+  let m = Metrics.create () in
+  let msink = Metrics.sink m in
+  let mk_prof sink =
+    if profile then Prof.make ~now:Unix.gettimeofday ~sink () else Prof.null
+  in
   match trace with
-  | None -> f Trace.null
+  | None ->
+    let sink = if profile || live_metrics then msink else Trace.null in
+    f ~sink ~prof:(mk_prof sink) ~metrics:m
   | Some path ->
     let oc = open_out path in
-    let m = Metrics.create () in
-    let sink = Trace.tee (Trace.jsonl oc) (Metrics.sink m) in
+    let sink = Trace.tee (Trace.jsonl oc) msink in
     Fun.protect
       ~finally:(fun () ->
         output_string oc (Json_out.to_line (Metrics.summary_json m));
         output_char oc '\n';
         close_out oc;
         Format.printf "wrote %s@." path)
-      (fun () -> f sink)
+      (fun () -> f ~sink ~prof:(mk_prof sink) ~metrics:m)
 
 let chaos_opt =
   Arg.(value & opt int 0 & info [ "chaos" ] ~docv:"CYCLES"
@@ -218,9 +227,17 @@ let chaos_opt =
                from write-ahead checkpoints (see DESIGN.md, \"Fault model \
                & recovery\").")
 
+let prof_flag =
+  Arg.(value & flag & info [ "prof" ]
+         ~doc:"Time hot-path operations (AGDP insert/kill, codec \
+               encode/decode, checkpoint writes) as span events and dump \
+               per-operation latency histograms as a Prometheus text \
+               exposition after the run.  With --trace, the spans also \
+               land in the JSONL stream.")
+
 let run_cmd =
   let action topology nodes traffic duration drift_ppm lo_ms hi_ms period_s
-      loss seed ntp cristian driftfree validate chaos csv trace =
+      loss seed ntp cristian driftfree validate chaos csv trace profile =
     match
       build_scenario ~topology ~nodes ~traffic ~duration ~drift_ppm ~lo_ms
         ~hi_ms ~period_s ~loss ~seed ~ntp ~cristian ~driftfree ~validate
@@ -241,10 +258,16 @@ let run_cmd =
                 ~duration:scenario.Scenario.duration ~cycles:chaos ();
           }
       in
-      let r =
-        with_trace trace (fun sink ->
-            Engine.run { scenario with Scenario.trace = sink })
+      let r, expo =
+        with_obs ~profile trace (fun ~sink ~prof ~metrics ->
+            let r =
+              Engine.run { scenario with Scenario.trace = sink; prof }
+            in
+            (r, if profile then Some (Expo.render metrics) else None))
       in
+      Option.iter
+        (fun text -> Format.printf "# metrics exposition@.%s@." text)
+        expo;
       print_result r;
       Option.iter
         (fun prefix ->
@@ -261,7 +284,8 @@ let run_cmd =
       ret
         (const action $ topology $ nodes $ traffic $ duration $ drift_ppm
        $ lo_ms $ hi_ms $ period_s $ loss $ seed $ ntp_flag $ cristian_flag
-       $ driftfree_flag $ validate_flag $ chaos_opt $ csv_prefix $ trace_file))
+       $ driftfree_flag $ validate_flag $ chaos_opt $ csv_prefix $ trace_file
+       $ prof_flag))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one scenario and print accuracy/resources.")
@@ -345,13 +369,16 @@ let net_spec ~nodes ~drift_ppm ~hi_ms =
     ~links:(Topology.star nodes)
 
 (* poll until the wall deadline, sampling every [sample_every]; both
-   subcommands share this driver *)
-let drive ~loop ~net ~session ~duration ~sample_every ~print ~stop_early =
+   subcommands share this driver.  [tick] runs every iteration (at
+   least every 0.2 s) — the hook the live stat server polls from. *)
+let drive ?(tick = fun () -> ()) ~loop ~net ~session ~duration ~sample_every
+    ~print ~stop_early () =
   let start = Udp.now net in
   let deadline = Q.add start duration in
   let next_sample = ref (Q.add start sample_every) in
   let rec go () =
     let now = Udp.now net in
+    tick ();
     if Q.(now < deadline) && not (stop_early ()) then begin
       if Q.(now >= !next_sample) then begin
         print ~now;
@@ -424,9 +451,9 @@ let checkpoint_opt =
    for.  A corrupt checkpoint is a refusal, not a silent fresh start:
    rebooting amnesiac after having participated would re-issue event
    sequence numbers peers already hold. *)
-let mk_session ~sink ~checkpoint cfg ~now =
+let mk_session ~sink ~prof ~checkpoint cfg ~now =
   match checkpoint with
-  | None -> Ok (Session.create ~sink cfg ~now)
+  | None -> Ok (Session.create ~sink ~prof cfg ~now)
   | Some dir ->
     let store = Fault.Store.create ~dir ~node:cfg.Session.me in
     let attach session =
@@ -437,9 +464,9 @@ let mk_session ~sink ~checkpoint cfg ~now =
     | Error m -> Error ("checkpoint unusable (wipe it to start fresh): " ^ m)
     | Ok None ->
       Format.printf "checkpointing to %s@." (Fault.Store.path store);
-      Ok (attach (Session.create ~sink cfg ~now))
+      Ok (attach (Session.create ~sink ~prof cfg ~now))
     | Ok (Some blob) -> (
-      match Session.restore ~sink cfg ~now blob with
+      match Session.restore ~sink ~prof cfg ~now blob with
       | Error m -> Error m
       | Ok session ->
         Trace.emit sink
@@ -448,12 +475,33 @@ let mk_session ~sink ~checkpoint cfg ~now =
           (Fault.Store.path store);
         Ok (attach session)))
 
+let stat_port_opt =
+  Arg.(value & opt (some int) None & info [ "stat-port" ] ~docv:"PORT"
+         ~doc:"Serve live metrics as a Prometheus text exposition on TCP \
+               $(docv) (loopback; 0 picks a free port) — curl it while \
+               the node runs.  Implies hot-path profiling, so \
+               per-operation latency histograms are included.")
+
+(* the live stat endpoint, polled from the drive loop; [None] when
+   --stat-port was not given *)
+let mk_stats ~stat_port ~metrics =
+  Option.map
+    (fun port ->
+      let srv =
+        Stat_server.create ~port ~render:(fun () -> Expo.render metrics) ()
+      in
+      Format.printf "metrics exposition on http://127.0.0.1:%d/metrics@."
+        (Stat_server.port srv);
+      srv)
+    stat_port
+
 let serve_cmd =
   let action port nodes drift_ppm hi_ms duration sample heartbeat drop seed
-      checkpoint trace =
+      checkpoint trace stat_port =
     if nodes < 2 then `Error (false, "need at least 2 nodes")
     else begin
-      with_trace trace (fun sink ->
+      with_obs ~profile:(stat_port <> None) ~live_metrics:(stat_port <> None)
+        trace (fun ~sink ~prof ~metrics ->
           let spec = net_spec ~nodes ~drift_ppm ~hi_ms in
           let net = Udp.create ~drop ~seed ~port () in
           Format.printf "clocksync reference node: processor 0 of %d, %s@."
@@ -469,12 +517,17 @@ let serve_cmd =
             }
           in
           let start = Udp.now net in
-          match mk_session ~sink ~checkpoint cfg ~now:start with
+          match mk_session ~sink ~prof ~checkpoint cfg ~now:start with
           | Error m ->
             Udp.close net;
             `Error (false, m)
           | Ok session ->
-          let loop = Unet.create ~net ~session in
+          match mk_stats ~stat_port ~metrics with
+          | exception Unix.Unix_error (e, _, _) ->
+            Udp.close net;
+            `Error (false, "stat-port: " ^ Unix.error_message e)
+          | stats ->
+          let loop = Unet.create ~prof ~net ~session () in
           let print ~now =
             let up =
               List.filter (Session.established session)
@@ -493,8 +546,12 @@ let serve_cmd =
                    (List.map string_of_int up) ^ "]")
           in
           let all_done () = Session.all_peers_done session in
-          drive ~loop ~net ~session ~duration:(q_of_float_s duration)
-            ~sample_every:(q_of_float_s sample) ~print ~stop_early:all_done;
+          drive
+            ~tick:(fun () -> Option.iter Stat_server.poll stats)
+            ~loop ~net ~session ~duration:(q_of_float_s duration)
+            ~sample_every:(q_of_float_s sample) ~print ~stop_early:all_done
+            ();
+          Option.iter Stat_server.close stats;
           Udp.close net;
           Format.printf "reference node done (%s)@."
             (if all_done () then "all peers came up and said bye"
@@ -507,7 +564,7 @@ let serve_cmd =
       ret
         (const action $ port_opt $ net_nodes $ net_drift $ net_hi_ms
        $ net_duration $ net_sample $ net_heartbeat $ net_drop $ seed
-       $ checkpoint_opt $ trace_file))
+       $ checkpoint_opt $ trace_file $ stat_port_opt))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -534,7 +591,7 @@ let peer_cmd =
            ~doc:"Emulated clock rate error (must stay within --drift).")
   in
   let action server id nodes drift_ppm hi_ms duration sample heartbeat drop
-      offset_ms skew_ppm seed checkpoint trace =
+      offset_ms skew_ppm seed checkpoint trace stat_port =
     match Udp.addr_of_string server with
     | Error m -> `Error (false, m)
     | Ok server_addr ->
@@ -544,7 +601,9 @@ let peer_cmd =
         `Error (false, "--skew-ppm exceeds the --drift bound: the \
                         resulting intervals would be unsound")
       else begin
-        with_trace trace (fun sink ->
+        with_obs ~profile:(stat_port <> None)
+          ~live_metrics:(stat_port <> None) trace
+          (fun ~sink ~prof ~metrics ->
             let spec = net_spec ~nodes ~drift_ppm ~hi_ms in
             let rate = Q.add Q.one (Q.of_ints skew_ppm 1_000_000) in
             let net =
@@ -561,12 +620,18 @@ let peer_cmd =
                 Session.heartbeat = q_of_float_s heartbeat;
               }
             in
-            match mk_session ~sink ~checkpoint cfg ~now:(Udp.now net) with
+            match mk_session ~sink ~prof ~checkpoint cfg ~now:(Udp.now net)
+            with
             | Error m ->
               Udp.close net;
               `Error (false, m)
             | Ok session ->
-            let loop = Unet.create ~net ~session in
+            match mk_stats ~stat_port ~metrics with
+            | exception Unix.Unix_error (e, _, _) ->
+              Udp.close net;
+              `Error (false, "stat-port: " ^ Unix.error_message e)
+            | stats ->
+            let loop = Unet.create ~prof ~net ~session () in
             Unet.learn loop ~peer:0 server_addr;
             let samples = ref 0
             and finite = ref 0
@@ -595,9 +660,13 @@ let peer_cmd =
                  else "inf")
                 (if ok then "yes" else "NO")
             in
-            drive ~loop ~net ~session ~duration:(q_of_float_s duration)
+            drive
+              ~tick:(fun () -> Option.iter Stat_server.poll stats)
+              ~loop ~net ~session ~duration:(q_of_float_s duration)
               ~sample_every:(q_of_float_s sample) ~print
-              ~stop_early:(fun () -> false);
+              ~stop_early:(fun () -> false)
+              ();
+            Option.iter Stat_server.close stats;
             Udp.close net;
             Format.printf
               "peer %d done: %d samples, %d finite, %d containment \
@@ -616,7 +685,7 @@ let peer_cmd =
       ret
         (const action $ server $ id $ net_nodes $ net_drift $ net_hi_ms
        $ net_duration $ net_sample $ net_heartbeat $ net_drop $ offset_ms
-       $ skew_ppm $ seed $ checkpoint_opt $ trace_file))
+       $ skew_ppm $ seed $ checkpoint_opt $ trace_file $ stat_port_opt))
   in
   Cmd.v
     (Cmd.info "peer"
@@ -625,6 +694,51 @@ let peer_cmd =
           node, printing live optimal offset intervals (and checking, on \
           localhost, that each interval contains the reference node's \
           true time).")
+    term
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let trace_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.jsonl"
+           ~doc:"A trace written by $(b,run)/$(b,serve)/$(b,peer) \
+                 $(b,--trace) (a crash-truncated one is fine).")
+  in
+  let require_estimates =
+    Arg.(value & flag & info [ "require-estimates" ]
+           ~doc:"Fail when the trace contains no estimate samples (smoke \
+                 tests use this to catch runs that silently never \
+                 converged).")
+  in
+  let action path require_estimates =
+    match Analysis.read path with
+    | Error m -> `Error (false, m)
+    | Ok a ->
+      print_string (Analysis.render a);
+      if a.Analysis.bad <> [] then
+        `Error
+          ( false,
+            Printf.sprintf "%d unparseable line(s)"
+              (List.length a.Analysis.bad) )
+      else begin
+        match Analysis.summary_matches a with
+        | Error m -> `Error (false, "summary trailer mismatch: " ^ m)
+        | Ok () ->
+          if require_estimates && Analysis.estimate_samples a = 0 then
+            `Error (false, "trace contains no estimate samples")
+          else `Ok ()
+      end
+  in
+  let term = Term.(ret (const action $ trace_arg $ require_estimates)) in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Reconstruct a run offline from its $(b,--trace) JSONL stream: \
+          convergence timeline, per-peer session health, checkpoint \
+          overhead and hot-path span profile.  Every line is re-parsed \
+          and the aggregates are recomputed independently; when the \
+          trace carries a summary trailer the recomputation must match \
+          it byte for byte.")
     term
 
 (* ---- verify ---- *)
@@ -693,4 +807,5 @@ let () =
   let info = Cmd.info "clocksync" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; sweep_cmd; verify_cmd; serve_cmd; peer_cmd ]))
+       (Cmd.group info
+          [ run_cmd; sweep_cmd; verify_cmd; serve_cmd; peer_cmd; analyze_cmd ]))

@@ -119,18 +119,26 @@ let insert_event t (e : Event.t) =
   Trace.emit t.sink (Trace.Liveness { node = t.me; live = l })
 
 (* Default oracle choice: the paper's incremental structure, wrapped in
-   the Floyd–Warshall cross-check when [validate] is on. *)
-let default_impl ~validate ~sink =
-  let primary = Distance_oracle.agdp ~sink () in
+   the Floyd–Warshall cross-check when [validate] is on, each timed
+   separately when profiling is on. *)
+let default_impl ~validate ~sink ~prof =
+  let primary =
+    Distance_oracle.profiled ~prof ~prefix:"agdp"
+      (Distance_oracle.agdp ~sink ())
+  in
   if validate then
     Distance_oracle.checked ~primary
-      ~reference:(Distance_oracle.floyd_warshall ())
+      ~reference:
+        (Distance_oracle.profiled ~prof ~prefix:"fw"
+           (Distance_oracle.floyd_warshall ()))
   else primary
 
-let create ?(lossy = false) ?(validate = false) ?(sink = Trace.null) ?oracle
-    spec ~me ~lt0 =
+let create ?(lossy = false) ?(validate = false) ?(sink = Trace.null)
+    ?(prof = Prof.null) ?oracle spec ~me ~lt0 =
   let impl =
-    match oracle with Some i -> i | None -> default_impl ~validate ~sink
+    match oracle with
+    | Some i -> i
+    | None -> default_impl ~validate ~sink ~prof
   in
   let t =
     {
@@ -326,7 +334,8 @@ let snapshot t =
   Codec.add_varint buf gs.Agdp.s_peak;
   Buffer.contents buf
 
-let restore ?(validate = false) ?(sink = Trace.null) ?oracle spec blob =
+let restore ?(validate = false) ?(sink = Trace.null) ?(prof = Prof.null)
+    ?oracle spec blob =
   let r = Codec.reader_of_string blob in
   if Codec.read_varint r <> snapshot_version then
     failwith "Csa.restore: unsupported snapshot version";
@@ -422,7 +431,9 @@ let restore ?(validate = false) ?(sink = Trace.null) ?oracle spec blob =
   let s_peak_agdp = Codec.read_varint r in
   if not (Codec.at_end r) then failwith "Csa.restore: trailing bytes";
   let impl =
-    match oracle with Some i -> i | None -> default_impl ~validate ~sink
+    match oracle with
+    | Some i -> i
+    | None -> default_impl ~validate ~sink ~prof
   in
   let oracle =
     Distance_oracle.restore impl

@@ -25,6 +25,7 @@ val create :
   ?lossy:bool ->
   ?validate:bool ->
   ?sink:Trace.sink ->
+  ?prof:Prof.t ->
   ?oracle:Distance_oracle.impl ->
   System_spec.t ->
   me:Event.proc ->
@@ -41,7 +42,10 @@ val create :
     failing hard on any divergence ([validate] is ignored when [oracle] is
     given explicitly).  [sink] receives [Liveness] events on every
     live-set change plus whatever the oracle emits (defaults to
-    {!Trace.null}). *)
+    {!Trace.null}).  [prof] times the default oracle's insert/kill hot
+    paths as ["agdp_*"] (and ["fw_*"] under [validate]) spans; ignored
+    when [oracle] is given explicitly (wrap it in
+    {!Distance_oracle.profiled} yourself). *)
 
 val me : t -> Event.proc
 val spec : t -> System_spec.t
@@ -134,6 +138,7 @@ val snapshot : t -> string
 val restore :
   ?validate:bool ->
   ?sink:Trace.sink ->
+  ?prof:Prof.t ->
   ?oracle:Distance_oracle.impl ->
   System_spec.t ->
   string ->

@@ -136,6 +136,32 @@ let checked ~primary ~reference : impl =
       t
   end)
 
+(* Timing decorator: wraps the two mutating hot paths in profiler spans
+   ("<prefix>_insert", "<prefix>_kill").  Identity when profiling is
+   off, so the undecorated fast path keeps its Trace.null cost. *)
+let profiled ~prof ~prefix (impl : impl) : impl =
+  if not (Prof.enabled prof) then impl
+  else
+    let module M = (val impl : S) in
+    (module struct
+      include M
+
+      let insert_name = prefix ^ "_insert"
+      let kill_name = prefix ^ "_kill"
+
+      let insert t ~key ~in_edges ~out_edges =
+        let t0 = Prof.start prof in
+        Fun.protect
+          ~finally:(fun () -> Prof.stop prof insert_name t0)
+          (fun () -> M.insert t ~key ~in_edges ~out_edges)
+
+      let kill t key =
+        let t0 = Prof.start prof in
+        Fun.protect
+          ~finally:(fun () -> Prof.stop prof kill_name t0)
+          (fun () -> M.kill t key)
+    end)
+
 let create (module M : S) = Packed ((module M), M.create ())
 let restore (module M : S) s = Packed ((module M), M.restore s)
 let name (Packed ((module M), _)) = M.name

@@ -84,6 +84,11 @@ val checked : primary:impl -> reference:impl -> impl
     by both.  [snapshot] is the primary's; [restore] seeds both from it.
     @raise Failure on any divergence. *)
 
+val profiled : prof:Prof.t -> prefix:string -> impl -> impl
+(** Times [insert] and [kill] as profiler spans named
+    ["<prefix>_insert"] / ["<prefix>_kill"].  Returns [impl] unchanged
+    when [prof] is disabled, so the hot path pays nothing. *)
+
 (** {1 Instance operations} *)
 
 val create : impl -> t

@@ -2,10 +2,12 @@ module Make (N : Net_intf.NET) = struct
   type t = {
     net : N.t;
     session : Session.t;
+    prof : Prof.t;
     mutable routes : (Event.proc * N.addr) list;
   }
 
-  let create ~net ~session = { net; session; routes = [] }
+  let create ?(prof = Prof.null) ~net ~session () =
+    { net; session; prof; routes = [] }
   let net t = t.net
   let session t = t.session
 
@@ -29,7 +31,7 @@ module Make (N : Net_intf.NET) = struct
         | None -> ())
       (Session.drain t.session)
 
-  let poll t ~max_wait =
+  let poll t ~max_wait = Prof.span t.prof "net_poll" @@ fun () ->
     let now = N.now t.net in
     Session.tick t.session ~now;
     flush t;

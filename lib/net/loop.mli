@@ -9,7 +9,10 @@
 module Make (N : Net_intf.NET) : sig
   type t
 
-  val create : net:N.t -> session:Session.t -> t
+  val create : ?prof:Prof.t -> net:N.t -> session:Session.t -> unit -> t
+  (** [prof] times each poll iteration as a ["net_poll"] span (select
+      wait included). *)
+
   val net : t -> N.t
   val session : t -> Session.t
 

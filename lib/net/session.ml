@@ -54,6 +54,7 @@ type t = {
   cfg : config;
   csa : Csa.t;
   sink : Trace.sink;
+  prof : Prof.t;
   peers : (Event.proc, peer) Hashtbl.t;
   peer_order : Event.proc list;
   out : (Event.proc * string) Queue.t;
@@ -85,10 +86,10 @@ let fresh_peer cfg ~now ~preestablished id =
     inflight = [];
   }
 
-let create ?(sink = Trace.null) ?alloc_msg ?(preestablished = false) cfg ~now
-    =
+let create ?(sink = Trace.null) ?(prof = Prof.null) ?alloc_msg
+    ?(preestablished = false) cfg ~now =
   let csa =
-    Csa.create ~lossy:cfg.lossy ~sink cfg.spec ~me:cfg.me ~lt0:now
+    Csa.create ~lossy:cfg.lossy ~sink ~prof cfg.spec ~me:cfg.me ~lt0:now
   in
   let neighbors = System_spec.neighbors cfg.spec cfg.me in
   let peers = Hashtbl.create (List.length neighbors) in
@@ -100,6 +101,7 @@ let create ?(sink = Trace.null) ?alloc_msg ?(preestablished = false) cfg ~now
     cfg;
     csa;
     sink;
+    prof;
     peers;
     peer_order = neighbors;
     out = Queue.create ();
@@ -204,13 +206,16 @@ let do_checkpoint t ~now =
   match t.save_checkpoint with
   | None -> ()
   | Some save ->
+    let t0 = Prof.start t.prof in
     let blob = snapshot t in
     save blob;
+    Prof.stop t.prof "checkpoint_write" t0;
     Trace.emit t.sink
       (Trace.Checkpoint
          { t = ft now; node = t.cfg.me; bytes = String.length blob })
 
-let restore ?(sink = Trace.null) ?alloc_msg cfg ~now blob =
+let restore ?(sink = Trace.null) ?(prof = Prof.null) ?alloc_msg cfg ~now blob
+    =
   try
     let r = Codec.reader_of_string blob in
     if Codec.read_varint r <> session_snapshot_version then
@@ -239,7 +244,7 @@ let restore ?(sink = Trace.null) ?alloc_msg cfg ~now blob =
     let len = Codec.read_varint r in
     let csa_blob = Codec.read_bytes r len in
     if not (Codec.at_end r) then failwith "trailing bytes in snapshot";
-    let csa = Csa.restore ~sink cfg.spec csa_blob in
+    let csa = Csa.restore ~sink ~prof cfg.spec csa_blob in
     let neighbors = System_spec.neighbors cfg.spec cfg.me in
     let peers = Hashtbl.create (List.length neighbors) in
     List.iter
@@ -255,6 +260,7 @@ let restore ?(sink = Trace.null) ?alloc_msg cfg ~now blob =
         cfg;
         csa;
         sink;
+        prof;
         peers;
         peer_order = neighbors;
         out = Queue.create ();
@@ -285,7 +291,9 @@ let send_data t ~now ~dst =
   let p = Hashtbl.find t.peers dst in
   let msg = alloc_msg t in
   let payload = Csa.send t.csa ~dst ~msg ~lt:now in
+  let t0 = Prof.start t.prof in
   let wire = Codec.encode payload in
+  Prof.stop t.prof "codec_encode" t0;
   (* write-ahead: the payload carries our own events and the allocator
      counter moved — both must be durable before the frame exists *)
   if t.cfg.lossy then
@@ -369,7 +377,10 @@ let handle t ~now ~bytes (frame : Frame.t) =
         note_drop t ~now (Printf.sprintf "stale data msg %d" msg)
       end
       else (
-        match Codec.decode_result payload with
+        let t0 = Prof.start t.prof in
+        let decoded = Codec.decode_result payload in
+        Prof.stop t.prof "codec_decode" t0;
+        match decoded with
         | Error e -> note_drop t ~now ("payload: " ^ e)
         | Ok pl -> (
           match Csa.receive t.csa ~msg ~lt:now pl with

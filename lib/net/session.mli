@@ -41,6 +41,7 @@ type t
 
 val create :
   ?sink:Trace.sink ->
+  ?prof:Prof.t ->
   ?alloc_msg:(unit -> int) ->
   ?preestablished:bool ->
   config ->
@@ -62,6 +63,7 @@ val snapshot : t -> string
 
 val restore :
   ?sink:Trace.sink ->
+  ?prof:Prof.t ->
   ?alloc_msg:(unit -> int) ->
   config ->
   now:Q.t ->

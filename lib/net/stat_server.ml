@@ -1,0 +1,86 @@
+(* Live metrics exposition: a tiny line-oriented TCP responder serving
+   whatever [render] produces (Prometheus text from Obs.Expo in
+   practice).  No threads, no event library: the listening socket is
+   non-blocking and [poll] — called once per drive-loop iteration, which
+   the runtimes already bound to <= 0.2 s — accepts and answers every
+   waiting client.  One response per connection, then close: exactly the
+   lifecycle curl and a Prometheus scraper expect.
+
+   A response is a one-shot snapshot assembled in memory, so the handler
+   never blocks the protocol loop on a slow reader beyond the kernel's
+   send buffer (responses are a few KiB; a reader that cannot absorb
+   that is dropped). *)
+
+type t = {
+  fd : Unix.file_descr;
+  port : int;
+  render : unit -> string;
+}
+
+let create ?(host = Unix.inet_addr_loopback) ~port ~render () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (host, port));
+    Unix.listen fd 16;
+    Unix.set_nonblock fd
+  with
+  | () ->
+    let port =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    { fd; port; render }
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let port t = t.port
+
+(* Read whatever request bytes arrive within a short grace period (curl
+   sends its request line immediately; a bare netcat may send nothing),
+   then answer unconditionally — the server has exactly one resource. *)
+let serve_client t client =
+  let finally () = try Unix.close client with Unix.Unix_error _ -> () in
+  Fun.protect ~finally @@ fun () ->
+  (match Unix.select [ client ] [] [] 0.05 with
+  | [ _ ], _, _ -> (
+    let buf = Bytes.create 2048 in
+    try ignore (Unix.read client buf 0 (Bytes.length buf))
+    with Unix.Unix_error _ -> ())
+  | _ -> ());
+  let body = t.render () in
+  let resp =
+    Printf.sprintf
+      "HTTP/1.0 200 OK\r\n\
+       Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n\
+       %s"
+      (String.length body) body
+  in
+  let n = String.length resp in
+  let pos = ref 0 in
+  (try
+     while !pos < n do
+       let sent =
+         Unix.write_substring client resp !pos (n - !pos)
+       in
+       if sent = 0 then pos := n else pos := !pos + sent
+     done
+   with Unix.Unix_error _ -> ())
+
+let poll t =
+  let rec accept_all () =
+    match Unix.accept t.fd with
+    | client, _ ->
+      serve_client t client;
+      accept_all ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  accept_all ()
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,156 @@
+(* Prometheus text exposition (format version 0.0.4) over a Metrics
+   aggregate.  Pure rendering: the caller decides how to serve the
+   string (the net runtime's Stat_server, or `clocksync run --prof`
+   dumping it to stdout). *)
+
+let escape_label v =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* Prometheus floats: plain decimal, round-trip precision *)
+let num f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else Json_out.float_repr f
+
+let render (m : Metrics.t) =
+  let buf = Buffer.create 4096 in
+  let header name kind help =
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  let counter name help v =
+    header name "counter" help;
+    Buffer.add_string buf (Printf.sprintf "%s %d\n" name v)
+  in
+  let gauge name help v =
+    header name "gauge" help;
+    Buffer.add_string buf (Printf.sprintf "%s %d\n" name v)
+  in
+  counter "csync_sends_total" "Protocol messages sent." (Metrics.sends m);
+  counter "csync_receives_total" "Protocol messages received."
+    (Metrics.receives m);
+  counter "csync_losses_total" "Messages declared lost by the loss oracle."
+    (Metrics.losses m);
+  counter "csync_payload_events_total" "Events carried in sent payloads."
+    (Metrics.payload_events_total m);
+  counter "csync_payload_bytes_total" "Codec-encoded payload bytes sent."
+    (Metrics.payload_bytes_total m);
+  gauge "csync_payload_events_max" "Largest single payload, in events."
+    (Metrics.payload_events_max m);
+  counter "csync_validation_checks_total" "Cross-oracle validation checks."
+    (Metrics.validation_checks m);
+  counter "csync_validation_failures_total" "Cross-oracle validation failures."
+    (Metrics.validation_failures m);
+  counter "csync_soundness_failures_total"
+    "Optimal estimates that missed the true source time."
+    (Metrics.soundness_failures m);
+  gauge "csync_liveness_peak" "Peak live-point count in any node's view."
+    (Metrics.liveness_peak m);
+  counter "csync_oracle_inserts_total" "Distance-oracle insertions."
+    (Metrics.oracle_inserts m);
+  counter "csync_oracle_gcs_total" "Distance-oracle garbage collections."
+    (Metrics.oracle_gcs m);
+  counter "csync_net_tx_total" "Frames put on the wire." (Metrics.net_tx m);
+  counter "csync_net_tx_bytes_total" "Frame bytes put on the wire."
+    (Metrics.net_tx_bytes m);
+  counter "csync_net_rx_total" "Well-formed frames accepted."
+    (Metrics.net_rx m);
+  counter "csync_net_rx_bytes_total" "Frame bytes accepted."
+    (Metrics.net_rx_bytes m);
+  counter "csync_net_drops_total" "Incoming datagrams rejected."
+    (Metrics.net_drops m);
+  counter "csync_peer_ups_total" "Peer sessions established."
+    (Metrics.peer_ups m);
+  counter "csync_peer_downs_total" "Peer sessions lost."
+    (Metrics.peer_downs m);
+  counter "csync_retransmits_total"
+    "Data messages declared lost after an ack timeout."
+    (Metrics.retransmits m);
+  counter "csync_checkpoints_total" "Durable checkpoints written."
+    (Metrics.checkpoints m);
+  counter "csync_checkpoint_bytes_total" "Checkpoint bytes written."
+    (Metrics.checkpoint_bytes m);
+  counter "csync_crashes_total" "Node crashes." (Metrics.crashes m);
+  counter "csync_recoveries_total" "Node recoveries." (Metrics.recoveries m);
+  (match Metrics.algo_names m with
+  | [] -> ()
+  | algos ->
+    header "csync_estimate_samples_total" "counter"
+      "Estimate samples per algorithm.";
+    List.iter
+      (fun a ->
+        let s = Metrics.algo_stats m a in
+        Buffer.add_string buf
+          (Printf.sprintf "csync_estimate_samples_total{algo=\"%s\"} %d\n"
+             (escape_label a) s.Metrics.samples))
+      algos;
+    header "csync_estimate_contained_total" "counter"
+      "Estimate samples whose interval contained the true time.";
+    List.iter
+      (fun a ->
+        let s = Metrics.algo_stats m a in
+        Buffer.add_string buf
+          (Printf.sprintf "csync_estimate_contained_total{algo=\"%s\"} %d\n"
+             (escape_label a) s.Metrics.contained))
+      algos;
+    header "csync_estimate_width_mean_seconds" "gauge"
+      "Mean finite estimate width per algorithm.";
+    List.iter
+      (fun a ->
+        let s = Metrics.algo_stats m a in
+        Buffer.add_string buf
+          (Printf.sprintf "csync_estimate_width_mean_seconds{algo=\"%s\"} %s\n"
+             (escape_label a) (num s.Metrics.mean_width)))
+      algos;
+    header "csync_estimate_width_max_seconds" "gauge"
+      "Max finite estimate width per algorithm.";
+    List.iter
+      (fun a ->
+        let s = Metrics.algo_stats m a in
+        Buffer.add_string buf
+          (Printf.sprintf "csync_estimate_width_max_seconds{algo=\"%s\"} %s\n"
+             (escape_label a) (num s.Metrics.max_width)))
+      algos);
+  (match Metrics.span_names m with
+  | [] -> ()
+  | ops ->
+    header "csync_op_duration_seconds" "histogram"
+      "Hot-path operation latency (profiler spans).";
+    List.iter
+      (fun op ->
+        match Metrics.span_hist m op with
+        | None -> ()
+        | Some h ->
+          let lop = escape_label op in
+          List.iter
+            (fun (le, cum) ->
+              (* the overflow bucket's bound is +Inf; it is rendered
+                 once below from the total count *)
+              if Float.is_finite le then
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     "csync_op_duration_seconds_bucket{op=\"%s\",le=\"%s\"} %d\n"
+                     lop (num le) cum))
+            (Histogram.cumulative h);
+          Buffer.add_string buf
+            (Printf.sprintf
+               "csync_op_duration_seconds_bucket{op=\"%s\",le=\"+Inf\"} %d\n"
+               lop (Histogram.count h));
+          Buffer.add_string buf
+            (Printf.sprintf "csync_op_duration_seconds_sum{op=\"%s\"} %s\n" lop
+               (num (Histogram.sum h)));
+          Buffer.add_string buf
+            (Printf.sprintf "csync_op_duration_seconds_count{op=\"%s\"} %d\n"
+               lop (Histogram.count h)))
+      ops);
+  Buffer.contents buf

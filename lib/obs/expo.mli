@@ -1,0 +1,14 @@
+(** Prometheus text exposition (format 0.0.4) over a {!Metrics}
+    aggregate.
+
+    Counters render as [csync_*_total], per-algorithm accuracy with an
+    [algo] label, and profiler spans as one
+    [csync_op_duration_seconds] histogram family with an [op] label
+    (cumulative [le] buckets from {!Histogram.cumulative}, plus [_sum]
+    and [_count]).  Pure string rendering — serving it is the caller's
+    job ({!Stat_server} in lib/net, or [clocksync run --prof]). *)
+
+val render : Metrics.t -> string
+
+val escape_label : string -> string
+(** Prometheus label-value escaping (backslash, quote, newline). *)

@@ -1,0 +1,210 @@
+(* Minimal total JSON reader, the mirror of Json_out.  Hand-rolled for
+   the same reason Json_out is: the analyzer must not pull a JSON
+   dependency into the sealed build image.  Total on arbitrary bytes:
+   every input yields [Ok] or [Error], never an exception.
+
+   Scope matches what Json_out emits (and standard JSON): null, true,
+   false, numbers, strings with the usual escapes (including \uXXXX,
+   encoded as UTF-8), arrays, objects.  A number literal containing '.',
+   'e' or 'E' parses as [Float]; otherwise as [Int], falling back to
+   [Float] when it overflows the OCaml int range.  Duplicate object keys
+   are kept in order.  Trailing garbage after the value is an error. *)
+
+type error = { pos : int; msg : string }
+
+exception Fail of error
+
+let fail pos msg = raise (Fail { pos; msg })
+
+type state = { s : string; mutable i : int }
+
+let peek st = if st.i < String.length st.s then Some st.s.[st.i] else None
+
+let skip_ws st =
+  let n = String.length st.s in
+  while
+    st.i < n
+    &&
+    match st.s.[st.i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.i <- st.i + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> st.i <- st.i + 1
+  | _ -> fail st.i (Printf.sprintf "expected '%c'" c)
+
+let literal st word v =
+  let n = String.length word in
+  if
+    st.i + n <= String.length st.s
+    && String.sub st.s st.i n = word
+  then (
+    st.i <- st.i + n;
+    v)
+  else fail st.i (Printf.sprintf "expected '%s'" word)
+
+let hex_digit pos c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail pos "bad hex digit in \\u escape"
+
+(* \uXXXX escapes decode to UTF-8 bytes; lone surrogates are kept as-is
+   (WTF-8 style) rather than rejected, keeping the parser total on the
+   escapes Json_out never produces for byte payloads. *)
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then (
+    Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f))))
+  else (
+    Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f))))
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let n = String.length st.s in
+  let rec loop () =
+    if st.i >= n then fail st.i "unterminated string"
+    else
+      match st.s.[st.i] with
+      | '"' -> st.i <- st.i + 1
+      | '\\' ->
+        if st.i + 1 >= n then fail st.i "unterminated escape"
+        else (
+          (match st.s.[st.i + 1] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+            if st.i + 5 >= n then fail st.i "truncated \\u escape"
+            else (
+              let d k = hex_digit (st.i + 2 + k) st.s.[st.i + 2 + k] in
+              add_utf8 buf
+                ((d 0 lsl 12) lor (d 1 lsl 8) lor (d 2 lsl 4) lor d 3);
+              st.i <- st.i + 4)
+          | c -> fail (st.i + 1) (Printf.sprintf "bad escape '\\%c'" c));
+          st.i <- st.i + 2;
+          loop ())
+      | c when Char.code c < 0x20 -> fail st.i "raw control byte in string"
+      | c ->
+        Buffer.add_char buf c;
+        st.i <- st.i + 1;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.i in
+  let n = String.length st.s in
+  let is_float = ref false in
+  if peek st = Some '-' then st.i <- st.i + 1;
+  let digits () =
+    let d0 = st.i in
+    while st.i < n && match st.s.[st.i] with '0' .. '9' -> true | _ -> false do
+      st.i <- st.i + 1
+    done;
+    if st.i = d0 then fail st.i "expected digit"
+  in
+  digits ();
+  if peek st = Some '.' then (
+    is_float := true;
+    st.i <- st.i + 1;
+    digits ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+    is_float := true;
+    st.i <- st.i + 1;
+    (match peek st with
+    | Some ('+' | '-') -> st.i <- st.i + 1
+    | _ -> ());
+    digits ()
+  | _ -> ());
+  let lit = String.sub st.s start (st.i - start) in
+  if !is_float then Json_out.Float (float_of_string lit)
+  else
+    match int_of_string_opt lit with
+    | Some k -> Json_out.Int k
+    | None -> Json_out.Float (float_of_string lit)
+
+let rec parse_value st depth =
+  if depth > 512 then fail st.i "nesting too deep";
+  skip_ws st;
+  match peek st with
+  | None -> fail st.i "unexpected end of input"
+  | Some 'n' -> literal st "null" Json_out.Null
+  | Some 't' -> literal st "true" (Json_out.Bool true)
+  | Some 'f' -> literal st "false" (Json_out.Bool false)
+  | Some '"' -> Json_out.Str (parse_string st)
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some '[' ->
+    st.i <- st.i + 1;
+    skip_ws st;
+    if peek st = Some ']' then (
+      st.i <- st.i + 1;
+      Json_out.List [])
+    else
+      let rec items acc =
+        let v = parse_value st (depth + 1) in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.i <- st.i + 1;
+          items (v :: acc)
+        | Some ']' ->
+          st.i <- st.i + 1;
+          List.rev (v :: acc)
+        | _ -> fail st.i "expected ',' or ']'"
+      in
+      Json_out.List (items [])
+  | Some '{' ->
+    st.i <- st.i + 1;
+    skip_ws st;
+    if peek st = Some '}' then (
+      st.i <- st.i + 1;
+      Json_out.Obj [])
+    else
+      let field () =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st (depth + 1) in
+        (k, v)
+      in
+      let rec fields acc =
+        let kv = field () in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.i <- st.i + 1;
+          fields (kv :: acc)
+        | Some '}' ->
+          st.i <- st.i + 1;
+          List.rev (kv :: acc)
+        | _ -> fail st.i "expected ',' or '}'"
+      in
+      Json_out.Obj (fields [])
+  | Some c -> fail st.i (Printf.sprintf "unexpected character '%c'" c)
+
+let parse s =
+  let st = { s; i = 0 } in
+  match parse_value st 0 with
+  | v -> (
+    skip_ws st;
+    if st.i = String.length s then Ok v
+    else Error { pos = st.i; msg = "trailing garbage after value" })
+  | exception Fail e -> Error e
+
+let error_to_string { pos; msg } = Printf.sprintf "at byte %d: %s" pos msg

@@ -1,0 +1,21 @@
+(** Minimal total JSON reader — the mirror of {!Json_out}.
+
+    Hand-rolled, dependency-free, and total on arbitrary bytes: [parse]
+    returns [Ok] or [Error], never raises.  Everything {!Json_out}
+    emits round-trips structurally:
+    [parse (Json_out.to_line v) = Ok v] for every [v] whose floats are
+    finite (non-finite floats are written as [null] and come back as
+    [Null]).
+
+    Number literals containing ['.'], ['e'] or ['E'] parse as [Float];
+    bare integer literals parse as [Int], falling back to [Float] on
+    overflow.  Duplicate object keys are preserved in order.  [\uXXXX]
+    string escapes decode to UTF-8 bytes. *)
+
+type error = { pos : int; msg : string }
+
+val parse : string -> (Json_out.t, error) result
+(** Parse one complete JSON value; whitespace may surround it but any
+    other trailing bytes are an error. *)
+
+val error_to_string : error -> string

@@ -12,6 +12,27 @@ type t =
   | List of t list
   | Obj of (string * t) list
 
+(* Shortest decimal representation that reads back as exactly the same
+   float.  "%.17g" always round-trips but prints 0.1 as
+   0.10000000000000001; try the shorter precisions first.  The result
+   always contains '.' or 'e' so a re-parse yields a Float, never an
+   Int.  Callers guard non-finite values (JSON has no nan/infinity). *)
+let float_repr f =
+  let try_prec p =
+    let s = Printf.sprintf "%.*g" p f in
+    if float_of_string s = f then Some s else None
+  in
+  let s =
+    match try_prec 15 with
+    | Some s -> s
+    | None -> (
+      match try_prec 16 with
+      | Some s -> s
+      | None -> Printf.sprintf "%.17g" f)
+  in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+  else s ^ ".0"
+
 let add_string buf s =
   Buffer.add_char buf '"';
   String.iter
@@ -56,7 +77,7 @@ let rec add buf ~level v =
   | Int n -> Buffer.add_string buf (string_of_int n)
   | Float f ->
     (* JSON has no nan/infinity *)
-    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    if Float.is_finite f then Buffer.add_string buf (float_repr f)
     else Buffer.add_string buf "null"
   | Str s -> add_string buf s
   | List items -> seq '[' ']' items (add buf ~level:(level + 1))
@@ -80,7 +101,7 @@ let rec add_compact buf v =
   | Bool b -> Buffer.add_string buf (string_of_bool b)
   | Int n -> Buffer.add_string buf (string_of_int n)
   | Float f ->
-    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    if Float.is_finite f then Buffer.add_string buf (float_repr f)
     else Buffer.add_string buf "null"
   | Str s -> add_string buf s
   | List items ->

@@ -41,6 +41,8 @@ type t = {
   mutable recoveries : int;
   algos : (string, acc) Hashtbl.t;
   mutable algo_order : string list; (* first-appearance order, reversed *)
+  spans : (string, Histogram.t) Hashtbl.t;
+  mutable span_order : string list; (* first-appearance order, reversed *)
 }
 
 let create () =
@@ -71,6 +73,8 @@ let create () =
     recoveries = 0;
     algos = Hashtbl.create 8;
     algo_order = [];
+    spans = Hashtbl.create 8;
+    span_order = [];
   }
 
 let acc t name =
@@ -126,6 +130,17 @@ let on_event t (ev : Trace.event) =
     t.checkpoint_bytes <- t.checkpoint_bytes + bytes
   | Trace.Crash _ -> t.crashes <- t.crashes + 1
   | Trace.Recover _ -> t.recoveries <- t.recoveries + 1
+  | Trace.Span { name; dur } ->
+    let h =
+      match Hashtbl.find_opt t.spans name with
+      | Some h -> h
+      | None ->
+        let h = Histogram.create () in
+        Hashtbl.replace t.spans name h;
+        t.span_order <- name :: t.span_order;
+        h
+    in
+    Histogram.record h dur
 
 module Sink = struct
   type nonrec t = t
@@ -160,6 +175,8 @@ let checkpoint_bytes t = t.checkpoint_bytes
 let crashes t = t.crashes
 let recoveries t = t.recoveries
 let algo_names t = List.rev t.algo_order
+let span_names t = List.rev t.span_order
+let span_hist t name = Hashtbl.find_opt t.spans name
 
 let algo_stats t name =
   match Hashtbl.find_opt t.algos name with
@@ -220,4 +237,21 @@ let summary_json t =
                      ("max_width", J.Float a.max_width);
                    ] ))
              (algo_names t)) );
+      ( "spans",
+        J.Obj
+          (List.map
+             (fun name ->
+               let h = Hashtbl.find t.spans name in
+               ( name,
+                 J.Obj
+                   [
+                     ("count", J.Int (Histogram.count h));
+                     ("sum", J.Float (Histogram.sum h));
+                     ("min", J.Float (Histogram.min_value h));
+                     ("max", J.Float (Histogram.max_value h));
+                     ("p50", J.Float (Histogram.quantile h 0.5));
+                     ("p95", J.Float (Histogram.quantile h 0.95));
+                     ("p99", J.Float (Histogram.quantile h 0.99));
+                   ] ))
+             (span_names t)) );
     ]

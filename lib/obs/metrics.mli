@@ -23,6 +23,10 @@ val create : unit -> t
 val sink : t -> Trace.sink
 (** The counting sink feeding this aggregate. *)
 
+val on_event : t -> Trace.event -> unit
+(** Feed one event directly (what {!sink} does; used by the offline
+    analyzer to replay a parsed trace). *)
+
 (** {1 Aggregates} *)
 
 val sends : t -> int
@@ -81,6 +85,17 @@ val checkpoints : t -> int
 val checkpoint_bytes : t -> int
 val crashes : t -> int
 val recoveries : t -> int
+
+(** {1 Profiler aggregates}
+
+    Per-operation latency histograms built from [Span] events; empty
+    unless a {!Prof} was enabled on the run. *)
+
+val span_names : t -> string list
+(** Operations seen in [Span] events, in first-appearance order. *)
+
+val span_hist : t -> string -> Histogram.t option
+(** The latency histogram (seconds) for one operation. *)
 
 val summary_json : t -> Json_out.t
 (** One object with every aggregate above — the trailer record a JSONL

@@ -1,0 +1,37 @@
+(* Hot-path span timer.  A [t] is either {!null} (profiling off: every
+   operation is a couple of branches, no clock read, no allocation) or
+   a clock plus a sink that receives one {!Trace.Span} per timed
+   operation.
+
+   The clock is injected rather than read from Unix so lib/obs stays
+   dependency-free and the simulator/tests can use deterministic
+   clocks.  Callers on hot paths use the closure-free pair
+   [start]/[stop]:
+
+   {[
+     let t0 = Prof.start prof in
+     ... work ...
+     Prof.stop prof "codec_encode" t0
+   ]} *)
+
+type t = { enabled : bool; now : unit -> float; sink : Trace.sink }
+
+let disabled_now () = 0.
+let null = { enabled = false; now = disabled_now; sink = Trace.null }
+let make ~now ~sink () = { enabled = true; now; sink }
+let enabled t = t.enabled
+let start t = if t.enabled then t.now () else 0.
+
+let stop t name t0 =
+  if t.enabled then
+    Trace.emit t.sink (Trace.Span { name; dur = t.now () -. t0 })
+
+let span t name f =
+  if not t.enabled then f ()
+  else begin
+    let t0 = t.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        Trace.emit t.sink (Trace.Span { name; dur = t.now () -. t0 }))
+      f
+  end

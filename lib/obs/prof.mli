@@ -1,0 +1,32 @@
+(** Hot-path span timer: wall-clock durations of named operations,
+    reported as {!Trace.Span} events.
+
+    Disabled profiling ({!null}, the default everywhere) costs a couple
+    of branches per operation — no clock read, no allocation — so
+    instrumented hot paths keep their [Trace.null] performance.  The
+    clock is injected (e.g. [Unix.gettimeofday], or a deterministic
+    counter in tests) so this module, like the rest of [lib/obs],
+    depends on nothing but the standard library. *)
+
+type t
+
+val null : t
+(** Profiling off. *)
+
+val make : now:(unit -> float) -> sink:Trace.sink -> unit -> t
+(** Profiling on: each finished span is emitted into [sink]. *)
+
+val enabled : t -> bool
+
+val start : t -> float
+(** Read the clock (0.0 when disabled).  Pair with {!stop}; the pair
+    never allocates, for use inside hot loops. *)
+
+val stop : t -> string -> float -> unit
+(** [stop t name t0] emits [Span {name; dur = now () -. t0}] when
+    enabled; no-op when disabled. *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] times [f ()] (emitting even when [f] raises).
+    Convenience wrapper for cold(er) paths; allocates a closure, so
+    prefer {!start}/{!stop} in tight loops. *)

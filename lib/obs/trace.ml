@@ -29,6 +29,7 @@ type event =
   | Checkpoint of { t : float; node : int; bytes : int }
   | Crash of { t : float; node : int }
   | Recover of { t : float; node : int }
+  | Span of { name : string; dur : float }
 
 module type SINK = sig
   type t
@@ -84,6 +85,7 @@ let label = function
   | Checkpoint _ -> "checkpoint"
   | Crash _ -> "crash"
   | Recover _ -> "recover"
+  | Span _ -> "span"
 
 let json_of_event ev =
   let module J = Json_out in
@@ -131,15 +133,160 @@ let json_of_event ev =
       [ ("t", J.Float t); ("node", J.Int node); ("bytes", J.Int bytes) ]
     | Crash { t; node } -> [ ("t", J.Float t); ("node", J.Int node) ]
     | Recover { t; node } -> [ ("t", J.Float t); ("node", J.Int node) ]
+    | Span { name; dur } -> [ ("name", J.Str name); ("dur", J.Float dur) ]
   in
   J.Obj (("event", J.Str (label ev)) :: fields)
 
-module Jsonl = struct
-  type t = out_channel
+(* Inverse of [json_of_event], for the offline analyzer.  Non-finite
+   floats print as JSON null, so null reads back as the non-finite
+   value the producer plausibly wrote: [infinity] for interval widths
+   (an unbounded estimate), [nan] for timestamps and durations (a
+   producer with no clock). *)
+let event_of_json (j : Json_out.t) : (event, string) result =
+  let module J = Json_out in
+  let ( let* ) = Result.bind in
+  match j with
+  | J.Obj fields ->
+    let field k =
+      match List.assoc_opt k fields with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "missing field %S" k)
+    in
+    let str k =
+      let* v = field k in
+      match v with
+      | J.Str s -> Ok s
+      | _ -> Error (Printf.sprintf "field %S: expected string" k)
+    in
+    let int k =
+      let* v = field k in
+      match v with
+      | J.Int n -> Ok n
+      | _ -> Error (Printf.sprintf "field %S: expected integer" k)
+    in
+    let boolean k =
+      let* v = field k in
+      match v with
+      | J.Bool b -> Ok b
+      | _ -> Error (Printf.sprintf "field %S: expected bool" k)
+    in
+    let num ~null k =
+      let* v = field k in
+      match v with
+      | J.Float f -> Ok f
+      | J.Int n -> Ok (float_of_int n)
+      | J.Null -> Ok null
+      | _ -> Error (Printf.sprintf "field %S: expected number" k)
+    in
+    let t k = num ~null:Float.nan k in
+    let* lbl = str "event" in
+    (match lbl with
+    | "send" ->
+      let* t = t "t" in
+      let* src = int "src" in
+      let* dst = int "dst" in
+      let* msg = int "msg" in
+      let* events = int "events" in
+      let* bytes = int "bytes" in
+      Ok (Send { t; src; dst; msg; events; bytes })
+    | "receive" ->
+      let* t = t "t" in
+      let* src = int "src" in
+      let* dst = int "dst" in
+      let* msg = int "msg" in
+      Ok (Receive { t; src; dst; msg })
+    | "lost" ->
+      let* t = t "t" in
+      let* msg = int "msg" in
+      Ok (Lost { t; msg })
+    | "estimate" ->
+      let* t = t "t" in
+      let* node = int "node" in
+      let* algo = str "algo" in
+      let* width = num ~null:Float.infinity "width" in
+      let* contained = boolean "contained" in
+      Ok (Estimate { t; node; algo; width; contained })
+    | "validation" ->
+      let* t = t "t" in
+      let* node = int "node" in
+      let* ok = boolean "ok" in
+      Ok (Validation { t; node; ok })
+    | "liveness" ->
+      let* node = int "node" in
+      let* live = int "live" in
+      Ok (Liveness { node; live })
+    | "oracle_insert" ->
+      let* key = int "key" in
+      let* live = int "live" in
+      Ok (Oracle_insert { key; live })
+    | "oracle_gc" ->
+      let* key = int "key" in
+      let* live = int "live" in
+      Ok (Oracle_gc { key; live })
+    | "net_tx" ->
+      let* t = t "t" in
+      let* dst = int "dst" in
+      let* kind = str "kind" in
+      let* bytes = int "bytes" in
+      Ok (Net_tx { t; dst; kind; bytes })
+    | "net_rx" ->
+      let* t = t "t" in
+      let* src = int "src" in
+      let* kind = str "kind" in
+      let* bytes = int "bytes" in
+      Ok (Net_rx { t; src; kind; bytes })
+    | "net_drop" ->
+      let* t = t "t" in
+      let* reason = str "reason" in
+      Ok (Net_drop { t; reason })
+    | "peer_up" ->
+      let* t = t "t" in
+      let* peer = int "peer" in
+      Ok (Peer_up { t; peer })
+    | "peer_down" ->
+      let* t = t "t" in
+      let* peer = int "peer" in
+      Ok (Peer_down { t; peer })
+    | "retransmit" ->
+      let* t = t "t" in
+      let* peer = int "peer" in
+      let* msg = int "msg" in
+      Ok (Retransmit { t; peer; msg })
+    | "checkpoint" ->
+      let* t = t "t" in
+      let* node = int "node" in
+      let* bytes = int "bytes" in
+      Ok (Checkpoint { t; node; bytes })
+    | "crash" ->
+      let* t = t "t" in
+      let* node = int "node" in
+      Ok (Crash { t; node })
+    | "recover" ->
+      let* t = t "t" in
+      let* node = int "node" in
+      Ok (Recover { t; node })
+    | "span" ->
+      let* name = str "name" in
+      let* dur = num ~null:Float.nan "dur" in
+      Ok (Span { name; dur })
+    | other -> Error (Printf.sprintf "unknown event label %S" other))
+  | _ -> Error "expected a JSON object"
 
-  let emit oc ev =
-    output_string oc (Json_out.to_line (json_of_event ev));
-    output_char oc '\n'
+module Jsonl = struct
+  (* Flush every [every] lines (default: every line).  The trace is the
+     flight recorder for crash post-mortems: a kill -9 must not eat the
+     tail, so relying on out_channel buffering is not an option.  Lines
+     are written with a single [output_string] so a crash can truncate
+     the final line but never interleave two. *)
+  type t = { oc : out_channel; every : int; mutable pending : int }
+
+  let emit s ev =
+    output_string s.oc (Json_out.to_line (json_of_event ev) ^ "\n");
+    s.pending <- s.pending + 1;
+    if s.pending >= s.every then (
+      flush s.oc;
+      s.pending <- 0)
 end
 
-let jsonl oc = Sink ((module Jsonl), oc)
+let jsonl ?(flush_every = 1) oc =
+  Sink ((module Jsonl), { Jsonl.oc; every = max 1 flush_every; pending = 0 })

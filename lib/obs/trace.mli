@@ -65,6 +65,10 @@ type event =
   | Recover of { t : float; node : int }
       (** fault layer: [node] restarted from its last checkpoint (or
           joined the network) *)
+  | Span of { name : string; dur : float }
+      (** profiler: one timed hot-path operation ([name] is the
+          operation label, e.g. ["agdp_insert"]; [dur] is wall-clock
+          seconds).  Emitted by {!Prof} only when profiling is on. *)
 
 (** Consumers implement this signature; {!sink} packs one with its
     state. *)
@@ -91,13 +95,22 @@ val json_of_event : event -> Json_out.t
 (** The JSONL encoding of one event: an object with an ["event"]
     discriminator field plus the event's payload fields. *)
 
-val jsonl : out_channel -> sink
-(** Writes each event as one JSON object per line.  The channel is not
-    closed by the sink; flush/close it after the run. *)
+val event_of_json : Json_out.t -> (event, string) result
+(** Inverse of {!json_of_event} (used by the offline analyzer).
+    Non-finite floats are encoded as JSON [null]; they read back as
+    [infinity] for estimate widths and [nan] for timestamps and span
+    durations.  With that convention,
+    [event_of_json (json_of_event ev) = Ok ev] for every constructor. *)
+
+val jsonl : ?flush_every:int -> out_channel -> sink
+(** Writes each event as one JSON object per line, flushing the channel
+    every [flush_every] lines (default 1: the trace survives [kill -9]
+    up to the last complete line).  The channel is not closed by the
+    sink; close it after the run. *)
 
 val label : event -> string
 (** The ["event"] discriminator: ["send"], ["receive"], ["lost"],
     ["estimate"], ["validation"], ["liveness"], ["oracle_insert"],
     ["oracle_gc"], ["net_tx"], ["net_rx"], ["net_drop"], ["peer_up"],
     ["peer_down"], ["retransmit"], ["checkpoint"], ["crash"],
-    ["recover"]. *)
+    ["recover"], ["span"]. *)

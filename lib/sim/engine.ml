@@ -167,8 +167,11 @@ let checkpoint st p =
   match st.frt with
   | None -> ()
   | Some f ->
+    let prof = st.scenario.Scenario.prof in
+    let t0 = Prof.start prof in
     let blob = Csa.snapshot st.nodes.(p).Node_rt.csa in
     f.stores.(p).save blob;
+    Prof.stop prof "checkpoint_write" t0;
     Trace.emit st.trace
       (Trace.Checkpoint
          { t = now_f st; node = p; bytes = String.length blob });
@@ -327,7 +330,8 @@ let restart st p =
       let old = st.nodes.(p) in
       let csa =
         Csa.restore ~validate:st.scenario.Scenario.validate_oracle
-          ~sink:st.trace st.scenario.Scenario.spec blob
+          ~sink:st.trace ~prof:st.scenario.Scenario.prof
+          st.scenario.Scenario.spec blob
       in
       st.nodes.(p) <-
         Node_rt.revive st.scenario ~clock:old.Node_rt.clock

@@ -13,6 +13,7 @@ type t = {
   ntp : Ntp.t option;
   cristian : Cristian.t option;
   parents : Event.proc list;
+  prof : Prof.t;
 }
 
 let create (scenario : Scenario.t) ~rng ~links ~sink p =
@@ -34,7 +35,8 @@ let create (scenario : Scenario.t) ~rng ~links ~sink p =
       Csa.create
         ~lossy:
           (scenario.Scenario.loss_prob > 0. || scenario.Scenario.faults <> [])
-        ~validate:scenario.Scenario.validate_oracle ~sink spec ~me:p ~lt0;
+        ~validate:scenario.Scenario.validate_oracle ~sink
+        ~prof:scenario.Scenario.prof spec ~me:p ~lt0;
     mirror =
       (if scenario.Scenario.validate then Some (Mirror.create spec ~me:p ~lt0)
        else None);
@@ -56,6 +58,7 @@ let create (scenario : Scenario.t) ~rng ~links ~sink p =
     parents =
       Topology.parents_toward_source ~n ~links
         ~source:(System_spec.source spec) p;
+    prof = scenario.Scenario.prof;
   }
 
 let revive (scenario : Scenario.t) ~clock ~parents ~csa ~now p =
@@ -88,6 +91,7 @@ let revive (scenario : Scenario.t) ~clock ~parents ~csa ~now p =
               ~me:p ~lt0)
        else None);
     parents;
+    prof = scenario.Scenario.prof;
   }
 
 let lt_at t ~rt = Clock.lt_of_rt t.clock rt
@@ -100,11 +104,16 @@ let prepare_send t ~dst ~msg ~lt =
   let cris_w =
     Option.map (fun a -> Cristian.on_send a ~dst ~msg ~lt) t.cristian
   in
-  ({ wire = Codec.encode payload; ntp_w; cris_w }, Payload.size payload)
+  let t0 = Prof.start t.prof in
+  let wire = Codec.encode payload in
+  Prof.stop t.prof "codec_encode" t0;
+  ({ wire; ntp_w; cris_w }, Payload.size payload)
 
 let receive t ~src ~msg ~lt env =
   (* messages travel in their encoded form; decode exactly once here *)
+  let t0 = Prof.start t.prof in
   let payload = Codec.decode env.wire in
+  Prof.stop t.prof "codec_decode" t0;
   Csa.receive t.csa ~msg ~lt payload;
   Option.iter (fun m -> Mirror.receive m ~msg ~lt ~payload) t.mirror;
   Option.iter (fun df -> Driftfree.on_recv df ~msg ~lt ~payload) t.driftfree;

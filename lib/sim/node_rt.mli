@@ -28,6 +28,7 @@ type t = {
   ntp : Ntp.t option;
   cristian : Cristian.t option;
   parents : Event.proc list;  (** next hops toward the source *)
+  prof : Prof.t;  (** scenario profiler (times codec encode/decode) *)
 }
 
 val create :

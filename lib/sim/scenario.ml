@@ -27,6 +27,7 @@ type t = {
   validate_oracle : bool;
   series_cap : int;
   trace : Trace.sink;
+  prof : Prof.t;
   faults : Fault.Injection.event list;
   checkpoint : Fault.Policy.spec;
   checkpoint_dir : string option;
@@ -57,6 +58,7 @@ let default ~spec ~traffic =
     validate_oracle = false;
     series_cap = 2_000;
     trace = Trace.null;
+    prof = Prof.null;
     faults = [];
     checkpoint = `Sync;
     checkpoint_dir = None;

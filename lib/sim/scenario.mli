@@ -68,6 +68,11 @@ type t = {
           activity ({!Trace.event}); {!Trace.null} by default.  The
           engine's own metrics ride the same stream, so a scenario sink
           sees exactly what the result counters count. *)
+  prof : Prof.t;
+      (** hot-path span timer ({!Prof.null} by default).  When enabled,
+          AGDP insert/kill, codec encode/decode and checkpoint writes are
+          timed and reported as [Span] events on the profiler's own sink
+          (typically teed with [trace]). *)
   faults : Fault.Injection.event list;
       (** crash/restart, join/leave and partition injections, in real
           time.  Any fault forces lossy CSA mode (crashes surface as

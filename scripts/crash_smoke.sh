@@ -33,9 +33,14 @@ cleanup() {
   for pid in $PIDS; do
     wait "$pid" 2>/dev/null || true
   done
-  if [ "$status" -ne 0 ] && [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+  if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
     mkdir -p "$SMOKE_ARTIFACT_DIR"
-    cp "$DIR"/*.log "$DIR"/*.jsonl "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+    # analyzer reports are always worth keeping; raw logs + traces only
+    # when an assertion failed
+    cp "$DIR"/*-analysis.txt "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+    if [ "$status" -ne 0 ]; then
+      cp "$DIR"/*.log "$DIR"/*.jsonl "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+    fi
   fi
   rm -rf "$DIR"
 }
@@ -107,6 +112,25 @@ if ! grep -q "reference node done" "$DIR/serve.log"; then
   fail=1
 fi
 
+# Close the trace loop.  The reference node ran to completion, so its
+# trace must parse completely, match its trailer, and hold estimates.
+if ! "$BIN" analyze "$DIR/serve.jsonl" --require-estimates \
+    >"$DIR/serve-analysis.txt" 2>&1; then
+  echo "crash-smoke: serve trace analysis FAILED"
+  cat "$DIR/serve-analysis.txt"
+  fail=1
+fi
+# The first peer run was kill -9'd mid-write: its trace has no summary
+# trailer and may end in a cut line, but every complete line must still
+# parse (the JSONL sink flushes per line) — the analyzer treats the
+# ragged tail as truncation, never as a bad line.
+if ! "$BIN" analyze "$DIR/peer-run1.jsonl" \
+    >"$DIR/peer-run1-analysis.txt" 2>&1; then
+  echo "crash-smoke: killed peer's trace analysis FAILED"
+  cat "$DIR/peer-run1-analysis.txt"
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "--- serve ---";      cat "$DIR/serve.log"
   echo "--- peer run 1 ---"; cat "$DIR/peer-run1.log"
@@ -114,4 +138,4 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 
-echo "crash-smoke: OK (peer recovered from kill -9, every post-recovery sample contained)"
+echo "crash-smoke: OK (peer recovered from kill -9, every post-recovery sample contained, traces analyzed)"

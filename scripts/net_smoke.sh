@@ -31,9 +31,14 @@ cleanup() {
   for pid in $PIDS; do
     wait "$pid" 2>/dev/null || true
   done
-  if [ "$status" -ne 0 ] && [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+  if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
     mkdir -p "$SMOKE_ARTIFACT_DIR"
-    cp "$DIR"/*.log "$DIR"/*.jsonl "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+    # analyzer reports are always worth keeping; raw logs + traces only
+    # when an assertion failed
+    cp "$DIR"/*-analysis.txt "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+    if [ "$status" -ne 0 ]; then
+      cp "$DIR"/*.log "$DIR"/*.jsonl "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+    fi
   fi
   rm -rf "$DIR"
 }
@@ -100,6 +105,17 @@ if ! grep -q "reference node done" "$DIR/serve.log"; then
   fail=1
 fi
 
+# Close the trace loop: the reference node's JSONL stream must parse
+# back completely, its recomputed aggregates must match the summary
+# trailer byte for byte, and a session that exchanged data must have
+# produced estimate samples.
+if ! "$BIN" analyze "$DIR/serve.jsonl" --require-estimates \
+    >"$DIR/serve-analysis.txt" 2>&1; then
+  echo "net-smoke: trace analysis FAILED"
+  cat "$DIR/serve-analysis.txt"
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "--- serve ---";  cat "$DIR/serve.log"
   echo "--- peer 1 ---"; cat "$DIR/peer1.log"
@@ -107,4 +123,4 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 
-echo "net-smoke: OK (both peers converged, every sample contained)"
+echo "net-smoke: OK (both peers converged, every sample contained, trace analyzed)"

@@ -142,7 +142,7 @@ let make_star ?(loss = 0.) ?(seed = 11) ~lossy n =
           Session.create ~sink (test_cfg ~me:i ~spec ~lossy)
             ~now:(Loopback.Net.now ep)
         in
-        Loopback.L.create ~net:ep ~session)
+        Loopback.L.create ~net:ep ~session ())
   in
   (* only the peers know the reference node's address up front; the
      reference node learns peer addresses from their hellos *)
@@ -365,7 +365,7 @@ let run_loopback ~n ~sends ~duration =
           Session.create ~alloc_msg:alloc ~preestablished:true cfg
             ~now:Q.zero
         in
-        Loopback.L.create ~net:ep ~session)
+        Loopback.L.create ~net:ep ~session ())
   in
   let arr = Array.of_list loops in
   List.iter
@@ -471,6 +471,67 @@ let test_equivalence_pinned () =
            (Csa.estimate_at net ~lt:duration)))
     sim_nodes
 
+(* ---- stat server: the --stat-port live exposition endpoint ---- *)
+
+let recv_all fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let test_stat_server () =
+  let m = Metrics.create () in
+  Metrics.on_event m
+    (Trace.Send { t = 1.; src = 0; dst = 1; msg = 1; events = 2; bytes = 40 });
+  let srv = Stat_server.create ~port:0 ~render:(fun () -> Expo.render m) () in
+  Alcotest.(check bool) "ephemeral port bound" true (Stat_server.port srv > 0);
+  (* no client waiting: poll must return immediately and harmlessly *)
+  Stat_server.poll srv;
+  let fetch () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd
+      (Unix.ADDR_INET (Unix.inet_addr_loopback, Stat_server.port srv));
+    let req = "GET /metrics HTTP/1.0\r\n\r\n" in
+    ignore (Unix.write_substring fd req 0 (String.length req));
+    Stat_server.poll srv;
+    let resp = recv_all fd in
+    Unix.close fd;
+    resp
+  in
+  let resp = fetch () in
+  let has sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length resp && (String.sub resp i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "status line" true (has "HTTP/1.0 200 OK");
+  Alcotest.(check bool) "prometheus content type" true
+    (has "Content-Type: text/plain; version=0.0.4");
+  Alcotest.(check bool) "live counter" true (has "csync_sends_total 1");
+  (* the render is re-evaluated per request: bump a counter, re-fetch *)
+  Metrics.on_event m
+    (Trace.Send { t = 2.; src = 0; dst = 1; msg = 2; events = 1; bytes = 30 });
+  let resp2 = fetch () in
+  Alcotest.(check bool) "second request sees the update" true
+    (let sub = "csync_sends_total 2" in
+     let n = String.length sub in
+     let rec go i =
+       i + n <= String.length resp2
+       && (String.sub resp2 i n = sub || go (i + 1))
+     in
+     go 0);
+  Stat_server.close srv
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -498,6 +559,9 @@ let () =
           Alcotest.test_case "non-neighbor and bad digest rejected" `Quick
             test_non_neighbor_rejected;
         ] );
+      ( "stats",
+        [ Alcotest.test_case "live exposition endpoint" `Quick
+            test_stat_server ] );
       qsuite "props" [ prop_frame_roundtrip; prop_loopback_equals_engine ];
       ( "pinned",
         [

@@ -141,8 +141,360 @@ let test_jsonl_sink () =
     lines;
   let first = List.nth lines 0 in
   Alcotest.(check string) "send line"
-    "{\"event\":\"send\",\"t\":1,\"src\":0,\"dst\":1,\"msg\":1,\"events\":3,\"bytes\":40}"
+    "{\"event\":\"send\",\"t\":1.0,\"src\":0,\"dst\":1,\"msg\":1,\"events\":3,\"bytes\":40}"
     first
+
+(* satellite (a): the sink flushes per line, so a kill -9 after an emit
+   loses at most the line being written, never earlier ones *)
+let test_jsonl_flushes () =
+  let path = Filename.temp_file "trace" ".jsonl" in
+  let oc = open_out path in
+  let s = Trace.jsonl oc in
+  Trace.emit s (send ());
+  (* read back WITHOUT closing the writer: only a flush can explain the
+     bytes being visible *)
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  close_out oc;
+  Sys.remove path;
+  Alcotest.(check bool) "line on disk before close" true
+    (String.length line > 0 && line.[0] = '{')
+
+(* ---- Json_in: the reader side of the trace loop ---- *)
+
+let json = Alcotest.testable
+    (fun fmt v -> Format.pp_print_string fmt (Json_out.to_line v))
+    ( = )
+
+let parse_ok s =
+  match Json_in.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse %S: %s" s (Json_in.error_to_string e)
+
+let test_json_in_basics () =
+  let open Json_out in
+  Alcotest.(check json) "null" Null (parse_ok "null");
+  Alcotest.(check json) "true" (Bool true) (parse_ok " true ");
+  Alcotest.(check json) "int" (Int (-42)) (parse_ok "-42");
+  Alcotest.(check json) "float" (Float 2.5) (parse_ok "2.5");
+  Alcotest.(check json) "exp is float" (Float 100.) (parse_ok "1e2");
+  Alcotest.(check json) "string escapes" (Str "a\"\\\n\tb")
+    (parse_ok {|"a\"\\\n\tb"|});
+  Alcotest.(check json) "unicode escape" (Str "\xe2\x82\xac")
+    (parse_ok {|"€"|});
+  Alcotest.(check json) "nested"
+    (Obj [ ("a", List [ Int 1; Null ]); ("b", Obj []) ])
+    (parse_ok {|{"a":[1,null],"b":{}}|});
+  let bad s =
+    match Json_in.parse s with
+    | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "1 2";
+  bad "{\"a\":}";
+  bad "[1,]";
+  bad "\"unterminated";
+  bad "nul";
+  bad "{\"a\" 1}"
+
+let rec strip_nonfinite v =
+  match v with
+  | Json_out.Float f when not (Float.is_finite f) -> Json_out.Null
+  | Json_out.List items -> Json_out.List (List.map strip_nonfinite items)
+  | Json_out.Obj fields ->
+    Json_out.Obj (List.map (fun (k, v) -> (k, strip_nonfinite v)) fields)
+  | v -> v
+
+(* generator for arbitrary Json_out values (depth-bounded) *)
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json_out.Null;
+        map (fun b -> Json_out.Bool b) bool;
+        map (fun n -> Json_out.Int n) int;
+        map (fun f -> Json_out.Float f) float;
+        map (fun s -> Json_out.Str s) (string_size ~gen:char (int_bound 8));
+      ]
+  in
+  let key = string_size ~gen:printable (int_bound 5) in
+  fix
+    (fun self depth ->
+      if depth = 0 then scalar
+      else
+        frequency
+          [
+            (3, scalar);
+            (1, map (fun l -> Json_out.List l)
+                 (list_size (int_bound 4) (self (depth - 1))));
+            (1, map (fun l -> Json_out.Obj l)
+                 (list_size (int_bound 4)
+                    (pair key (self (depth - 1)))));
+          ])
+    3
+
+(* satellite (b): floats round-trip exactly through the shortest-repr
+   writer and the reader *)
+let prop_float_round_trip =
+  QCheck.Test.make ~name:"json_in (json_out float) = id" ~count:2000
+    QCheck.float (fun f ->
+      if not (Float.is_finite f) then true
+      else
+        match Json_in.parse (Json_out.to_line (Json_out.Float f)) with
+        | Ok (Json_out.Float f') -> Int64.equal (Int64.bits_of_float f)
+                                      (Int64.bits_of_float f')
+        | _ -> false)
+
+(* satellite (c): everything the writer emits parses back structurally *)
+let prop_json_round_trip =
+  QCheck.Test.make ~name:"json_in (json_out v) = v" ~count:1000
+    (QCheck.make ~print:Json_out.to_line json_gen) (fun v ->
+      match Json_in.parse (Json_out.to_line v) with
+      | Ok v' -> v' = strip_nonfinite v
+      | Error _ -> false)
+
+(* satellite (c): the parser is total on arbitrary bytes *)
+let prop_json_in_total =
+  QCheck.Test.make ~name:"json_in total on garbage" ~count:5000
+    QCheck.(string_gen Gen.char) (fun s ->
+      match Json_in.parse s with Ok _ | Error _ -> true)
+
+(* ---- event_of_json: every constructor round-trips ---- *)
+
+let all_events =
+  [
+    Trace.Send { t = 1.5; src = 0; dst = 1; msg = 7; events = 3; bytes = 40 };
+    Trace.Receive { t = nan; src = 2; dst = 0; msg = 7 };
+    Trace.Lost { t = 2.25; msg = 9 };
+    Trace.Estimate
+      { t = 3.; node = 1; algo = "optimal"; width = 0.125; contained = true };
+    Trace.Estimate
+      { t = 3.; node = 1; algo = "ntp"; width = infinity; contained = false };
+    Trace.Validation { t = 4.; node = 2; ok = false };
+    Trace.Liveness { node = 0; live = 12 };
+    Trace.Oracle_insert { key = 3; live = 5 };
+    Trace.Oracle_gc { key = 3; live = 4 };
+    Trace.Net_tx { t = 5.; dst = 1; kind = "data"; bytes = 96 };
+    Trace.Net_rx { t = 5.5; src = 1; kind = "ack"; bytes = 32 };
+    Trace.Net_drop { t = 6.; reason = "bad \"checksum\"\n" };
+    Trace.Peer_up { t = 7.; peer = 2 };
+    Trace.Peer_down { t = 8.; peer = 2 };
+    Trace.Retransmit { t = 9.; peer = 1; msg = 11 };
+    Trace.Checkpoint { t = 10.; node = 1; bytes = 512 };
+    Trace.Crash { t = 11.; node = 2 };
+    Trace.Recover { t = 12.; node = 2 };
+    Trace.Span { name = "agdp_insert"; dur = 3.2e-05 };
+  ]
+
+let test_event_round_trip () =
+  List.iter
+    (fun ev ->
+      let line = Json_out.to_line (Trace.json_of_event ev) in
+      match Json_in.parse line with
+      | Error e ->
+        Alcotest.failf "%s: %s" line (Json_in.error_to_string e)
+      | Ok j -> (
+        match Trace.event_of_json j with
+        | Error m -> Alcotest.failf "%s: %s" line m
+        | Ok ev' ->
+          (* nan timestamps break structural equality; byte-compare the
+             re-rendering instead (floats round-trip exactly) *)
+          Alcotest.(check string) (Trace.label ev) line
+            (Json_out.to_line (Trace.json_of_event ev'))))
+    all_events;
+  (* every constructor appears exactly once above (estimates twice) *)
+  let labels = List.sort_uniq compare (List.map Trace.label all_events) in
+  Alcotest.(check int) "all 18 constructors covered" 18 (List.length labels)
+
+let test_event_of_json_rejects () =
+  let bad j =
+    match Trace.event_of_json j with
+    | Ok _ -> Alcotest.failf "accepted %s" (Json_out.to_line j)
+    | Error _ -> ()
+  in
+  bad Json_out.Null;
+  bad (Json_out.Obj []);
+  bad (Json_out.Obj [ ("event", Json_out.Str "nope") ]);
+  bad (Json_out.Obj [ ("event", Json_out.Str "send") ]);
+  bad
+    (Json_out.Obj
+       [ ("event", Json_out.Str "span"); ("name", Json_out.Int 3);
+         ("dur", Json_out.Float 1.) ])
+
+(* ---- histogram ---- *)
+
+let test_histogram_basics () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "empty count" 0 (Histogram.count h);
+  Alcotest.(check bool) "empty quantile nan" true
+    (Float.is_nan (Histogram.quantile h 0.5));
+  List.iter (Histogram.record h) [ 1e-6; 2e-6; 4e-6; 1e-3; 0.5 ];
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  Alcotest.(check (float 1e-12)) "sum" 0.501007 (Histogram.sum h);
+  Alcotest.(check (float 0.)) "min" 1e-6 (Histogram.min_value h);
+  Alcotest.(check (float 0.)) "max" 0.5 (Histogram.max_value h);
+  (* quantiles: within a bucket's relative error, monotone, max-exact *)
+  let q50 = Histogram.quantile h 0.5 in
+  Alcotest.(check bool) "p50 near 4e-6" true (q50 >= 4e-6 && q50 <= 5e-6);
+  Alcotest.(check (float 0.)) "p100 is exact max" 0.5 (Histogram.quantile h 1.);
+  Alcotest.(check bool) "monotone" true
+    (Histogram.quantile h 0.2 <= Histogram.quantile h 0.9);
+  (* recording is total: junk goes in the underflow bucket, not nowhere *)
+  Histogram.record h nan;
+  Histogram.record h (-3.);
+  Histogram.record h 0.;
+  Alcotest.(check int) "junk still counted" 8 (Histogram.count h);
+  (* overflow bucket *)
+  Histogram.record h 1e12;
+  Alcotest.(check (float 0.)) "overflow keeps exact max" 1e12
+    (Histogram.quantile h 1.)
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.record a) [ 1e-5; 2e-5 ];
+  List.iter (Histogram.record b) [ 3e-4; 4e-4; 5e-4 ];
+  let m = Histogram.copy a in
+  Histogram.merge_into ~dst:m b;
+  Alcotest.(check int) "merged count" 5 (Histogram.count m);
+  Alcotest.(check (float 1e-18)) "merged sum"
+    (Histogram.sum a +. Histogram.sum b) (Histogram.sum m);
+  Alcotest.(check (float 0.)) "merged min" 1e-5 (Histogram.min_value m);
+  Alcotest.(check (float 0.)) "merged max" 5e-4 (Histogram.max_value m);
+  (* mismatched configs refuse *)
+  let other = Histogram.create ~buckets:16 () in
+  Alcotest.check_raises "config mismatch"
+    (Invalid_argument "Histogram.merge_into: bucket configs differ")
+    (fun () -> Histogram.merge_into ~dst:m other);
+  (* cumulative is increasing and ends at count *)
+  let cum = Histogram.cumulative m in
+  let counts = List.map snd cum in
+  Alcotest.(check bool) "cumulative increasing" true
+    (List.sort compare counts = counts);
+  Alcotest.(check int) "cumulative ends at count" 5
+    (List.fold_left (fun _ c -> c) 0 counts)
+
+(* ---- prof ---- *)
+
+let test_prof () =
+  (* disabled: no clock reads, no events *)
+  let hits = ref 0 in
+  let prof_off = Prof.null in
+  Alcotest.(check bool) "null disabled" false (Prof.enabled prof_off);
+  let t0 = Prof.start prof_off in
+  Prof.stop prof_off "x" t0;
+  Alcotest.(check (float 0.)) "disabled start is 0" 0. t0;
+  (* enabled, deterministic clock: each call advances 1.0 *)
+  let clock = ref 0. in
+  let now () =
+    let v = !clock in
+    clock := v +. 1.;
+    v
+  in
+  let spans = ref [] in
+  let sink =
+    Trace.callback (fun ev ->
+        incr hits;
+        match ev with
+        | Trace.Span { name; dur } -> spans := (name, dur) :: !spans
+        | _ -> ())
+  in
+  let prof = Prof.make ~now ~sink () in
+  Alcotest.(check bool) "enabled" true (Prof.enabled prof);
+  let t0 = Prof.start prof in
+  Prof.stop prof "op_a" t0;
+  Alcotest.(check (list (pair string (float 0.))))
+    "one span, dur 1" [ ("op_a", 1.) ] !spans;
+  (* span emits even when the thunk raises *)
+  (try Prof.span prof "op_b" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "span emitted on raise" 2 !hits
+
+(* ---- metrics: span histograms in the aggregate ---- *)
+
+let test_metrics_spans () =
+  let m = Metrics.create () in
+  feed m
+    [
+      Trace.Span { name = "agdp_insert"; dur = 1e-5 };
+      Trace.Span { name = "codec_encode"; dur = 2e-6 };
+      Trace.Span { name = "agdp_insert"; dur = 3e-5 };
+    ];
+  Alcotest.(check (list string))
+    "span names in order" [ "agdp_insert"; "codec_encode" ]
+    (Metrics.span_names m);
+  (match Metrics.span_hist m "agdp_insert" with
+  | None -> Alcotest.fail "agdp_insert histogram missing"
+  | Some h ->
+    Alcotest.(check int) "agdp_insert count" 2 (Histogram.count h);
+    Alcotest.(check (float 1e-18)) "agdp_insert sum" 4e-5 (Histogram.sum h));
+  Alcotest.(check bool) "unseen op" true
+    (Metrics.span_hist m "nope" = None);
+  (* the summary trailer carries the per-op stats *)
+  let line = Json_out.to_line (Metrics.summary_json m) in
+  let has sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length line && (String.sub line i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "spans block" true (has "\"spans\":");
+  Alcotest.(check bool) "per-op entry" true (has "\"agdp_insert\":")
+
+(* satellite (a): a trace truncated at ANY byte still parses up to the
+   cut — complete lines all come back, the ragged tail is flagged as
+   truncation, never as a bad line *)
+let test_truncated_at_any_byte () =
+  let m = Metrics.create () in
+  let evs =
+    [
+      send ();
+      estimate ~algo:"optimal" ~width:2.5 ~contained:true ();
+      Trace.Span { name = "agdp_insert"; dur = 1.25e-5 };
+    ]
+  in
+  List.iter (Metrics.on_event m) evs;
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf (Json_out.to_line (Trace.json_of_event ev));
+      Buffer.add_char buf '\n')
+    evs;
+  Buffer.add_string buf (Json_out.to_line (Metrics.summary_json m));
+  Buffer.add_char buf '\n';
+  let text = Buffer.contents buf in
+  let full = Analysis.of_string text in
+  Alcotest.(check int) "full: no bad lines" 0 (List.length full.Analysis.bad);
+  Alcotest.(check bool) "full: not truncated" false full.Analysis.truncated;
+  (match Analysis.summary_matches full with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "full trace trailer mismatch: %s" m);
+  for cut = 0 to String.length text - 1 do
+    let a = Analysis.of_string (String.sub text 0 cut) in
+    if a.Analysis.bad <> [] then
+      Alcotest.failf "cut at byte %d produced bad lines" cut;
+    let complete_lines = ref 0 in
+    String.iteri
+      (fun i c -> if i < cut && c = '\n' then incr complete_lines)
+      text;
+    let parsed =
+      List.length a.Analysis.events
+      + (match a.Analysis.trailer with Some _ -> 1 | None -> 0)
+    in
+    (* a cut exactly at a newline leaves a complete (just unterminated)
+       JSON line, which legitimately parses: allow one extra *)
+    let at_line_end = cut > 0 && text.[cut] = '\n' in
+    if
+      parsed <> !complete_lines
+      && not (at_line_end && parsed = !complete_lines + 1)
+    then
+      Alcotest.failf "cut at byte %d: %d complete lines but %d parsed" cut
+        !complete_lines parsed
+  done
 
 (* the guarantee bin/clocksync relies on for --trace: a Metrics teed onto
    the same stream as the engine's internal one reproduces the result *)
@@ -187,12 +539,38 @@ let () =
           Alcotest.test_case "labels" `Quick test_labels;
           Alcotest.test_case "tee order" `Quick test_tee_order;
           Alcotest.test_case "jsonl sink" `Quick test_jsonl_sink;
+          Alcotest.test_case "jsonl flushes per line" `Quick test_jsonl_flushes;
         ] );
+      ( "json_in",
+        [
+          Alcotest.test_case "basics" `Quick test_json_in_basics;
+          QCheck_alcotest.to_alcotest prop_float_round_trip;
+          QCheck_alcotest.to_alcotest prop_json_round_trip;
+          QCheck_alcotest.to_alcotest prop_json_in_total;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "every constructor round-trips" `Quick
+            test_event_round_trip;
+          Alcotest.test_case "malformed events rejected" `Quick
+            test_event_of_json_rejects;
+          Alcotest.test_case "truncated at any byte" `Quick
+            test_truncated_at_any_byte;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "record/quantile/underflow" `Quick
+            test_histogram_basics;
+          Alcotest.test_case "merge and cumulative" `Quick test_histogram_merge;
+        ] );
+      ( "prof",
+        [ Alcotest.test_case "start/stop/span" `Quick test_prof ] );
       ( "metrics",
         [
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "algo stats and soundness" `Quick test_algo_stats;
           Alcotest.test_case "summary json" `Quick test_summary_json;
+          Alcotest.test_case "span histograms" `Quick test_metrics_spans;
           Alcotest.test_case "external metrics match engine result" `Quick
             test_external_metrics_match_result;
         ] );
