@@ -1,0 +1,8 @@
+let () =
+  Printf.printf "int_of_float inf = %d\n" (int_of_float infinity);
+  let h = Csync_obs.Histogram.create () in
+  Csync_obs.Histogram.record h infinity;
+  Printf.printf "q(1.0) = %g  max = %g  count=%d\n"
+    (Csync_obs.Histogram.quantile h 1.0)
+    (Csync_obs.Histogram.max_value h)
+    (Csync_obs.Histogram.count h)
