@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench-smoke analyze-smoke net-smoke crash-smoke check fmt fmt-check clean
+.PHONY: all build test bench-smoke bench-guard analyze-smoke net-smoke crash-smoke check fmt fmt-check clean
 
 all: build
 
@@ -16,6 +16,13 @@ test:
 
 bench-smoke:
 	$(DUNE) exec bench/main.exe -- smoke --json _build/bench_smoke.json
+
+# throughput floor for the AGDP two-tier fast path: the guard fails
+# (exit 1) when L=128 sliding-window inserts drop below a conservative
+# floor, catching fast-path regressions of ~2x or worse; the JSON lands
+# in _build for the CI artifact upload
+bench-guard:
+	$(DUNE) exec bench/main.exe -- guard --json _build/bench_guard.json
 
 # round-trip the trace loop: a profiled simulator run writes a JSONL
 # trace, then `clocksync analyze` re-parses every line and recomputes
@@ -38,7 +45,7 @@ net-smoke: build
 crash-smoke: build
 	sh scripts/crash_smoke.sh
 
-check: build test bench-smoke analyze-smoke
+check: build test bench-smoke bench-guard analyze-smoke
 	@echo "check: OK"
 
 # Formatting is best-effort: the sealed build image does not ship

@@ -1220,6 +1220,85 @@ let e17_instrumentation_overhead () =
                  clock reads + one Span emit).@."
     hist_ns off_ns on_ns
 
+(* ----------------------- E18: two-tier numeric fast-path speedup *)
+
+(* A/B of the AGDP sliding-window insert cost at L = 128 (the E5
+   workload) with the float fast tier disabled — every relaxation
+   decided by exact bigint arithmetic, the pre-two-tier behaviour — and
+   enabled, where steady-state rejections are settled on the float bound
+   planes.  Best-of-3 per mode to shed scheduler noise. *)
+let e18_two_tier_speedup () =
+  section "E18"
+    "two-tier numerics: AGDP insert throughput, exact vs fast tier";
+  let l = 128 in
+  let measure enabled =
+    Fun.protect
+      ~finally:(fun () -> Q.Approx.set_enabled true)
+      (fun () ->
+        Q.Approx.set_enabled enabled;
+        let _, _, ns = agdp_sliding_window ~l ~inserts:200 in
+        ns)
+  in
+  let best f = Stdlib.min (f ()) (Stdlib.min (f ()) (f ())) in
+  let ns_exact = best (fun () -> measure false) in
+  let ns_fast = best (fun () -> measure true) in
+  let ips_exact = 1e9 /. ns_exact and ips_fast = 1e9 /. ns_fast in
+  let speedup = ns_exact /. ns_fast in
+  (* inserts/s at L = 128 recorded by E5 before the two-tier layer *)
+  let e5_baseline = 488.6 in
+  metric "two_tier"
+    (J.Obj
+       [
+         ("live", J.Int l);
+         ("exact_only_inserts_per_sec", J.Float ips_exact);
+         ("two_tier_inserts_per_sec", J.Float ips_fast);
+         ("speedup", J.Float speedup);
+         ("e5_baseline_inserts_per_sec", J.Float e5_baseline);
+         ("speedup_vs_e5_baseline", J.Float (ips_fast /. e5_baseline));
+       ]);
+  Table.print
+    ~header:[ "tier"; "ns/insert"; "inserts/s" ]
+    [
+      [ "exact only"; Printf.sprintf "%.0f" ns_exact;
+        Printf.sprintf "%.0f" ips_exact ];
+      [ "two-tier"; Printf.sprintf "%.0f" ns_fast;
+        Printf.sprintf "%.0f" ips_fast ];
+    ];
+  Format.printf
+    "@.fast tier speedup: %.1fx over exact-only on this machine,@.%.1fx \
+     over the recorded pre-two-tier E5 baseline (%.0f inserts/s).@."
+    speedup (ips_fast /. e5_baseline) e5_baseline
+
+(* ------------------------------------------------ bench-guard (CI) *)
+
+(* Conservative throughput floor for `make bench-guard` / CI: the fast
+   tier must keep L = 128 sliding-window inserts above this rate.  The
+   two-tier path measures ~5000+ inserts/s on the reference container
+   (exact-only ~200-500/s), so 2500/s absorbs heavy machine noise while
+   still failing on any fast-path regression of about 2x or worse. *)
+let guard () =
+  section "guard" "two-tier fast-path throughput floor";
+  let floor_ips = 2500. and l = 128 in
+  let run () =
+    let _, _, ns = agdp_sliding_window ~l ~inserts:100 in
+    ns
+  in
+  let ns = Stdlib.min (run ()) (Stdlib.min (run ()) (run ())) in
+  let ips = 1e9 /. ns in
+  metric "bench_guard"
+    (J.Obj
+       [
+         ("live", J.Int l);
+         ("inserts_per_sec", J.Float ips);
+         ("floor_inserts_per_sec", J.Float floor_ips);
+       ]);
+  Format.printf "L=%d: %.0f inserts/s (floor %.0f)@." l ips floor_ips;
+  if ips < floor_ips then
+    failwith
+      (Printf.sprintf
+         "bench-guard: %.0f inserts/s at L=%d is below the %.0f floor" ips l
+         floor_ips)
+
 (* --------------------------------------------------------------- smoke *)
 
 (* A sub-second slice of E5, wired into `dune runtest` (see bench/dune) so
@@ -1268,11 +1347,12 @@ let all =
     ("E15", e15_frame_throughput);
     ("E16", e16_checkpoint_throughput);
     ("E17", e17_instrumentation_overhead);
+    ("E18", e18_two_tier_speedup);
     ("uB", microbenches);
   ]
 
 (* runnable by name but excluded from the no-argument sweep *)
-let extras = [ ("smoke", smoke) ]
+let extras = [ ("smoke", smoke); ("guard", guard) ]
 
 let () =
   let rec parse args (ids, json) =
@@ -1290,15 +1370,23 @@ let () =
     "clocksync benchmark harness — reproducing the claims of@.\"Optimal and \
      Efficient Clock Synchronization Under Drifting Clocks\"@.(Ostrovsky & \
      Patt-Shamir, PODC 1999). See EXPERIMENTS.md.@.";
+  let failed = ref [] in
   List.iter
     (fun id ->
       match List.assoc_opt id (all @ extras) with
-      | Some f -> timed id f
+      | Some f -> (
+        (* a failing experiment (e.g. the guard floor) must not lose the
+           JSON of the ones that already ran *)
+        try timed id f
+        with Failure msg ->
+          Format.printf "FAILED %s: %s@." id msg;
+          json_records := (id, [ ("error", J.Str msg) ], 0.) :: !json_records;
+          failed := id :: !failed)
       | None ->
         Format.printf "unknown experiment %s (known: %s)@." id
           (String.concat " " (List.map fst (all @ extras))))
     wanted;
-  match json_path with
+  (match json_path with
   | None -> ()
   | Some path ->
     let experiments =
@@ -1314,4 +1402,7 @@ let () =
            ("source", J.Str "bench/main.exe");
            ("experiments", J.List experiments);
          ]);
-    Format.printf "wrote %s@." path
+    Format.printf "wrote %s@." path);
+  if !failed <> [] then exit 1
+
+

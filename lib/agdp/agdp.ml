@@ -10,6 +10,8 @@ exception Negative_cycle
    matrix stays compact.  The matrix doubles in capacity when full. *)
 type t = {
   mutable d : Q.t array; (* cap * cap, row-major *)
+  mutable dlo : float array; (* lower bound plane: dlo.(i) <= d.(i) *)
+  mutable dhi : float array; (* upper bound plane: d.(i) <= dhi.(i) *)
   mutable cap : int;
   mutable keys : int array; (* slot -> key *)
   slot_of : (int, int) Hashtbl.t; (* key -> slot *)
@@ -23,9 +25,18 @@ let initial_capacity = 8
 let inf = Q.sentinel
 let is_inf = Q.is_sentinel
 
+(* Same primitive the stdlib's [Float.pred] wraps, declared unboxed so
+   the hot loop below can round a bound outward without boxing the
+   float through a closure call. *)
+external next_after : float -> float -> float
+  = "caml_nextafter_float" "caml_nextafter"
+[@@unboxed] [@@noalloc]
+
 let create ?(sink = Trace.null) () =
   {
     d = Array.make (initial_capacity * initial_capacity) inf;
+    dlo = Array.make (initial_capacity * initial_capacity) Float.nan;
+    dhi = Array.make (initial_capacity * initial_capacity) Float.nan;
     cap = initial_capacity;
     keys = Array.make initial_capacity (-1);
     slot_of = Hashtbl.create 16;
@@ -35,8 +46,21 @@ let create ?(sink = Trace.null) () =
     sink;
   }
 
+(* Every matrix write goes through here so the float bound planes stay
+   in lockstep with the exact cells.  The planes are the
+   structure-of-arrays face of Q's enclosures: the Phase-3 loop reads
+   them as contiguous unboxed floats instead of chasing each cell's
+   rational.  A sentinel cell gets NaN bounds (Q.Approx.lo/hi of the
+   sentinel), which fail every comparison — no-path cells can never be
+   rejected by the fast tier. *)
+let set_cell t idx q =
+  Array.unsafe_set t.d idx q;
+  Array.unsafe_set t.dlo idx (Q.Approx.lo q);
+  Array.unsafe_set t.dhi idx (Q.Approx.hi q)
+
 let mem t key = Hashtbl.mem t.slot_of key
 let size t = t.count
+let capacity t = t.cap
 let relaxations t = t.relax_count
 let peak_size t = t.peak
 
@@ -54,18 +78,44 @@ let dist t x y =
   let v = t.d.((sx * t.cap) + sy) in
   if is_inf v then Ext.Inf else Ext.Fin v
 
-let grow t =
+(* Re-stride the matrix and its bound planes into fresh cap'-wide
+   arrays (shared by grow and shrink). *)
+let restride t cap' =
   let cap = t.cap in
-  let cap' = 2 * cap in
   let d' = Array.make (cap' * cap') inf in
+  let lo' = Array.make (cap' * cap') Float.nan in
+  let hi' = Array.make (cap' * cap') Float.nan in
   for i = 0 to t.count - 1 do
-    Array.blit t.d (i * cap) d' (i * cap') t.count
+    Array.blit t.d (i * cap) d' (i * cap') t.count;
+    Array.blit t.dlo (i * cap) lo' (i * cap') t.count;
+    Array.blit t.dhi (i * cap) hi' (i * cap') t.count
   done;
   let keys' = Array.make cap' (-1) in
   Array.blit t.keys 0 keys' 0 t.count;
   t.d <- d';
+  t.dlo <- lo';
+  t.dhi <- hi';
   t.cap <- cap';
   t.keys <- keys'
+
+let grow t = restride t (2 * t.cap)
+
+(* Relaxation core shared by the Phase-1 and Phase-3 loops: improve
+   [arr.(idx)] with the candidate path [a + b] if it is shorter.  Tier 1
+   decides from the float enclosures (Q.Approx.add_cmp) without building
+   the sum, so the steady-state "candidate does not improve" rejection
+   costs a few flops and never allocates; only actual improvements and
+   inconclusive overlaps pay the exact Bigint addition. *)
+let relax arr idx a b =
+  let cur = Array.unsafe_get arr idx in
+  if is_inf cur then Array.unsafe_set arr idx (Q.add a b)
+  else
+    let c = Q.Approx.add_cmp a b cur in
+    if c < 0 then Array.unsafe_set arr idx (Q.add a b)
+    else if c = 0 then begin
+      let cand = Q.add a b in
+      if Q.compare cand cur < 0 then Array.unsafe_set arr idx cand
+    end
 
 let insert t ~key ~in_edges ~out_edges =
   if mem t key then
@@ -91,23 +141,13 @@ let insert t ~key ~in_edges ~out_edges =
       (fun (a, w) ->
         incr relaxed;
         let dia = Array.unsafe_get d (base + a) in
-        if not (is_inf dia) then begin
-          let cand = Q.add dia w in
-          let cur = Array.unsafe_get col i in
-          if is_inf cur || Q.compare cand cur < 0 then
-            Array.unsafe_set col i cand
-        end)
+        if not (is_inf dia) then relax col i dia w)
       in_edges;
     List.iter
       (fun (b, w) ->
         incr relaxed;
         let dbi = Array.unsafe_get d ((b * cap) + i) in
-        if not (is_inf dbi) then begin
-          let cand = Q.add w dbi in
-          let cur = Array.unsafe_get row i in
-          if is_inf cur || Q.compare cand cur < 0 then
-            Array.unsafe_set row i cand
-        end)
+        if not (is_inf dbi) then relax row i w dbi)
       out_edges
   done;
   (* Phase 2, still read-only: a path through k and back would be a
@@ -118,8 +158,13 @@ let insert t ~key ~in_edges ~out_edges =
   for i = 0 to k - 1 do
     incr relaxed;
     let c = Array.unsafe_get col i and r = Array.unsafe_get row i in
-    if (not (is_inf c)) && (not (is_inf r)) && Q.sign (Q.add r c) < 0 then
-      raise Negative_cycle
+    if (not (is_inf c)) && not (is_inf r) then begin
+      (* sign of r + c against zero straight from the enclosures; the
+         exact sum is built only when the bounds straddle zero *)
+      let s = Q.Approx.add_cmp r c Q.zero in
+      if s < 0 || (s = 0 && Q.sign (Q.add r c) < 0) then
+        raise Negative_cycle
+    end
   done;
   (* Phase 3: commit; no failure can occur past this point. *)
   if k = t.cap then grow t;
@@ -130,25 +175,53 @@ let insert t ~key ~in_edges ~out_edges =
   if t.count > t.peak then t.peak <- t.count;
   let krow = k * cap in
   for i = 0 to k - 1 do
-    Array.unsafe_set d (krow + i) (Array.unsafe_get row i);
-    Array.unsafe_set d ((i * cap) + k) (Array.unsafe_get col i)
+    set_cell t (krow + i) (Array.unsafe_get row i);
+    set_cell t ((i * cap) + k) (Array.unsafe_get col i)
   done;
-  d.(krow + k) <- Q.zero;
-  (* relax all pairs through the new node: O(L²).  The diagonal cannot go
+  set_cell t (krow + k) Q.zero;
+  (* Relax all pairs through the new node: O(L²).  The diagonal cannot go
      negative: phase 2 ruled out negative cycles through k, and the
-     committed matrix had none. *)
+     committed matrix had none.
+
+     This is the hot loop of the whole structure, and it runs on the
+     float bound planes: the candidate i ⇝ k ⇝ j fails to improve
+     d(i, j) whenever a lower bound on dik + dkj clears d(i, j)'s upper
+     bound, which is three contiguous unboxed float loads and a 2Sum —
+     no rational is even dereferenced.  The 2Sum recovers the exact
+     rounding error of the float addition (one outward ulp only when it
+     is inexact), so ties are rejected too.  NaN plane entries (no-path
+     cells, including the whole untouched row k tail) fail the
+     comparison and fall through to the exact path, as does everything
+     when the fast tier is disabled. *)
+  let dlo = t.dlo and dhi = t.dhi in
+  let fast = Q.Approx.enabled () in
   for i = 0 to k - 1 do
     let dik = Array.unsafe_get col i in
     if not (is_inf dik) then begin
       let base = i * cap in
+      (* disabling the fast tier poisons the hoisted bound with NaN, so
+         the rejection test fails unconditionally — no per-iteration
+         enabled check *)
+      let xlo = if fast then Q.Approx.lo dik else Float.nan in
+      relaxed := !relaxed + k;
       for j = 0 to k - 1 do
-        incr relaxed;
-        let dkj = Array.unsafe_get d (krow + j) in
-        if not (is_inf dkj) then begin
-          let cand = Q.add dik dkj in
-          let cur = Array.unsafe_get d (base + j) in
-          if is_inf cur || Q.compare cand cur < 0 then
-            Array.unsafe_set d (base + j) cand
+        let ylo = Array.unsafe_get dlo (krow + j) in
+        let s = xlo +. ylo in
+        let bv = s -. xlo in
+        let err = (xlo -. (s -. bv)) +. (ylo -. bv) in
+        let sum_lo = if err >= 0. then s else next_after s neg_infinity in
+        if sum_lo >= Array.unsafe_get dhi (base + j) then ()
+        else begin
+          let dkj = Array.unsafe_get d (krow + j) in
+          if not (is_inf dkj) then begin
+            let idx = base + j in
+            let cur = Array.unsafe_get d idx in
+            if is_inf cur then set_cell t idx (Q.add dik dkj)
+            else begin
+              let cand = Q.add dik dkj in
+              if Q.compare cand cur < 0 then set_cell t idx cand
+            end
+          end
         end
       done
     end
@@ -187,6 +260,8 @@ let restore ?(sink = Trace.null) s =
   let t =
     {
       d = Array.make (cap * cap) inf;
+      dlo = Array.make (cap * cap) Float.nan;
+      dhi = Array.make (cap * cap) Float.nan;
       cap;
       keys = Array.make cap (-1);
       slot_of = Hashtbl.create (max 16 count);
@@ -202,21 +277,36 @@ let restore ?(sink = Trace.null) s =
     for j = 0 to count - 1 do
       match s.s_dist.((i * count) + j) with
       | Ext.Inf -> ()
-      | Ext.Fin q -> t.d.((i * cap) + j) <- q
+      | Ext.Fin q -> set_cell t ((i * cap) + j) q
     done
   done;
   t
 
+(* Halve the matrix when occupancy drops to a quarter (floor at the
+   initial capacity): after churn the structure tracks the live set
+   instead of pinning peak-sized cap² cells — and their boxed rationals'
+   slots — forever.  Halving at 1/4 occupancy leaves the new matrix half
+   empty, so a kill/insert flutter cannot thrash grow/shrink. *)
+let shrink t =
+  let cap' = Stdlib.max initial_capacity (t.cap / 2) in
+  if cap' < t.cap then restride t cap'
+
 let kill t key =
   let s = slot_exn t key in
   let last = t.count - 1 in
-  let d = t.d and cap = t.cap in
+  let d = t.d and dlo = t.dlo and dhi = t.dhi and cap = t.cap in
   if s <> last then begin
     (* move the last slot into s: row blit, then column copy — at i = s
-       the column copy also lands the diagonal d(last,last) in d(s,s) *)
+       the column copy also lands the diagonal d(last,last) in d(s,s);
+       the bound planes move in lockstep *)
     Array.blit d (last * cap) d (s * cap) (last + 1);
+    Array.blit dlo (last * cap) dlo (s * cap) (last + 1);
+    Array.blit dhi (last * cap) dhi (s * cap) (last + 1);
     for i = 0 to last do
-      d.((i * cap) + s) <- d.((i * cap) + last)
+      let src = (i * cap) + last and dst = (i * cap) + s in
+      d.(dst) <- d.(src);
+      dlo.(dst) <- dlo.(src);
+      dhi.(dst) <- dhi.(src)
     done;
     let moved_key = t.keys.(last) in
     t.keys.(s) <- moved_key;
@@ -226,9 +316,15 @@ let kill t key =
   let lrow = last * cap in
   for i = 0 to last do
     d.(lrow + i) <- inf;
-    d.((i * cap) + last) <- inf
+    dlo.(lrow + i) <- Float.nan;
+    dhi.(lrow + i) <- Float.nan;
+    let ci = (i * cap) + last in
+    d.(ci) <- inf;
+    dlo.(ci) <- Float.nan;
+    dhi.(ci) <- Float.nan
   done;
   t.keys.(last) <- -1;
   Hashtbl.remove t.slot_of key;
   t.count <- last;
+  if t.count <= t.cap / 4 && t.cap > initial_capacity then shrink t;
   Trace.emit t.sink (Trace.Oracle_gc { key; live = t.count })

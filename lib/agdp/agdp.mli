@@ -45,6 +45,9 @@ val insert :
 val kill : t -> int -> unit
 (** Remove a node from the live set, discarding its row and column.
     Distances between the remaining live nodes are unchanged (Lemma 3.4).
+    When occupancy drops to a quarter of capacity the matrix is halved
+    (floored at the initial capacity), so after churn the footprint
+    tracks the live set instead of its historical peak.
     @raise Invalid_argument when the key is not live. *)
 
 val mem : t -> int -> bool
@@ -56,6 +59,10 @@ val dist : t -> int -> int -> Ext.t
 
 val size : t -> int
 (** Number of live nodes [L]. *)
+
+val capacity : t -> int
+(** Current matrix stride (the flat array holds [capacity²] cells) —
+    exposed for space accounting and the shrink-on-kill tests. *)
 
 val live_keys : t -> int list
 

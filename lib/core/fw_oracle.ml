@@ -82,7 +82,9 @@ let recompute t =
       (fun (j, w) ->
         let c = (i * n) + j in
         let cur = d.(c) in
-        if is_inf cur || Q.compare w cur < 0 then d.(c) <- w)
+        (* [compare_exact]: the reference must stay independent of the
+           float fast tier it is used to cross-check *)
+        if is_inf cur || Q.compare_exact w cur < 0 then d.(c) <- w)
       t.adj.(i)
   done;
   let relaxed = ref 0 in
@@ -99,7 +101,7 @@ let recompute t =
              if not (is_inf dkj) then begin
                let cand = Q.add dik dkj in
                let cur = Array.unsafe_get d (base + j) in
-               if is_inf cur || Q.compare cand cur < 0 then
+               if is_inf cur || Q.compare_exact cand cur < 0 then
                  Array.unsafe_set d (base + j) cand
              end
            done;

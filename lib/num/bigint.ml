@@ -323,6 +323,13 @@ let max a b = if compare a b >= 0 then a else b
 let mul_int a n = mul a (of_int n)
 let add_int a n = add a (of_int n)
 
+let pow2 k =
+  if k < 0 then invalid_arg "Bigint.pow2: negative exponent";
+  let limbs = k / base_bits and rest = k mod base_bits in
+  let mag = Array.make (limbs + 1) 0 in
+  mag.(limbs) <- 1 lsl rest;
+  { sign = 1; mag }
+
 let pow10 k =
   if k < 0 then invalid_arg "Bigint.pow10: negative exponent";
   let billion = of_int 1_000_000_000 in
@@ -394,6 +401,31 @@ let to_float x =
       x.mag 0.
   in
   if x.sign < 0 then -.m else m
+
+(* [x / 2^(30*shift)] as a float, folding only the limbs from [shift]
+   upward.  The dropped low limbs contribute a relative error below
+   2^(-30*(kept-1)) — invisible at float precision once a handful of
+   limbs survive. *)
+let to_float_shifted x shift =
+  let mag = x.mag in
+  let m = ref 0. in
+  for i = Array.length mag - 1 downto shift do
+    m := (!m *. float_of_int base) +. float_of_int mag.(i)
+  done;
+  if x.sign < 0 then -. !m else !m
+
+let float_div n d =
+  let ln = Array.length n.mag and ld = Array.length d.mag in
+  let m = Stdlib.max ln ld in
+  if m <= 30 then to_float n /. to_float d
+  else begin
+    (* either operand alone would overflow [to_float] (|x| can reach
+       2^(30*34) > 2^1023): cancel matched high limbs first so a ratio
+       of ordinary magnitude divides two ordinary floats.  A genuinely
+       astronomical ratio still comes out as inf/0 — correctly. *)
+    let shift = m - 18 in
+    to_float_shifted n shift /. to_float_shifted d shift
+  end
 
 let pp fmt x = Format.pp_print_string fmt (to_string x)
 

@@ -65,6 +65,16 @@ val add_int : t -> int -> t
 val pow10 : int -> t
 (** [pow10 k] is [10^k] for [k >= 0]. *)
 
+val pow2 : int -> t
+(** [pow2 k] is [2^k] for [k >= 0]. *)
+
+val float_div : t -> t -> float
+(** [float_div n d] is a float approximation of the ratio [n/d] that
+    stays accurate in magnitude even when [n] and [d] separately exceed
+    the float range: matched high limbs are cancelled before dividing,
+    so e.g. [(10^400 + 1) / 10^400] comes out near [1.0] instead of
+    [nan].  For display and statistics only. *)
+
 val pp : Format.formatter -> t -> unit
 
 val num_limbs : t -> int

@@ -1,9 +1,58 @@
 module B = Bigint
 
-type t = { n : B.t; d : B.t }
-(* Invariants: d > 0; gcd(|n|, d) = 1; n = 0 implies d = 1. *)
+(* Two-tier representation (DESIGN.md Section 11): alongside the exact
+   numerator/denominator, every rational carries a guaranteed float
+   enclosure [ap.blo, ap.bhi] of its value, rounded outward.  Order
+   queries answer from the enclosure whenever the bounds are conclusive
+   and fall back to exact bigint cross-multiplication only when they
+   overlap.  [bounds] is an all-float record, so the pair costs one flat
+   block and its reads never box.  The sentinel carries NaN bounds: NaN
+   compares false against everything, so the float tier can never reach
+   a conclusion about it. *)
+type bounds = { blo : float; bhi : float }
 
-let mk_raw n d = { n; d }
+type t = { n : B.t; d : B.t; ap : bounds }
+(* Invariants: d > 0; gcd(|n|, d) = 1; n = 0 implies d = 1;
+   blo <= n/d <= bhi (with blo = bhi = nan iff d = 0, the sentinel). *)
+
+let ap_nan = { blo = Float.nan; bhi = Float.nan }
+let ap_zero = { blo = 0.; bhi = 0. }
+let ap_wide = { blo = neg_infinity; bhi = infinity }
+
+(* Enclosure of n/d.  [B.to_float] performs one rounded multiply-add per
+   limb beyond the first and the division rounds once more, so for
+   magnitudes up to 30 limbs the computed quotient carries a relative
+   error below (2*(ln + ld) + 2) * 2^-53 <= 2^-46.  Scaling outward by
+   1 -/+ 2^-44 dominates that error plus the scaling's own rounding —
+   two multiplications instead of a chain of nextafter calls, because
+   enclosure construction sits on every Q allocation.  The scaling only
+   widens reliably on normal floats; with both magnitudes at most 30
+   limbs the quotient is either normal or overflowed, and values with
+   more than 30 limbs on either side (beyond ~2^900) get the whole real
+   line — they never reach hot paths and the exact tier covers them. *)
+let widen_dn = 1. -. 0x1p-44
+let widen_up = 1. +. 0x1p-44
+
+let approx n d =
+  if B.is_zero d then ap_nan
+  else if B.is_zero n then ap_zero
+  else begin
+    let ln = B.num_limbs n and ld = B.num_limbs d in
+    if ln > 30 || ld > 30 then ap_wide
+    else begin
+      let f = B.to_float n /. B.to_float d in
+      if not (Float.is_finite f) then ap_wide
+      else if ln = 1 && ld = 1 then
+        (* single-limb magnitudes convert exactly; the division is the
+           only rounding, and with d = 1 there is none at all *)
+        if B.equal d B.one then { blo = f; bhi = f }
+        else { blo = Float.pred f; bhi = Float.succ f }
+      else if f > 0. then { blo = f *. widen_dn; bhi = f *. widen_up }
+      else { blo = f *. widen_up; bhi = f *. widen_dn }
+    end
+  end
+
+let mk_raw n d = { n; d; ap = approx n d }
 
 let make num den =
   if B.is_zero den then raise Division_by_zero
@@ -31,9 +80,47 @@ let den q = q.d
 let sentinel = mk_raw B.zero B.zero
 let is_sentinel a = B.is_zero a.d
 
+let rec igcd a b = if b = 0 then a else igcd b (a mod b)
+
+let float_exact_bound = 9007199254740992 (* 2^53 *)
+
+(* Sum of two single-limb rationals entirely in native ints: magnitudes
+   are below 2^30, so the cross products stay below 2^60 and the
+   numerator below 2^61 — no bigint allocation until the final reduced
+   result.  This is the Phase-1 backbone of the AGDP insert (distances
+   to a freshly inserted node are built by exactly these additions), so
+   the enclosure is also computed directly: below 2^53 both conversions
+   are exact and one division rounding means a one-ulp widening; larger
+   reduced terms fall back to the relative widening. *)
+let add_small na da nb db =
+  let n, d =
+    if da = db then (na + nb, da) else ((na * db) + (nb * da), da * db)
+  in
+  if n = 0 then mk_raw B.zero B.one
+  else begin
+    let g = igcd (if n < 0 then -n else n) d in
+    let n = n / g and d = d / g in
+    let f = float_of_int n /. float_of_int d in
+    let ap =
+      if -float_exact_bound < n && n < float_exact_bound && d < float_exact_bound
+      then
+        if d = 1 then { blo = f; bhi = f }
+        else { blo = Float.pred f; bhi = Float.succ f }
+      else if f > 0. then { blo = f *. widen_dn; bhi = f *. widen_up }
+      else { blo = f *. widen_up; bhi = f *. widen_dn }
+    in
+    { n = B.of_int n; d = B.of_int d; ap }
+  end
+
 let add a b =
   if B.is_zero a.n then b
   else if B.is_zero b.n then a
+  else if
+    B.num_limbs a.n = 1 && B.num_limbs a.d = 1 && B.num_limbs b.n = 1
+    && B.num_limbs b.d = 1
+  then
+    add_small (B.to_int_exn a.n) (B.to_int_exn a.d) (B.to_int_exn b.n)
+      (B.to_int_exn b.d)
   else if B.equal a.d b.d then
     (* common denominator: skip the three cross multiplications; with
        denominator 1 the sum is already in lowest terms *)
@@ -41,7 +128,9 @@ let add a b =
     if B.equal a.d B.one then mk_raw n B.one else make n a.d
   else make (B.add (B.mul a.n b.d) (B.mul b.n a.d)) (B.mul a.d b.d)
 
-let neg a = mk_raw (B.neg a.n) a.d
+let neg a =
+  (* negating flips and swaps the enclosure; no recomputation needed *)
+  { n = B.neg a.n; d = a.d; ap = { blo = -.a.ap.bhi; bhi = -.a.ap.blo } }
 let sub a b = add a (neg b)
 let mul a b = make (B.mul a.n b.n) (B.mul a.d b.d)
 
@@ -55,7 +144,7 @@ let abs a = if B.sign a.n < 0 then neg a else a
 let mul_int a k = make (B.mul_int a.n k) a.d
 let div_int a k = make a.n (B.mul_int a.d k)
 
-let compare a b =
+let compare_exact a b =
   (* denominators are positive, so the sign of the numerator is the sign
      of the rational and equal denominators reduce to a numerator
      comparison — both fast paths skip the bigint multiplications *)
@@ -64,6 +153,17 @@ let compare a b =
     let sa = B.sign a.n and sb = B.sign b.n in
     if sa <> sb then Stdlib.compare sa sb
     else B.compare (B.mul a.n b.d) (B.mul b.n a.d)
+
+(* Runtime switch for the float tier, so benchmarks and the agreement
+   tests can A/B the two tiers on identical inputs.  On by default. *)
+let fast_enabled = ref true
+
+let compare a b =
+  (* tier 1: strict separation of the float enclosures decides without
+     touching a bigint (NaN bounds — the sentinel — never separate) *)
+  if !fast_enabled && a.ap.bhi < b.ap.blo then -1
+  else if !fast_enabled && b.ap.bhi < a.ap.blo then 1
+  else compare_exact a b
 let equal a b = B.equal a.n b.n && B.equal a.d b.d
 let hash a = (B.hash a.n * 31) + B.hash a.d
 let sign a = B.sign a.n
@@ -71,13 +171,91 @@ let is_zero a = B.is_zero a.n
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 
-let to_float a = B.to_float a.n /. B.to_float a.d
+let to_float a = B.float_div a.n a.d
+
+let of_float_exact f =
+  if not (Float.is_finite f) then invalid_arg "Q.of_float_exact: not finite";
+  if f = 0. then zero
+  else begin
+    (* every finite float is the dyadic rational m * 2^(e-53) with an
+       integral 53-bit m *)
+    let m, e = Float.frexp f in
+    let mi = Int64.to_int (Int64.of_float (Float.ldexp m 53)) in
+    let e = e - 53 in
+    if e >= 0 then of_bigint (B.mul (B.of_int mi) (B.pow2 e))
+    else make (B.of_int mi) (B.pow2 (-e))
+  end
+
+module Approx = struct
+  let lo a = a.ap.blo
+  let hi a = a.ap.bhi
+  let enabled () = !fast_enabled
+  let set_enabled b = fast_enabled := b
+
+  let cmp a b =
+    if not !fast_enabled then 0
+    else if a.ap.bhi < b.ap.blo then -1
+    else if b.ap.bhi < a.ap.blo then 1
+    else 0
+
+  (* The sum bounds use the 2Sum transformation: [s = fl(x + y)] plus
+     the exact rounding error [err] recovered from it, so when the float
+     addition is exact the bound is the sum itself — letting the fast
+     tier settle ties (candidate = current) instead of falling back.
+     Overflow and NaN degrade soundly: [err] goes NaN, the sign test
+     fails, and the bound widens by one ulp (or never concludes).  All
+     of it is written inline in one function body: without flambda,
+     float-typed calls box their arguments, and this is the hottest few
+     nanoseconds of the AGDP relaxation loop — as a single body the
+     whole computation stays in registers and allocates nothing. *)
+  let add_cmp a b c =
+    if not !fast_enabled then 0
+    else begin
+      let x = a.ap.blo and y = b.ap.blo in
+      let s = x +. y in
+      let bv = s -. x in
+      let err = (x -. (s -. bv)) +. (y -. bv) in
+      let sum_lo = if err >= 0. then s else Float.pred s in
+      if sum_lo >= c.ap.bhi then 1
+      else begin
+        let x = a.ap.bhi and y = b.ap.bhi in
+        let s = x +. y in
+        let bv = s -. x in
+        let err = (x -. (s -. bv)) +. (y -. bv) in
+        let sum_hi = if err <= 0. then s else Float.succ s in
+        if sum_hi < c.ap.blo then -1 else 0
+      end
+    end
+end
 
 let to_string a =
   if B.equal a.d B.one then B.to_string a.n
   else B.to_string a.n ^ "/" ^ B.to_string a.d
 
 let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+(* Exponents are applied as an eager [pow10], so an attacker-supplied
+   "1e100000000" would allocate a hundred-megabyte integer before any
+   arithmetic runs; 10^±10000 comfortably covers every physical scale. *)
+let max_exponent = 10_000
+
+let parse_exponent es =
+  let len = String.length es in
+  let start =
+    if len > 0 && (es.[0] = '+' || es.[0] = '-') then 1 else 0
+  in
+  if start >= len then invalid_arg "Q.of_decimal_string: malformed exponent";
+  let v = ref 0 in
+  for j = start to len - 1 do
+    match es.[j] with
+    | '0' .. '9' as c ->
+      if !v <= max_exponent then
+        v := (!v * 10) + (Char.code c - Char.code '0')
+    | _ -> invalid_arg "Q.of_decimal_string: malformed exponent"
+  done;
+  if !v > max_exponent then
+    invalid_arg "Q.of_decimal_string: exponent out of range";
+  if es.[0] = '-' then - !v else !v
 
 let of_decimal_string s =
   let s = String.trim s in
@@ -87,7 +265,7 @@ let of_decimal_string s =
     match String.index_opt s 'e', String.index_opt s 'E' with
     | Some i, _ | None, Some i ->
       ( String.sub s 0 i,
-        int_of_string (String.sub s (i + 1) (String.length s - i - 1)) )
+        parse_exponent (String.sub s (i + 1) (String.length s - i - 1)) )
     | None, None -> s, 0
   in
   let int_part, frac_part =

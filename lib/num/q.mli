@@ -27,8 +27,14 @@ val den : t -> Bigint.t
 
 val of_decimal_string : string -> t
 (** Parses decimal literals such as ["1.0001"], ["-0.5"], ["3"], and
-    scientific notation ["1.5e-3"]. @raise Invalid_argument on malformed
-    input. *)
+    scientific notation ["1.5e-3"].  Exponent magnitudes are capped at
+    10^4 (an eager [pow10] beyond that would allocate unboundedly).
+    @raise Invalid_argument on malformed input, including malformed or
+    out-of-range exponents. *)
+
+val of_float_exact : float -> t
+(** The exact rational value of a finite float (every finite float is a
+    dyadic rational).  @raise Invalid_argument on nan or infinities. *)
 
 val sentinel : t
 (** An out-of-band marker (its denominator is 0, which no valid rational
@@ -60,8 +66,45 @@ val mul_int : t -> int -> t
 val div_int : t -> int -> t
 
 val compare : t -> t -> int
-(** Fast paths: equal denominators compare numerators directly, and
+(** Two-tier: answers from the cached float enclosures when they are
+    strictly separated (no bigint work at all), otherwise falls back to
+    {!compare_exact}. *)
+
+val compare_exact : t -> t -> int
+(** The exact tier alone, never consulting the float enclosures — for
+    reference oracles that must stay independent of the fast path.
+    Fast paths: equal denominators compare numerators directly, and
     operands of different sign never multiply. *)
+
+(** The guaranteed-enclosure float tier.  Every rational carries
+    outward-rounded float bounds [lo, hi] of its value, computed at
+    construction; conclusive bound separations answer order queries in a
+    few flops, overlaps fall back to exact arithmetic.  The sentinel's
+    bounds are NaN, so no [Approx] query ever concludes on it. *)
+module Approx : sig
+  val lo : t -> float
+  (** Guaranteed lower bound ([nan] on the sentinel). *)
+
+  val hi : t -> float
+  (** Guaranteed upper bound ([nan] on the sentinel). *)
+
+  val cmp : t -> t -> int
+  (** [-1]/[1] when the enclosures prove the order, [0] when
+      inconclusive (including whenever the fast tier is disabled). *)
+
+  val add_cmp : t -> t -> t -> int
+  (** [add_cmp a b c] compares [a + b] against [c] without building the
+      sum: [1] means provably [a + b >= c], [-1] provably [a + b < c],
+      [0] inconclusive.  This is the AGDP relaxation kernel: the common
+      "candidate does not improve" rejection allocates nothing. *)
+
+  val enabled : unit -> bool
+
+  val set_enabled : bool -> unit
+  (** Disabling forces every query through the exact tier (benchmarks
+      A/B the tiers; the agreement tests cross-check them).  On by
+      default. *)
+end
 
 val equal : t -> t -> bool
 val hash : t -> int
@@ -81,7 +124,9 @@ val ( * ) : t -> t -> t
 val ( / ) : t -> t -> t
 
 val to_float : t -> float
-(** Nearest float approximation; for display and statistics only. *)
+(** Nearest float approximation; for display and statistics only.
+    Accurate in magnitude even when numerator and denominator separately
+    exceed the float range (matched digits cancel before dividing). *)
 
 val to_string : t -> string
 (** ["num/den"], or just ["num"] when the denominator is 1. *)

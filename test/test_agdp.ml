@@ -134,6 +134,37 @@ let test_insert_exception_safety () =
   Agdp.insert t ~key:3 ~in_edges:[ (2, q 1) ] ~out_edges:[];
   Alcotest.(check ext) "subsequent insert works" (fin 6) (Agdp.dist t 0 3)
 
+let test_kill_shrinks_capacity () =
+  (* regression: kill never reclaimed matrix capacity, pinning the
+     cap^2 footprint at the historical peak forever *)
+  let t = Agdp.create () in
+  Agdp.insert t ~key:0 ~in_edges:[] ~out_edges:[];
+  for k = 1 to 99 do
+    Agdp.insert t ~key:k
+      ~in_edges:[ (k - 1, q 1) ]
+      ~out_edges:[ (k - 1, q 1) ]
+  done;
+  Alcotest.(check int) "grown to 128" 128 (Agdp.capacity t);
+  for k = 0 to 96 do
+    Agdp.kill t k
+  done;
+  (* capacity halves each time occupancy hits a quarter, down to the
+     floor, and the surviving distances move intact *)
+  Alcotest.(check int) "shrunk to the floor" 8 (Agdp.capacity t);
+  Alcotest.(check int) "live count" 3 (Agdp.size t);
+  Alcotest.(check ext) "distances survive shrinking" (fin 2)
+    (Agdp.dist t 97 99);
+  Alcotest.(check ext) "and backwards" (fin 2) (Agdp.dist t 99 97);
+  let t' = Agdp.restore (Agdp.snapshot t) in
+  Alcotest.(check ext) "snapshot round-trips a shrunk matrix" (fin 2)
+    (Agdp.dist t' 97 99);
+  List.iter (Agdp.kill t) [ 97; 98; 99 ];
+  Alcotest.(check int) "never below the initial capacity" 8 (Agdp.capacity t);
+  (* still fully usable at the floor *)
+  Agdp.insert t ~key:1000 ~in_edges:[] ~out_edges:[];
+  Alcotest.(check ext) "reusable after full churn" (fin 0)
+    (Agdp.dist t 1000 1000)
+
 (* Property: drive AGDP with a random insert/kill schedule and compare
    every pairwise distance against Floyd-Warshall on the full accumulated
    graph (the Lemma 3.4 invariant). *)
@@ -207,6 +238,70 @@ let prop_matches_full_graph =
         ops;
       !ok)
 
+(* Same invariant under fractional weights and churn, run once with the
+   float fast tier disabled and once enabled: both tiers must report
+   identical (exact) distances.  Fractional weights make the float sums
+   inexact, exercising the 2Sum tie-handling and the outward-rounded
+   enclosures rather than the integer-exact easy case. *)
+let prop_fractional_matches_full_graph =
+  QCheck.Test.make
+    ~name:"agdp: fractional weights match Floyd-Warshall with either tier"
+    ~count:60 arbitrary_schedule (fun ops ->
+      let weight u k = Q.of_ints ((u + k) mod 7) (1 + ((u + (2 * k)) mod 5)) in
+      let run () =
+        let t = Agdp.create () in
+        let all_edges = ref [] in
+        let live = ref [] in
+        let n_nodes = ref 0 in
+        let ok = ref true in
+        List.iter
+          (fun (ins, outs) ->
+            let k = !n_nodes in
+            incr n_nodes;
+            let pick targets =
+              List.filter_map
+                (fun r ->
+                  match !live with
+                  | [] -> None
+                  | l -> Some (List.nth l (r mod List.length l)))
+                targets
+            in
+            let in_nodes = List.sort_uniq compare (pick ins) in
+            let out_nodes = List.sort_uniq compare (pick outs) in
+            let in_edges = List.map (fun x -> (x, weight x k)) in_nodes in
+            let out_edges = List.map (fun y -> (y, weight (3 * y) k)) out_nodes in
+            Agdp.insert t ~key:k ~in_edges ~out_edges;
+            List.iter (fun (x, w) -> all_edges := (x, k, w) :: !all_edges) in_edges;
+            List.iter (fun (y, w) -> all_edges := (k, y, w) :: !all_edges) out_edges;
+            live := k :: !live;
+            (match !live with
+            | _ :: victim :: _ when victim mod 3 = 0 ->
+              Agdp.kill t victim;
+              live := List.filter (fun x -> x <> victim) !live
+            | _ -> ());
+            let g = Digraph.create !n_nodes in
+            List.iter (fun (u, v, w) -> Digraph.add_edge g u v w) !all_edges;
+            let d = Floyd_warshall.apsp g in
+            List.iter
+              (fun x ->
+                List.iter
+                  (fun y ->
+                    if not (Ext.equal (Agdp.dist t x y) d.(x).(y)) then
+                      ok := false)
+                  !live)
+              !live)
+          ops;
+        !ok
+      in
+      let exact_ok =
+        Fun.protect
+          ~finally:(fun () -> Q.Approx.set_enabled true)
+          (fun () ->
+            Q.Approx.set_enabled false;
+            run ())
+      in
+      exact_ok && run ())
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -229,6 +324,9 @@ let () =
           Alcotest.test_case "kill slot swapping" `Quick test_kill_slot_swapping;
           Alcotest.test_case "insert exception safety" `Quick
             test_insert_exception_safety;
+          Alcotest.test_case "kill shrinks capacity" `Quick
+            test_kill_shrinks_capacity;
         ] );
-      qsuite "props" [ prop_matches_full_graph ];
+      qsuite "props"
+        [ prop_matches_full_graph; prop_fractional_matches_full_graph ];
     ]

@@ -229,6 +229,182 @@ let prop_q_to_float =
       let expected = B.to_float (Q.num q) /. B.to_float (Q.den q) in
       abs_float (f -. expected) <= 1e-9 *. (1. +. abs_float expected))
 
+(* --- Two-tier numerics: edge-case regressions and agreement ------------- *)
+
+let expect_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+let test_q_decimal_exponent_edges () =
+  (* regression: malformed exponents used to surface as [Failure] from
+     int_of_string, and huge ones made pow10 allocate unboundedly *)
+  expect_invalid "empty exponent" (fun () -> Q.of_decimal_string "1e");
+  expect_invalid "sign only" (fun () -> Q.of_decimal_string "1e+");
+  expect_invalid "minus only" (fun () -> Q.of_decimal_string "1e-");
+  expect_invalid "junk exponent" (fun () -> Q.of_decimal_string "1ex");
+  expect_invalid "junk after digits" (fun () -> Q.of_decimal_string "1e5x");
+  expect_invalid "hex exponent" (fun () -> Q.of_decimal_string "1e0x1");
+  expect_invalid "underscore exponent" (fun () -> Q.of_decimal_string "1e1_0");
+  expect_invalid "huge exponent" (fun () -> Q.of_decimal_string "1e100000000");
+  expect_invalid "huge negative exponent" (fun () ->
+      Q.of_decimal_string "1e-100000000");
+  check_q "explicit plus still parses" "150000" (Q.of_decimal_string "1.5e+5");
+  check_q "capital E still parses" "1/50" (Q.of_decimal_string "2E-2")
+
+let test_q_to_float_extremes () =
+  (* regression: rationals of ordinary magnitude whose numerator and
+     denominator separately exceed the float range used to come out as
+     nan (inf/inf) instead of their value *)
+  let close a b = abs_float (a -. b) <= 1e-9 *. (1. +. abs_float b) in
+  let huge = Q.of_decimal_string "1e400" in
+  let r = Q.div (Q.add huge Q.one) huge in
+  Alcotest.(check bool) "(10^400+1)/10^400 is near 1" true
+    (close (Q.to_float r) 1.0);
+  Alcotest.(check bool) "negated" true (close (Q.to_float (Q.neg r)) (-1.0));
+  let r2 = Q.div (Q.mul_int huge 10) (Q.mul_int huge 3) in
+  Alcotest.(check bool) "10/3 at huge scale" true
+    (close (Q.to_float r2) (10. /. 3.));
+  Alcotest.(check (float 0.)) "overflow is inf" infinity (Q.to_float huge);
+  Alcotest.(check (float 0.)) "underflow is 0" 0. (Q.to_float (Q.inv huge))
+
+let test_q_of_float_exact () =
+  check_q "half" "1/2" (Q.of_float_exact 0.5);
+  check_q "three" "3" (Q.of_float_exact 3.0);
+  check_q "negative quarter" "-1/4" (Q.of_float_exact (-0.25));
+  check_q "zero" "0" (Q.of_float_exact 0.0);
+  check_q "0.1 is the nearest dyadic" "3602879701896397/36028797018963968"
+    (Q.of_float_exact 0.1);
+  expect_invalid "nan" (fun () -> Q.of_float_exact Float.nan);
+  expect_invalid "inf" (fun () -> Q.of_float_exact infinity)
+
+let prop_of_float_exact_roundtrip =
+  QCheck.Test.make ~name:"q: to_float (of_float_exact f) = f" ~count:500
+    QCheck.(pair (int_range (-1000000000) 1000000000) (int_range (-40) 40))
+    (fun (m, e) ->
+      let f = ldexp (float_of_int m) e in
+      Q.to_float (Q.of_float_exact f) = f)
+
+let test_approx_sentinel_safety () =
+  (* the sentinel's NaN bounds must make every fast-tier query
+     inconclusive — Agdp relies on this to keep no-path cells out of the
+     float rejection path *)
+  let s = Q.sentinel in
+  Alcotest.(check bool) "lo is nan" true (Float.is_nan (Q.Approx.lo s));
+  Alcotest.(check bool) "hi is nan" true (Float.is_nan (Q.Approx.hi s));
+  Alcotest.(check int) "cmp left" 0 (Q.Approx.cmp s Q.one);
+  Alcotest.(check int) "cmp right" 0 (Q.Approx.cmp Q.one s);
+  Alcotest.(check int) "add_cmp target" 0 (Q.Approx.add_cmp Q.one Q.one s);
+  Alcotest.(check int) "add_cmp operand" 0 (Q.Approx.add_cmp s Q.one Q.one);
+  Alcotest.(check int) "add_cmp other operand" 0 (Q.Approx.add_cmp Q.one s Q.one)
+
+let test_approx_toggle () =
+  Fun.protect
+    ~finally:(fun () -> Q.Approx.set_enabled true)
+    (fun () ->
+      Alcotest.(check bool) "enabled by default" true (Q.Approx.enabled ());
+      Q.Approx.set_enabled false;
+      Alcotest.(check bool) "disabled" false (Q.Approx.enabled ());
+      Alcotest.(check int) "cmp inconclusive when off" 0
+        (Q.Approx.cmp Q.zero Q.one);
+      Alcotest.(check int) "compare still works when off" (-1)
+        (Q.compare Q.zero Q.one))
+
+(* Adversarial inputs for the fast tier: shared denominators, near-equal
+   and exactly-equal values in different forms, sign boundaries around
+   zero, and integers straddling 2^53 where floats stop separating
+   neighbours. *)
+let arbitrary_adversarial_pair =
+  let open QCheck in
+  let gen =
+    Gen.oneof
+      [
+        (* same denominator, numerators a few apart *)
+        Gen.(
+          int_range 1 1000000 >>= fun d ->
+          int_range (-1000000) 1000000 >>= fun n ->
+          int_range (-2) 2 >>= fun delta ->
+          return (Q.of_ints n d, Q.of_ints (n + delta) d));
+        (* equal values in different unreduced forms *)
+        Gen.(
+          int_range 1 1000 >>= fun d ->
+          int_range (-1000) 1000 >>= fun n ->
+          int_range 1 50 >>= fun k ->
+          return (Q.of_ints n d, Q.of_ints (n * k) (d * k)));
+        (* tiny values straddling zero *)
+        Gen.(
+          int_range 1 1000000000 >>= fun d ->
+          int_range (-1) 1 >>= fun n -> return (Q.of_ints n d, Q.zero));
+        (* dyadic neighbours beyond 2^53 *)
+        Gen.(
+          int_range 0 1000 >>= fun off ->
+          int_range (-2) 2 >>= fun delta ->
+          let base = 9007199254740993 + off in
+          return (Q.of_int base, Q.of_int (base + delta)));
+        (* unconstrained *)
+        Gen.(
+          int_range (-1000000) 1000000 >>= fun a ->
+          int_range 1 1000 >>= fun b ->
+          int_range (-1000000) 1000000 >>= fun c ->
+          int_range 1 1000 >>= fun e ->
+          return (Q.of_ints a b, Q.of_ints c e));
+      ]
+  in
+  make
+    ~print:(fun (a, b) -> Q.to_string a ^ " vs " ^ Q.to_string b)
+    gen
+
+let prop_compare_two_tier_agrees =
+  QCheck.Test.make
+    ~name:"q: two-tier compare equals compare_exact on adversarial pairs"
+    ~count:2000 arbitrary_adversarial_pair (fun (a, b) ->
+      Q.compare a b = Q.compare_exact a b
+      && Q.compare b a = Q.compare_exact b a
+      && Q.compare a a = 0)
+
+let prop_approx_cmp_sound =
+  QCheck.Test.make
+    ~name:"q: Approx.cmp conclusions match exact order" ~count:2000
+    arbitrary_adversarial_pair (fun (a, b) ->
+      match Q.Approx.cmp a b with
+      | 0 -> true
+      | c -> c = Q.compare_exact a b)
+
+let prop_approx_add_cmp_sound =
+  QCheck.Test.make
+    ~name:"q: Approx.add_cmp conclusions match exact arithmetic" ~count:2000
+    QCheck.(pair arbitrary_adversarial_pair arbitrary_q)
+    (fun ((a, b), c) ->
+      let sum = Q.add a b in
+      let eps = Q.of_ints 1 1000000 in
+      List.for_all
+        (fun target ->
+          match Q.Approx.add_cmp a b target with
+          | 1 -> Q.compare_exact sum target >= 0
+          | -1 -> Q.compare_exact sum target < 0
+          | _ -> true)
+        [ c; sum; Q.add sum eps; Q.sub sum eps ])
+
+let prop_enclosure_contains =
+  QCheck.Test.make
+    ~name:"q: float enclosure contains the exact value through arithmetic"
+    ~count:1000
+    QCheck.(pair arbitrary_adversarial_pair arbitrary_q)
+    (fun ((a, b), c) ->
+      let enclosed x =
+        let lo = Q.Approx.lo x and hi = Q.Approx.hi x in
+        (not (Float.is_finite lo))
+        || (not (Float.is_finite hi))
+        || (Q.compare_exact (Q.of_float_exact lo) x <= 0
+           && Q.compare_exact x (Q.of_float_exact hi) <= 0)
+      in
+      enclosed a && enclosed b && enclosed c
+      && enclosed (Q.add a b)
+      && enclosed (Q.sub a c)
+      && enclosed (Q.mul a b)
+      && enclosed (Q.neg a)
+      && (Q.is_zero b || enclosed (Q.div a b)))
+
 (* --- Ext ---------------------------------------------------------------- *)
 
 let test_ext () =
@@ -324,8 +500,21 @@ let () =
           Alcotest.test_case "arithmetic" `Quick test_q_arith;
           Alcotest.test_case "decimal parsing" `Quick test_q_decimal;
           Alcotest.test_case "comparisons" `Quick test_q_compare;
+          Alcotest.test_case "decimal exponent edges" `Quick
+            test_q_decimal_exponent_edges;
+          Alcotest.test_case "to_float extremes" `Quick test_q_to_float_extremes;
+          Alcotest.test_case "of_float_exact" `Quick test_q_of_float_exact;
+          Alcotest.test_case "approx sentinel safety" `Quick
+            test_approx_sentinel_safety;
+          Alcotest.test_case "approx toggle" `Quick test_approx_toggle;
         ] );
       qsuite "q-props" [ prop_q_field; prop_q_compare_antisym; prop_q_to_float ];
+      qsuite "q-two-tier-props"
+        [
+          prop_of_float_exact_roundtrip; prop_compare_two_tier_agrees;
+          prop_approx_cmp_sound; prop_approx_add_cmp_sound;
+          prop_enclosure_contains;
+        ];
       ("ext", [ Alcotest.test_case "extended weights" `Quick test_ext ]);
       ( "interval",
         [
