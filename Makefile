@@ -17,10 +17,11 @@ test:
 bench-smoke:
 	$(DUNE) exec bench/main.exe -- smoke --json _build/bench_smoke.json
 
-# throughput floor for the AGDP two-tier fast path: the guard fails
-# (exit 1) when L=128 sliding-window inserts drop below a conservative
-# floor, catching fast-path regressions of ~2x or worse; the JSON lands
-# in _build for the CI artifact upload
+# throughput floors: the guard fails (exit 1) when L=128 sliding-window
+# inserts drop below a conservative floor (AGDP two-tier fast path) or
+# when in-place decode of a 64-event frame drops below 30k frames/s
+# (zero-copy receive path), catching regressions of ~2x or worse on
+# either hot loop; the JSON lands in _build for the CI artifact upload
 bench-guard:
 	$(DUNE) exec bench/main.exe -- guard --json _build/bench_guard.json
 

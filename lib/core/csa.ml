@@ -334,9 +334,8 @@ let snapshot t =
   Codec.add_varint buf gs.Agdp.s_peak;
   Buffer.contents buf
 
-let restore ?(validate = false) ?(sink = Trace.null) ?(prof = Prof.null)
-    ?oracle spec blob =
-  let r = Codec.reader_of_string blob in
+let restore_reader ?(validate = false) ?(sink = Trace.null)
+    ?(prof = Prof.null) ?oracle spec r =
   if Codec.read_varint r <> snapshot_version then
     failwith "Csa.restore: unsupported snapshot version";
   let me = Codec.read_varint r in
@@ -453,6 +452,10 @@ let restore ?(validate = false) ?(sink = Trace.null) ?(prof = Prof.null)
     peak_live;
     processed;
   }
+
+let restore ?validate ?sink ?prof ?oracle spec blob =
+  restore_reader ?validate ?sink ?prof ?oracle spec
+    (Codec.reader_of_string blob)
 
 (* ext_L = LT(p) − d(sp, p), ext_U = LT(p) + d(p, sp); a query at local
    time lt >= LT(p) is a virtual event linked to p by drift edges. *)

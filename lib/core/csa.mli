@@ -148,3 +148,16 @@ val restore :
     state); a snapshot taken on one oracle implementation may be restored
     onto another.
     @raise Failure on malformed input. *)
+
+val restore_reader :
+  ?validate:bool ->
+  ?sink:Trace.sink ->
+  ?prof:Prof.t ->
+  ?oracle:Distance_oracle.impl ->
+  System_spec.t ->
+  Codec.reader ->
+  t
+(** {!restore} over an existing {!Codec.reader} positioned at the blob —
+    how an enclosing serializer ({!Session.restore}) revives the CSA
+    embedded in its own snapshot without carving off a string copy.
+    Consumes the reader to its end ([Failure] on trailing bytes). *)

@@ -19,15 +19,6 @@ module Store = struct
 
   let path t = t.path
 
-  (* Same hash and trailer convention as Frame: FNV-1a-32 over every
-     byte before the trailer, stored little-endian. *)
-  let fnv1a32 s =
-    let h = ref 0x811c9dc5 in
-    String.iter
-      (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
-      s;
-    !h
-
   let encode t blob =
     let buf = Buffer.create (String.length blob + 16) in
     Buffer.add_string buf magic;
@@ -35,7 +26,9 @@ module Store = struct
     Codec.add_varint buf t.node;
     Codec.add_varint buf (String.length blob);
     Buffer.add_string buf blob;
-    let h = fnv1a32 (Buffer.contents buf) in
+    (* same hash and trailer convention as Frame: FNV-1a-32 over every
+       byte before the trailer, stored little-endian *)
+    let h = Codec.fnv1a32 (Buffer.contents buf) in
     for i = 0 to 3 do
       Buffer.add_char buf (Char.chr ((h lsr (8 * i)) land 0xff))
     done;
@@ -52,20 +45,25 @@ module Store = struct
        either the old checkpoint or the new one, never a torn file *)
     Sys.rename t.tmp t.path
 
+  (* Slice discipline as in [Frame.decode_sub]: checksum over the head
+     in place, then a reader bounded to it — no [String.sub] copy. *)
   let decode t s =
     try
       let n = String.length s in
       if n < String.length magic + 7 then failwith "checkpoint too short";
-      let head = String.sub s 0 (n - 4) in
       let stored =
         let b i = Char.code s.[n - 4 + i] in
         b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
       in
-      if fnv1a32 head <> stored then failwith "bad checksum";
-      let r = Codec.reader_of_string head in
+      let bytes = Bytes.unsafe_of_string s in
+      if Codec.fnv1a32_sub bytes ~pos:0 ~len:(n - 4) <> stored then
+        failwith "bad checksum";
+      let r =
+        Codec.reader_of_slice { Codec.bytes; pos = 0; len = n - 4 }
+      in
       if Codec.read_bytes r (String.length magic) <> magic then
         failwith "bad magic";
-      let v = Char.code (Codec.read_bytes r 1).[0] in
+      let v = Codec.read_byte r in
       if v <> version then
         failwith (Printf.sprintf "unsupported checkpoint version %d" v);
       let node = Codec.read_varint r in

@@ -1,6 +1,22 @@
-(* LEB128 varints; bigints as sign byte plus
-   base-256 little-endian magnitude derived from the decimal string (going
-   through Bigint's public interface only). *)
+(* LEB128 varints; bigints as sign byte plus base-256 little-endian
+   magnitude.  Readers parse in place over a caller-owned byte slice —
+   the receive path hands the socket buffer straight to [decode] with no
+   intermediate string per frame or per event; magnitudes go through
+   Bigint's byte-slice primitives (no per-byte bigint arithmetic) and
+   small timestamps through [Q.make_ints] (no bigint gcd). *)
+
+(* --- slices ----------------------------------------------------------- *)
+
+type slice = { bytes : Bytes.t; pos : int; len : int }
+
+(* zero-copy: strings are immutable and readers never write, so viewing
+   one as bytes is safe *)
+let slice_of_string s =
+  { bytes = Bytes.unsafe_of_string s; pos = 0; len = String.length s }
+
+let string_of_slice { bytes; pos; len } = Bytes.sub_string bytes pos len
+
+(* --- encoding --------------------------------------------------------- *)
 
 let add_varint buf n =
   if n < 0 then invalid_arg "Codec.add_varint: negative";
@@ -13,24 +29,10 @@ let add_varint buf n =
   in
   go n
 
-(* magnitude of a non-negative bigint as base-256 bytes (little-endian),
-   via repeated divmod by 256 *)
 let add_bigint buf b =
-  let sign = Bigint.sign b in
-  Buffer.add_char buf (Char.chr (sign + 1));
-  let mag = Bigint.abs b in
-  let bytes = Buffer.create 8 in
-  let byte = Bigint.of_int 256 in
-  let rec go v =
-    if not (Bigint.is_zero v) then begin
-      let q, r = Bigint.divmod v byte in
-      Buffer.add_char bytes (Char.chr (Bigint.to_int_exn r));
-      go q
-    end
-  in
-  go mag;
-  add_varint buf (Buffer.length bytes);
-  Buffer.add_buffer buf bytes
+  Buffer.add_char buf (Char.chr (Bigint.sign b + 1));
+  add_varint buf (Bigint.num_bytes b);
+  Bigint.add_bytes_le buf b
 
 let add_q buf q =
   add_bigint buf (Q.num q);
@@ -54,30 +56,72 @@ let add_event buf (e : Event.t) =
     add_varint buf send.proc;
     add_varint buf send.seq
 
+let send_index (p : Payload.t) =
+  let rec find i = function
+    | [] -> failwith "Codec.encode: send event not in payload"
+    | (e : Event.t) :: rest ->
+      if Event.id_equal e.id p.send_event.id then i else find (i + 1) rest
+  in
+  find 0 p.events
+
 let encode (p : Payload.t) =
   let buf = Buffer.create 256 in
   add_varint buf (List.length p.events);
   List.iter (add_event buf) p.events;
-  let index =
-    let rec find i = function
-      | [] -> failwith "Codec.encode: send event not in payload"
-      | (e : Event.t) :: rest ->
-        if Event.id_equal e.id p.send_event.id then i else find (i + 1) rest
-    in
-    find 0 p.events
-  in
-  add_varint buf index;
+  add_varint buf (send_index p);
   Buffer.contents buf
 
-(* --- decoding ------------------------------------------------------- *)
+(* --- size accounting (no allocation) ---------------------------------- *)
 
-type reader = { s : string; mutable pos : int }
+let varint_size n =
+  if n < 0 then invalid_arg "Codec.varint_size: negative";
+  let rec go n acc = if n < 0x80 then acc else go (n lsr 7) (acc + 1) in
+  go n 1
+
+let bigint_size b =
+  let len = Bigint.num_bytes b in
+  1 + varint_size len + len
+
+let q_size q = bigint_size (Q.num q) + bigint_size (Q.den q)
+
+let event_size (e : Event.t) =
+  varint_size e.id.proc + varint_size e.id.seq + q_size e.lt
+  + match e.kind with
+    | Event.Init | Event.Internal -> 1
+    | Event.Send { msg; dst } -> 1 + varint_size msg + varint_size dst
+    | Event.Recv { msg; src; send } ->
+      1 + varint_size msg + varint_size src + varint_size send.proc
+      + varint_size send.seq
+
+(* arithmetic mirror of [encode]; [size p = String.length (encode p)] is
+   property-tested in test_hist.ml *)
+let size (p : Payload.t) =
+  let body =
+    List.fold_left (fun acc e -> acc + event_size e) 0 p.events
+  in
+  varint_size (List.length p.events) + body + varint_size (send_index p)
+
+(* --- decoding --------------------------------------------------------- *)
+
+type reader = { buf : Bytes.t; limit : int; mutable pos : int }
+
+let reader_of_slice { bytes; pos; len } =
+  if pos < 0 || len < 0 || pos + len > Bytes.length bytes then
+    invalid_arg "Codec.reader_of_slice: slice out of bounds";
+  { buf = bytes; limit = pos + len; pos }
+
+let reader_of_string s = reader_of_slice (slice_of_string s)
+let at_end r = r.pos >= r.limit
+let remaining r = r.limit - r.pos
 
 let byte r =
-  if r.pos >= String.length r.s then failwith "Codec.decode: truncated";
-  let c = Char.code r.s.[r.pos] in
+  if r.pos >= r.limit then failwith "Codec.decode: truncated";
+  (* in bounds: [pos < limit <= Bytes.length buf] by construction *)
+  let c = Char.code (Bytes.unsafe_get r.buf r.pos) in
   r.pos <- r.pos + 1;
   c
+
+let read_byte = byte
 
 let read_varint r =
   let rec go shift acc =
@@ -92,30 +136,54 @@ let read_varint r =
   if v < 0 then failwith "Codec.decode: varint overflow";
   v
 
-let read_bigint r =
+(* A signed magnitude straight off the wire.  Up to 7 bytes fits a
+   native int (< 2^56): that covers every realistic timestamp, so the
+   hot path builds no bigint at all and [read_q] can normalize with
+   native gcd. *)
+type signed_mag = Small of int | Big of Bigint.t
+
+let read_signed r =
   let sign = byte r - 1 in
   if sign < -1 || sign > 1 then failwith "Codec.decode: bad sign";
   let len = read_varint r in
   (* reject length bombs before allocating *)
-  if len > String.length r.s - r.pos then failwith "Codec.decode: truncated";
-  let bytes = Array.make (max len 1) 0 in
-  for i = 0 to len - 1 do
-    bytes.(i) <- byte r
-  done;
-  let v = ref Bigint.zero in
-  for i = len - 1 downto 0 do
-    v := Bigint.add_int (Bigint.mul_int !v 256) bytes.(i)
-  done;
-  let v = if sign < 0 then Bigint.neg !v else !v in
-  if Bigint.sign v <> sign && not (Bigint.is_zero v && sign = 0) then
-    failwith "Codec.decode: sign mismatch";
-  v
+  if len > remaining r then failwith "Codec.decode: truncated";
+  if len <= 7 then begin
+    let buf = r.buf and pos = r.pos in
+    let rec acc i v =
+      if i >= len then v
+      else acc (i + 1) (v lor (Char.code (Bytes.unsafe_get buf (pos + i)) lsl (8 * i)))
+    in
+    let v = acc 0 0 in
+    r.pos <- pos + len;
+    if (v = 0 && sign <> 0) || (v <> 0 && sign = 0) then
+      failwith "Codec.decode: sign mismatch";
+    Small (if sign < 0 then -v else v)
+  end
+  else begin
+    let m = Bigint.of_bytes_le r.buf ~pos:r.pos ~len in
+    r.pos <- r.pos + len;
+    let v = if sign < 0 then Bigint.neg m else m in
+    if Bigint.sign v <> sign && not (Bigint.is_zero v && sign = 0) then
+      failwith "Codec.decode: sign mismatch";
+    Big v
+  end
+
+let read_bigint r =
+  match read_signed r with Small v -> Bigint.of_int v | Big b -> b
 
 let read_q r =
-  let num = read_bigint r in
-  let den = read_bigint r in
-  if Bigint.sign den <= 0 then failwith "Codec.decode: bad denominator";
-  Q.make num den
+  let num = read_signed r in
+  let den = read_signed r in
+  match (num, den) with
+  | Small n, Small d ->
+    if d <= 0 then failwith "Codec.decode: bad denominator";
+    Q.make_ints n d
+  | _ ->
+    let to_big = function Small v -> Bigint.of_int v | Big b -> b in
+    let den = to_big den in
+    if Bigint.sign den <= 0 then failwith "Codec.decode: bad denominator";
+    Q.make (to_big num) den
 
 let read_event r =
   let proc = read_varint r in
@@ -139,19 +207,27 @@ let read_event r =
   in
   { Event.id = { proc; seq }; lt; kind }
 
-let reader_of_string s = { s; pos = 0 }
-let at_end r = r.pos >= String.length r.s
-let remaining r = String.length r.s - r.pos
-
 let read_bytes r len =
   if len < 0 || len > remaining r then failwith "Codec.decode: truncated";
-  let s = String.sub r.s r.pos len in
+  let s = Bytes.sub_string r.buf r.pos len in
   r.pos <- r.pos + len;
   s
 
-let decode s =
+let read_slice r len =
+  if len < 0 || len > remaining r then failwith "Codec.decode: truncated";
+  let s = { bytes = r.buf; pos = r.pos; len } in
+  r.pos <- r.pos + len;
+  s
+
+let reader_of_sub r len =
+  if len < 0 || len > remaining r then failwith "Codec.decode: truncated";
+  let sub = { buf = r.buf; limit = r.pos + len; pos = r.pos } in
+  r.pos <- r.pos + len;
+  sub
+
+let decode_slice_exn sl =
   try
-    let r = reader_of_string s in
+    let r = reader_of_slice sl in
     let count = read_varint r in
     if count <= 0 then failwith "Codec.decode: empty payload";
     (* every encoded event occupies at least one byte, so a count beyond
@@ -163,7 +239,7 @@ let decode s =
     done;
     let events = List.rev !events in
     let index = read_varint r in
-    if r.pos <> String.length s then failwith "Codec.decode: trailing bytes";
+    if not (at_end r) then failwith "Codec.decode: trailing bytes";
     if index < 0 || index >= count then failwith "Codec.decode: bad send index";
     let send_event = List.nth events index in
     if not (Event.is_send send_event) then
@@ -176,9 +252,33 @@ let decode s =
   | Invalid_argument m -> failwith ("Codec.decode: " ^ m)
   | Division_by_zero -> failwith "Codec.decode: division by zero"
 
+let decode s = decode_slice_exn (slice_of_string s)
+
 let decode_result s =
   match decode s with
   | p -> Ok p
   | exception Failure m -> Error m
 
-let size p = String.length (encode p)
+let decode_slice sl =
+  match decode_slice_exn sl with
+  | p -> Ok p
+  | exception Failure m -> Error m
+
+(* --- shared checksum -------------------------------------------------- *)
+
+(* FNV-1a-32, the trailer convention of both the wire frames and the
+   durable checkpoint store; the slice variant lets them verify a
+   receive buffer or a loaded file without carving off a head copy. *)
+
+let fnv1a32_sub b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Codec.fnv1a32_sub: slice out of bounds";
+  let h = ref 0x811c9dc5 in
+  for i = pos to pos + len - 1 do
+    h :=
+      (!h lxor Char.code (Bytes.unsafe_get b i)) * 0x01000193 land 0xffffffff
+  done;
+  !h
+
+let fnv1a32 s =
+  fnv1a32_sub (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

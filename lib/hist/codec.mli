@@ -7,7 +7,30 @@
 
     Format (all integers LEB128 varints):
     - event count, then each event (proc, seq, lt, kind tag + fields),
-    - the index of the carrying send event within the list. *)
+    - the index of the carrying send event within the list.
+
+    Decoding is {e in place}: a {!reader} walks a caller-owned byte
+    slice, parsing varints, magnitudes and timestamps directly out of
+    the buffer with no intermediate string or bytes per element.  The
+    receive path (socket buffer → {!Frame} → payload → frontier merge)
+    allocates only the decoded values themselves. *)
+
+(** {1 Slices}
+
+    A borrowed window into a caller-owned buffer.  A slice does not own
+    its bytes: whoever handed it out decides how long the underlying
+    buffer stays valid (see DESIGN.md §8 for the receive-path ownership
+    rules — [Net.Loop] reuses its buffer on the next receive, so slices
+    must be consumed before the handler returns, never retained). *)
+
+type slice = { bytes : Bytes.t; pos : int; len : int }
+
+val slice_of_string : string -> slice
+(** Zero-copy view of a whole string (readers never write). *)
+
+val string_of_slice : slice -> string
+(** Copies the slice out — the one deliberate copy, for callers that
+    must retain the data past the buffer's reuse. *)
 
 val encode : Payload.t -> string
 
@@ -15,24 +38,33 @@ val decode : string -> Payload.t
 (** @raise Failure on malformed input — and only [Failure]: adversarial
     bytes (truncations, bit flips, length bombs) must never surface as
     [Invalid_argument], [Out_of_memory], or a crash.  Fuzzed in
-    [test_hist.ml]. *)
+    [test_hist.ml], including differentially against a reference
+    decoder. *)
 
 val decode_result : string -> (Payload.t, string) result
-(** Non-raising wrapper around {!decode}; what the net layer calls at the
-    socket boundary, where malformed input is an expected event rather
-    than a programming error. *)
+(** Non-raising wrapper around {!decode}, same total contract. *)
+
+val decode_slice : slice -> (Payload.t, string) result
+(** In-place equivalent of {!decode_result}: what the net layer calls at
+    the socket boundary, where malformed input is an expected event
+    rather than a programming error.  Parses directly out of the slice;
+    the result does not alias the buffer. *)
 
 val size : Payload.t -> int
-(** [String.length (encode p)] — bytes on the wire. *)
+(** [String.length (encode p)], computed arithmetically — no encode, no
+    allocation.  Property-tested against the real encode. *)
 
 (** {1 Low-level primitives}
 
-    Shared with the state-snapshot serializers ({!Csa.snapshot}); all
+    Shared with the frame codec ({!Frame}), the state-snapshot
+    serializers ({!Csa.snapshot}) and the checkpoint store
+    ({!Fault.Store}) — one binary-reading discipline in the tree; all
     readers raise [Failure] on malformed input. *)
 
 type reader
 
 val reader_of_string : string -> reader
+val reader_of_slice : slice -> reader
 val at_end : reader -> bool
 
 val remaining : reader -> int
@@ -45,9 +77,22 @@ val add_varint : Buffer.t -> int -> unit
 
 val read_varint : reader -> int
 
+val read_byte : reader -> int
+(** One raw byte (0..255).  @raise Failure at end of input. *)
+
 val read_bytes : reader -> int -> string
-(** [read_bytes r len] consumes the next [len] raw bytes (the net layer's
-    frame bodies embed Codec-encoded payloads as length-prefixed blobs).
+(** [read_bytes r len] consumes and {e copies} the next [len] raw bytes
+    (for callers that retain the data, e.g. a checkpoint blob).
+    @raise Failure when fewer than [len] bytes remain. *)
+
+val read_slice : reader -> int -> slice
+(** Like {!read_bytes} but borrowed: a window into the reader's buffer,
+    no copy.  The slice is only valid as long as the buffer is. *)
+
+val reader_of_sub : reader -> int -> reader
+(** [reader_of_sub r len] consumes the next [len] bytes of [r] and
+    returns a sub-reader over exactly those bytes (no copy); its
+    [at_end] checks the embedded blob was fully consumed.
     @raise Failure when fewer than [len] bytes remain. *)
 
 val add_bigint : Buffer.t -> Bigint.t -> unit
@@ -56,3 +101,13 @@ val add_q : Buffer.t -> Q.t -> unit
 val read_q : reader -> Q.t
 val add_event : Buffer.t -> Event.t -> unit
 val read_event : reader -> Event.t
+
+val varint_size : int -> int
+(** Encoded byte count of a varint; the building block of {!size}. *)
+
+val fnv1a32 : string -> int
+(** FNV-1a 32-bit — the checksum trailer convention shared by {!Frame}
+    and {!Fault.Store}. *)
+
+val fnv1a32_sub : Bytes.t -> pos:int -> len:int -> int
+(** Checksum of a slice in place (no head copy before verifying). *)

@@ -4,7 +4,7 @@ let max_frame = 65507
 type body =
   | Hello of { nodes : int; digest : int }
   | Hello_ack of { nodes : int; digest : int }
-  | Data of { msg : int; dst : int; lost : int list; payload : string }
+  | Data of { msg : int; dst : int; lost : int list; payload : Codec.slice }
   | Ack of { msg : int }
   | Bye
 
@@ -24,13 +24,6 @@ let kind_tag = function
   | Ack _ -> 3
   | Bye -> 4
 
-let fnv1a32 s =
-  let h = ref 0x811c9dc5 in
-  String.iter
-    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
-    s;
-  !h
-
 let encode { sender; body } =
   let body_buf = Buffer.create 128 in
   (match body with
@@ -42,8 +35,9 @@ let encode { sender; body } =
     Codec.add_varint body_buf dst;
     Codec.add_varint body_buf (List.length lost);
     List.iter (Codec.add_varint body_buf) lost;
-    Codec.add_varint body_buf (String.length payload);
-    Buffer.add_string body_buf payload
+    Codec.add_varint body_buf payload.Codec.len;
+    Buffer.add_subbytes body_buf payload.Codec.bytes payload.Codec.pos
+      payload.Codec.len
   | Ack { msg } -> Codec.add_varint body_buf msg
   | Bye -> ());
   let buf = Buffer.create (Buffer.length body_buf + 16) in
@@ -52,7 +46,7 @@ let encode { sender; body } =
   Codec.add_varint buf sender;
   Codec.add_varint buf (Buffer.length body_buf);
   Buffer.add_buffer buf body_buf;
-  let h = fnv1a32 (Buffer.contents buf) in
+  let h = Codec.fnv1a32 (Buffer.contents buf) in
   for i = 0 to 3 do
     Buffer.add_char buf (Char.chr ((h lsr (8 * i)) land 0xff))
   done;
@@ -61,22 +55,28 @@ let encode { sender; body } =
     invalid_arg "Frame.encode: frame exceeds max datagram size";
   s
 
-let decode s =
+(* In-place decode over a borrowed window of the receive buffer: the
+   checksum is verified, the header parsed and a [Data] payload exposed
+   as a sub-slice — no [Bytes.sub]/[String.sub] anywhere on the path.
+   The returned frame (and its payload slice) borrows [b]: it is valid
+   only until the caller reuses the buffer. *)
+let decode_sub b ~pos ~len =
   try
-    let n = String.length s in
-    if n < 8 then failwith "frame too short";
-    if n > max_frame then failwith "frame too large";
-    let head = String.sub s 0 (n - 4) in
+    if pos < 0 || len < 0 || pos + len > Bytes.length b then
+      failwith "bad frame slice";
+    if len < 8 then failwith "frame too short";
+    if len > max_frame then failwith "frame too large";
     let stored =
-      let b i = Char.code s.[n - 4 + i] in
-      b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+      let byte i = Char.code (Bytes.get b (pos + len - 4 + i)) in
+      byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24)
     in
-    if fnv1a32 head <> stored then failwith "bad checksum";
-    let r = Codec.reader_of_string head in
-    let v = Char.code (Codec.read_bytes r 1).[0] in
+    if Codec.fnv1a32_sub b ~pos ~len:(len - 4) <> stored then
+      failwith "bad checksum";
+    let r = Codec.reader_of_slice { Codec.bytes = b; pos; len = len - 4 } in
+    let v = Codec.read_byte r in
     if v <> version then
       failwith (Printf.sprintf "unsupported version %d" v);
-    let kind = Char.code (Codec.read_bytes r 1).[0] in
+    let kind = Codec.read_byte r in
     let sender = Codec.read_varint r in
     let body_len = Codec.read_varint r in
     if body_len <> Codec.remaining r then failwith "bad body length";
@@ -99,7 +99,7 @@ let decode s =
         done;
         let lost = List.rev !lost in
         let payload_len = Codec.read_varint r in
-        let payload = Codec.read_bytes r payload_len in
+        let payload = Codec.read_slice r payload_len in
         Data { msg; dst; lost; payload }
       | 3 -> Ack { msg = Codec.read_varint r }
       | 4 -> Bye
@@ -110,3 +110,8 @@ let decode s =
   with
   | Failure m -> Error m
   | Invalid_argument m -> Error m
+
+let decode s =
+  (* zero-copy view: readers never write, and a [Data] payload slice
+     borrowing an immutable string is always safe to hold *)
+  decode_sub (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

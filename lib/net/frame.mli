@@ -39,9 +39,14 @@ val max_frame : int
 type body =
   | Hello of { nodes : int; digest : int }
   | Hello_ack of { nodes : int; digest : int }
-  | Data of { msg : int; dst : int; lost : int list; payload : string }
+  | Data of { msg : int; dst : int; lost : int list; payload : Codec.slice }
   | Ack of { msg : int }
   | Bye
+(** A [Data] payload is a {e borrowed} {!Codec.slice}: on the receive
+    path it is a window into the loop's reusable buffer, valid only
+    until the next receive (DESIGN.md §8, buffer ownership).  Consumers
+    must decode it before returning; [Codec.string_of_slice] is the
+    explicit copy for anyone who must retain it. *)
 
 type t = { sender : int; body : body }
 
@@ -54,3 +59,10 @@ val encode : t -> string
 val decode : string -> (t, string) result
 (** Total: adversarial bytes (truncations, bit flips, length bombs, junk)
     yield [Error], never an exception.  Fuzzed in [test_net.ml]. *)
+
+val decode_sub : Bytes.t -> pos:int -> len:int -> (t, string) result
+(** In-place variant over a window of a caller-owned buffer (the receive
+    path): checksum verified and header parsed with no head copy, and a
+    [Data] payload exposed as a sub-slice of [b].  The frame borrows
+    [b] — valid only until the buffer is reused.  Same total contract as
+    {!decode}. *)

@@ -3,11 +3,16 @@ module Make (N : Net_intf.NET) = struct
     net : N.t;
     session : Session.t;
     prof : Prof.t;
+    (* the loop's single receive buffer: every datagram lands here and
+       is decoded in place; [Session.handle] must consume any payload
+       slice before [poll] returns (it does — the decoded values never
+       alias the buffer), because the next receive overwrites it *)
+    rbuf : Bytes.t;
     mutable routes : (Event.proc * N.addr) list;
   }
 
   let create ?(prof = Prof.null) ~net ~session () =
-    { net; session; prof; routes = [] }
+    { net; session; prof; rbuf = Bytes.create Frame.max_frame; routes = [] }
   let net t = t.net
   let session t = t.session
 
@@ -40,16 +45,16 @@ module Make (N : Net_intf.NET) = struct
       | None -> max_wait
       | Some d -> Q.max Q.zero (Q.min max_wait (Q.sub d now))
     in
-    match N.recv t.net ~timeout with
+    match N.recv t.net ~buf:t.rbuf ~timeout with
     | None -> ()
-    | Some (addr, bytes) -> (
+    | Some (addr, len) -> (
       let now = N.now t.net in
-      match Frame.decode bytes with
+      match Frame.decode_sub t.rbuf ~pos:0 ~len with
       | Error e -> Session.note_drop t.session ~now ("frame: " ^ e)
       | Ok frame ->
         if Session.is_peer t.session frame.Frame.sender then begin
           learn t ~peer:frame.Frame.sender addr;
-          Session.handle t.session ~now ~bytes:(String.length bytes) frame;
+          Session.handle t.session ~now ~bytes:len frame;
           flush t
         end
         else

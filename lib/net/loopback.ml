@@ -83,14 +83,18 @@ module Net = struct
     end
 
   (* non-blocking by design: time only moves in [run] *)
-  let recv ep ~timeout:_ =
+  let recv ep ~buf ~timeout:_ =
     let fab = ep.fab in
     let rec pick acc = function
       | [] -> None
       | p :: rest when p.dst = ep.id && Q.(p.at <= fab.vnow) ->
         fab.queue <- List.rev_append acc rest;
         fab.delivered <- fab.delivered + 1;
-        Some (p.src, p.bytes)
+        (* mirror the kernel: copy into the caller's buffer, truncating
+           an oversized datagram (the checksum rejects it downstream) *)
+        let len = min (String.length p.bytes) (Bytes.length buf) in
+        Bytes.blit_string p.bytes 0 buf 0 len;
+        Some (p.src, len)
       | p :: rest -> pick (p :: acc) rest
     in
     pick [] fab.queue

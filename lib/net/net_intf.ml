@@ -26,8 +26,15 @@ module type NET = sig
   (** Best-effort datagram send; silently drops on transient errors
       (that is UDP's contract, and the protocol tolerates loss). *)
 
-  val recv : t -> timeout:Q.t -> (addr * string) option
-  (** Wait up to [timeout] (local-time units) for one datagram.  [None]
-      on timeout.  The loopback fabric never blocks: it returns whatever
-      is deliverable at the current virtual time. *)
+  val recv : t -> buf:Bytes.t -> timeout:Q.t -> (addr * int) option
+  (** Wait up to [timeout] (local-time units) for one datagram, written
+      into the caller-owned [buf] starting at offset 0; returns the
+      source address and the datagram length.  [None] on timeout.  The
+      caller (in practice {!Loop}, which owns one preallocated buffer
+      per loop) promises not to reuse [buf] until it has consumed the
+      datagram — this is what lets the whole receive path decode in
+      place with zero per-datagram allocation.  A datagram longer than
+      [buf] is truncated to fit, as UDP itself would; the checksum then
+      rejects it downstream.  The loopback fabric never blocks: it
+      returns whatever is deliverable at the current virtual time. *)
 end

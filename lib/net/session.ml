@@ -242,9 +242,11 @@ let restore ?(sink = Trace.null) ?(prof = Prof.null) ?alloc_msg cfg ~now blob
           (id, floor))
     in
     let len = Codec.read_varint r in
-    let csa_blob = Codec.read_bytes r len in
+    (* the CSA revives straight out of the session blob: a sub-reader
+       over the embedded bytes, not a copied-out string *)
+    let csa_r = Codec.reader_of_sub r len in
     if not (Codec.at_end r) then failwith "trailing bytes in snapshot";
-    let csa = Csa.restore ~sink ~prof cfg.spec csa_blob in
+    let csa = Csa.restore_reader ~sink ~prof cfg.spec csa_r in
     let neighbors = System_spec.neighbors cfg.spec cfg.me in
     let peers = Hashtbl.create (List.length neighbors) in
     List.iter
@@ -310,7 +312,8 @@ let send_data t ~now ~dst =
          bytes = String.length wire;
        });
   emit_frame t ~now ~dst
-    (Frame.Data { msg; dst; lost = t.lost_ring; payload = wire });
+    (Frame.Data
+       { msg; dst; lost = t.lost_ring; payload = Codec.slice_of_string wire });
   p.next_heartbeat <- Q.add now t.cfg.heartbeat
 
 let mark_established t p ~now =
@@ -377,8 +380,10 @@ let handle t ~now ~bytes (frame : Frame.t) =
         note_drop t ~now (Printf.sprintf "stale data msg %d" msg)
       end
       else (
+        (* [payload] borrows the loop's receive buffer; decode in place
+           now — nothing may retain the slice past this handler *)
         let t0 = Prof.start t.prof in
-        let decoded = Codec.decode_result payload in
+        let decoded = Codec.decode_slice payload in
         Prof.stop t.prof "codec_decode" t0;
         match decoded with
         | Error e -> note_drop t ~now ("payload: " ^ e)

@@ -2,7 +2,6 @@ type addr = Unix.sockaddr
 
 type t = {
   fd : Unix.file_descr;
-  buf : Bytes.t;
   offset : Q.t;
   rate : Q.t;
   drop : float;
@@ -21,15 +20,7 @@ let create ?(offset = Q.zero) ?(rate = Q.one) ?(drop = 0.) ?(seed = 7)
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  {
-    fd;
-    buf = Bytes.create Frame.max_frame;
-    offset;
-    rate;
-    drop;
-    rng = Rng.create seed;
-    last_now = Q.neg (Q.of_int max_int);
-  }
+  { fd; offset; rate; drop; rng = Rng.create seed; last_now = Q.neg (Q.of_int max_int) }
 
 let port t =
   match Unix.getsockname t.fd with
@@ -53,17 +44,17 @@ let send t a s =
        a dropped datagram, which the protocol already tolerates *)
     ()
 
-let recv t ~timeout =
+let recv t ~buf ~timeout =
   (* [timeout] is a local-time duration; real seconds differ by [rate] *)
   let secs = Float.max 0. (Q.to_float (Q.div timeout t.rate)) in
   match Unix.select [ t.fd ] [] [] secs with
   | [], _, _ -> None
   | _ -> (
-    let len, from =
-      Unix.recvfrom t.fd t.buf 0 (Bytes.length t.buf) []
-    in
+    (* the kernel copies the datagram straight into the caller's buffer;
+       nothing else is allocated on this path *)
+    let len, from = Unix.recvfrom t.fd buf 0 (Bytes.length buf) [] in
     if t.drop > 0. && Rng.bernoulli t.rng ~p:t.drop then None
-    else Some (from, Bytes.sub_string t.buf 0 len))
+    else Some (from, len))
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
 
 let equal_addr (a : addr) (b : addr) = a = b

@@ -227,9 +227,27 @@ let divmod_mag u v =
 
 let of_int x =
   if x = 0 then zero
-  else begin
+  else if x <> Stdlib.min_int then begin
+    (* hot constructor (every native-int Q goes through here twice):
+       build the limb array directly, no Int64 boxing, no list *)
     let sign = if x < 0 then -1 else 1 in
-    (* |min_int| does not fit in an int; go through Int64. *)
+    let v = Stdlib.abs x in
+    if v < base then { sign; mag = [| v |] }
+    else if v lsr (2 * base_bits) = 0 then
+      { sign; mag = [| v land limb_mask; v lsr base_bits |] }
+    else
+      {
+        sign;
+        mag =
+          [|
+            v land limb_mask;
+            (v lsr base_bits) land limb_mask;
+            v lsr (2 * base_bits);
+          |];
+      }
+  end
+  else begin
+    (* |min_int| does not fit in an int; go through Int64 *)
     let v = Int64.abs (Int64.of_int x) in
     let rec limbs v acc =
       if Int64.equal v 0L then List.rev acc
@@ -238,7 +256,7 @@ let of_int x =
           (Int64.shift_right_logical v base_bits)
           (Int64.to_int (Int64.logand v (Int64.of_int limb_mask)) :: acc)
     in
-    { sign; mag = Array.of_list (limbs v []) }
+    { sign = -1; mag = Array.of_list (limbs v []) }
   end
 
 let one = of_int 1
@@ -430,6 +448,61 @@ let float_div n d =
 let pp fmt x = Format.pp_print_string fmt (to_string x)
 
 let num_limbs x = Array.length x.mag
+
+(* --- base-256 little-endian magnitude (the wire codec's view) --------- *)
+
+let bits x =
+  let n = Array.length x.mag in
+  if n = 0 then 0 else ((n - 1) * base_bits) + bits_of_limb x.mag.(n - 1)
+
+let num_bytes x = (bits x + 7) / 8
+
+(* Builds limbs straight from the byte slice with a shift accumulator:
+   one array allocation total, no intermediate bigints.  Mirrors the
+   semantics of folding [v*256 + byte] most-significant-first, including
+   acceptance of non-canonical encodings with high zero bytes (the
+   normalizing [make] trims them). *)
+let of_bytes_le b ~pos ~len =
+  if len < 0 || pos < 0 || pos + len > Bytes.length b then
+    invalid_arg "Bigint.of_bytes_le";
+  if len = 0 then zero
+  else begin
+    let n_limbs = ((len * 8) + base_bits - 1) / base_bits in
+    let mag = Array.make n_limbs 0 in
+    let acc = ref 0 and nbits = ref 0 and limb = ref 0 in
+    for i = 0 to len - 1 do
+      acc := !acc lor (Char.code (Bytes.unsafe_get b (pos + i)) lsl !nbits);
+      nbits := !nbits + 8;
+      if !nbits >= base_bits then begin
+        mag.(!limb) <- !acc land limb_mask;
+        incr limb;
+        acc := !acc lsr base_bits;
+        nbits := !nbits - base_bits
+      end
+    done;
+    if !nbits > 0 then mag.(!limb) <- !acc;
+    make 1 mag
+  end
+
+(* Appends exactly [num_bytes x] bytes — the canonical (no high zero
+   byte) little-endian magnitude — by draining limbs through the same
+   shift accumulator in the other direction. *)
+let add_bytes_le buf x =
+  let total = num_bytes x in
+  let emitted = ref 0 in
+  let acc = ref 0 and nbits = ref 0 in
+  let mag = x.mag in
+  for i = 0 to Array.length mag - 1 do
+    acc := !acc lor (mag.(i) lsl !nbits);
+    nbits := !nbits + base_bits;
+    while !nbits >= 8 && !emitted < total do
+      Buffer.add_char buf (Char.unsafe_chr (!acc land 0xff));
+      incr emitted;
+      acc := !acc lsr 8;
+      nbits := !nbits - 8
+    done
+  done;
+  if !emitted < total then Buffer.add_char buf (Char.unsafe_chr !acc)
 
 (* keep mul_mag_int referenced; used by tests of internal consistency via
    [mul_int] path below when the factor fits in a limb *)

@@ -69,7 +69,6 @@ let one = mk_raw B.one B.one
 let minus_one = mk_raw B.minus_one B.one
 let of_bigint n = mk_raw n B.one
 let of_int n = of_bigint (B.of_int n)
-let of_ints n d = make (B.of_int n) (B.of_int d)
 let num q = q.n
 let den q = q.d
 
@@ -83,6 +82,39 @@ let is_sentinel a = B.is_zero a.d
 let rec igcd a b = if b = 0 then a else igcd b (a mod b)
 
 let float_exact_bound = 9007199254740992 (* 2^53 *)
+
+(* [n/d] already in lowest terms with [d > 0], both native: the enclosure
+   comes from one float division — exact conversions below 2^53 mean a
+   one-ulp widening suffices; larger terms take the relative widening. *)
+let mk_ints_reduced n d =
+  let f = float_of_int n /. float_of_int d in
+  let ap =
+    if -float_exact_bound < n && n < float_exact_bound && d < float_exact_bound
+    then
+      if d = 1 then { blo = f; bhi = f }
+      else { blo = Float.pred f; bhi = Float.succ f }
+    else if f > 0. then { blo = f *. widen_dn; bhi = f *. widen_up }
+    else { blo = f *. widen_up; bhi = f *. widen_dn }
+  in
+  { n = B.of_int n; d = B.of_int d; ap }
+
+(* [make] over native ints with no bigint arithmetic: the gcd runs on
+   native ints and the enclosure skips [approx]'s limb walk.  This is
+   the wire decoder's constructor for every small timestamp, so it must
+   not allocate intermediates.  [min_int] magnitudes cannot be negated
+   natively; that one case falls back to the bigint path. *)
+let make_ints n d =
+  if d = 0 then raise Division_by_zero
+  else if n = 0 then zero
+  else if n = Stdlib.min_int || d = Stdlib.min_int then
+    make (B.of_int n) (B.of_int d)
+  else begin
+    let n, d = if d < 0 then (-n, -d) else (n, d) in
+    let g = igcd (Stdlib.abs n) d in
+    mk_ints_reduced (n / g) (d / g)
+  end
+
+let of_ints n d = make_ints n d
 
 (* Sum of two single-limb rationals entirely in native ints: magnitudes
    are below 2^30, so the cross products stay below 2^60 and the
@@ -99,17 +131,7 @@ let add_small na da nb db =
   if n = 0 then mk_raw B.zero B.one
   else begin
     let g = igcd (if n < 0 then -n else n) d in
-    let n = n / g and d = d / g in
-    let f = float_of_int n /. float_of_int d in
-    let ap =
-      if -float_exact_bound < n && n < float_exact_bound && d < float_exact_bound
-      then
-        if d = 1 then { blo = f; bhi = f }
-        else { blo = Float.pred f; bhi = Float.succ f }
-      else if f > 0. then { blo = f *. widen_dn; bhi = f *. widen_up }
-      else { blo = f *. widen_up; bhi = f *. widen_dn }
-    in
-    { n = B.of_int n; d = B.of_int d; ap }
+    mk_ints_reduced (n / g) (d / g)
   end
 
 let add a b =

@@ -21,6 +21,13 @@ val of_int : int -> t
 val of_ints : int -> int -> t
 (** [of_ints n d] is [n/d]. @raise Division_by_zero when [d = 0]. *)
 
+val make_ints : int -> int -> t
+(** [make] over native ints: normalization by native gcd and a direct
+    float enclosure, no intermediate bigint arithmetic.  Semantically
+    identical to [make (Bigint.of_int n) (Bigint.of_int d)]; it is the
+    wire decoder's constructor for timestamps whose magnitudes fit a
+    native int.  @raise Division_by_zero when [d = 0]. *)
+
 val num : t -> Bigint.t
 val den : t -> Bigint.t
 (** The denominator is always positive; [num]/[den] is in lowest terms. *)

@@ -112,6 +112,14 @@ if ! grep -q "reference node done" "$DIR/serve.log"; then
   fail=1
 fi
 
+# Injected loss discards datagrams at the transport, before decode; a
+# "frame: ..." drop would mean the in-place decoder rejected real bytes
+# — and here the decode path also spans the checkpoint restore.
+if grep -q '"reason":"frame:' "$DIR/serve.jsonl"; then
+  echo "crash-smoke: reference node dropped a frame as undecodable"
+  fail=1
+fi
+
 # Close the trace loop.  The reference node ran to completion, so its
 # trace must parse completely, match its trailer, and hold estimates.
 if ! "$BIN" analyze "$DIR/serve.jsonl" --require-estimates \

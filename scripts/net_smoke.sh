@@ -105,6 +105,14 @@ if ! grep -q "reference node done" "$DIR/serve.log"; then
   fail=1
 fi
 
+# Injected loss discards datagrams at the transport, before decode, so
+# a "frame: ..." drop in the trace means the in-place frame decoder
+# rejected bytes a real peer actually sent — a codec bug, not loss.
+if grep -q '"reason":"frame:' "$DIR/serve.jsonl"; then
+  echo "net-smoke: reference node dropped a frame as undecodable"
+  fail=1
+fi
+
 # Close the trace loop: the reference node's JSONL stream must parse
 # back completely, its recomputed aggregates must match the summary
 # trailer byte for byte, and a session that exchanged data must have

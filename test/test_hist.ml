@@ -480,6 +480,164 @@ let test_decode_result () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "truncated bytes accepted"
 
+(* --- differential oracle: the pre-slice string decoder ---------------- *)
+
+(* The decoder as it stood before the zero-copy refactor: a [string]
+   reader with per-byte bigint accumulation.  Kept verbatim as a
+   test-only reference — the slice decoder must agree with it bit for
+   bit on every input, success and failure alike (the wire format did
+   not change, only how it is read). *)
+module Reference_codec = struct
+  type reader = { s : string; mutable pos : int }
+
+  let byte r =
+    if r.pos >= String.length r.s then failwith "Codec.decode: truncated";
+    let c = Char.code r.s.[r.pos] in
+    r.pos <- r.pos + 1;
+    c
+
+  let read_varint r =
+    let rec go shift acc =
+      if shift > 62 then failwith "Codec.decode: varint overflow";
+      let b = byte r in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    let v = go 0 0 in
+    if v < 0 then failwith "Codec.decode: varint overflow";
+    v
+
+  let read_bigint r =
+    let sign = byte r - 1 in
+    if sign < -1 || sign > 1 then failwith "Codec.decode: bad sign";
+    let len = read_varint r in
+    if len > String.length r.s - r.pos then failwith "Codec.decode: truncated";
+    let bytes = Array.make (max len 1) 0 in
+    for i = 0 to len - 1 do
+      bytes.(i) <- byte r
+    done;
+    let v = ref Bigint.zero in
+    for i = len - 1 downto 0 do
+      v := Bigint.add_int (Bigint.mul_int !v 256) bytes.(i)
+    done;
+    let v = if sign < 0 then Bigint.neg !v else !v in
+    if Bigint.sign v <> sign && not (Bigint.is_zero v && sign = 0) then
+      failwith "Codec.decode: sign mismatch";
+    v
+
+  let read_q r =
+    let num = read_bigint r in
+    let den = read_bigint r in
+    if Bigint.sign den <= 0 then failwith "Codec.decode: bad denominator";
+    Q.make num den
+
+  let read_event r =
+    let proc = read_varint r in
+    let seq = read_varint r in
+    let lt = read_q r in
+    let kind =
+      match read_varint r with
+      | 0 -> Event.Init
+      | 1 -> Event.Internal
+      | 2 ->
+        let msg = read_varint r in
+        let dst = read_varint r in
+        Event.Send { msg; dst }
+      | 3 ->
+        let msg = read_varint r in
+        let src = read_varint r in
+        let sproc = read_varint r in
+        let sseq = read_varint r in
+        Event.Recv { msg; src; send = { proc = sproc; seq = sseq } }
+      | _ -> failwith "Codec.decode: bad kind tag"
+    in
+    { Event.id = { proc; seq }; lt; kind }
+
+  let remaining r = String.length r.s - r.pos
+
+  let decode s =
+    try
+      let r = { s; pos = 0 } in
+      let count = read_varint r in
+      if count <= 0 then failwith "Codec.decode: empty payload";
+      if count > remaining r then failwith "Codec.decode: truncated";
+      let events = ref [] in
+      for _ = 1 to count do
+        events := read_event r :: !events
+      done;
+      let events = List.rev !events in
+      let index = read_varint r in
+      if r.pos <> String.length s then failwith "Codec.decode: trailing bytes";
+      if index < 0 || index >= count then
+        failwith "Codec.decode: bad send index";
+      let send_event = List.nth events index in
+      if not (Event.is_send send_event) then
+        failwith "Codec.decode: send index does not reference a send";
+      { Payload.send_event; events }
+    with
+    | Failure _ as e -> raise e
+    | Invalid_argument m -> failwith ("Codec.decode: " ^ m)
+    | Division_by_zero -> failwith "Codec.decode: division by zero"
+
+  let decode_result s =
+    match decode s with
+    | p -> Ok p
+    | exception Failure m -> Error m
+end
+
+let payload_equal (a : Payload.t) (b : Payload.t) =
+  Event.id_equal a.Payload.send_event.id b.Payload.send_event.id
+  && List.length a.Payload.events = List.length b.Payload.events
+  && List.for_all2
+       (fun (x : Event.t) (y : Event.t) ->
+         Event.id_equal x.id y.id && Q.equal x.lt y.lt && x.kind = y.kind)
+       a.Payload.events b.Payload.events
+
+(* both decoders on the same bytes: identical payloads on Ok, identical
+   error classification (the exact message) on failure *)
+let check_differential name s =
+  match (Reference_codec.decode_result s, Codec.decode_result s) with
+  | Ok a, Ok b ->
+    if not (payload_equal a b) then
+      Alcotest.failf "%s: decoders accept but disagree" name
+  | Error a, Error b ->
+    if not (String.equal a b) then
+      Alcotest.failf "%s: error classes differ: reference %S vs slice %S" name
+        a b
+  | Ok _, Error e ->
+    Alcotest.failf "%s: reference accepts, slice rejects (%s)" name e
+  | Error e, Ok _ ->
+    Alcotest.failf "%s: reference rejects (%s), slice accepts" name e
+
+let test_codec_differential_valid () =
+  let a = mk_node ~n:3 ~proc:0 ~neighbors:[ 1; 2 ] () in
+  for i = 1 to 40 do
+    let wire =
+      Codec.encode (do_send a ~dst:(1 + (i mod 2)) ~msg:i ~lt:(3 * i))
+    in
+    check_differential (Printf.sprintf "valid frame %d" i) wire
+  done
+
+let test_codec_differential_truncations () =
+  let good = fuzz_subject () in
+  for len = 0 to String.length good - 1 do
+    check_differential
+      (Printf.sprintf "prefix of %d bytes" len)
+      (String.sub good 0 len)
+  done
+
+let test_codec_differential_bitflips () =
+  let good = fuzz_subject () in
+  for i = 0 to String.length good - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string good in
+      Bytes.set b i (Char.chr (Char.code good.[i] lxor (1 lsl bit)));
+      check_differential
+        (Printf.sprintf "bit %d of byte %d flipped" bit i)
+        (Bytes.to_string b)
+    done
+  done
+
 let arbitrary_payload =
   let open QCheck in
   let gen =
@@ -525,6 +683,19 @@ let prop_codec_roundtrip =
              Event.id_equal x.id y.id && Q.equal x.lt y.lt && x.kind = y.kind)
            p.Payload.events d.Payload.events
       && Event.id_equal d.Payload.send_event.id p.Payload.send_event.id)
+
+let prop_codec_size =
+  QCheck.Test.make ~name:"codec: size p = String.length (encode p)" ~count:300
+    arbitrary_payload (fun p ->
+      Codec.size p = String.length (Codec.encode p))
+
+let prop_codec_differential =
+  QCheck.Test.make
+    ~name:"codec: slice decoder = reference string decoder" ~count:300
+    arbitrary_payload (fun p ->
+      let wire = Codec.encode p in
+      check_differential "random payload" wire;
+      true)
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
@@ -572,6 +743,18 @@ let () =
           Alcotest.test_case "fuzz: random bytes fail cleanly" `Quick
             test_codec_fuzz_random_bytes;
           Alcotest.test_case "decode_result" `Quick test_decode_result;
+          Alcotest.test_case "differential: valid frames" `Quick
+            test_codec_differential_valid;
+          Alcotest.test_case "differential: every truncation" `Quick
+            test_codec_differential_truncations;
+          Alcotest.test_case "differential: every bit flip" `Quick
+            test_codec_differential_bitflips;
         ] );
-      qsuite "props" [ prop_causal_closure; prop_codec_roundtrip ];
+      qsuite "props"
+        [
+          prop_causal_closure;
+          prop_codec_roundtrip;
+          prop_codec_size;
+          prop_codec_differential;
+        ];
     ]

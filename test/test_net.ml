@@ -13,7 +13,9 @@ let body_equal (a : Frame.body) (b : Frame.body) =
     x.nodes = y.nodes && x.digest = y.digest
   | Frame.Data x, Frame.Data y ->
     x.msg = y.msg && x.dst = y.dst && x.lost = y.lost
-    && String.equal x.payload y.payload
+    && String.equal
+         (Codec.string_of_slice x.payload)
+         (Codec.string_of_slice y.payload)
   | Frame.Ack x, Frame.Ack y -> x.msg = y.msg
   | Frame.Bye, Frame.Bye -> true
   | _ -> false
@@ -36,7 +38,9 @@ let arbitrary_frame =
              let* dst = int_range 0 200 in
              let* lost = list_size (int_range 0 10) (int_range 0 100_000) in
              let* payload = string_size (int_range 0 300) in
-             return (Frame.Data { msg; dst; lost; payload }));
+             return
+               (Frame.Data
+                  { msg; dst; lost; payload = Codec.slice_of_string payload }));
             (let* msg = int_range 0 100_000 in
              return (Frame.Ack { msg }));
             return Frame.Bye;
@@ -63,7 +67,12 @@ let sample_frame () =
       Frame.sender = 3;
       body =
         Frame.Data
-          { msg = 17; dst = 0; lost = [ 4; 9 ]; payload = "payload-bytes" };
+          {
+            msg = 17;
+            dst = 0;
+            lost = [ 4; 9 ];
+            payload = Codec.slice_of_string "payload-bytes";
+          };
     }
 
 let test_frame_truncations () =
@@ -101,6 +110,32 @@ let test_frame_junk () =
   match Frame.decode (sample_frame () ^ "x") with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "trailing garbage accepted"
+
+let test_frame_decode_sub () =
+  (* the zero-copy entry point: a frame parked mid-buffer decodes
+     identically, and the Data payload is a borrowed window into that
+     very buffer, not a copy *)
+  let wire = sample_frame () in
+  let pos = 11 in
+  let buf = Bytes.make (pos + String.length wire + 7) '\xAA' in
+  Bytes.blit_string wire 0 buf pos (String.length wire);
+  (match Frame.decode_sub buf ~pos ~len:(String.length wire) with
+  | Error e -> Alcotest.failf "decode_sub rejected a good frame: %s" e
+  | Ok { Frame.sender; body = Frame.Data d } ->
+    Alcotest.(check int) "sender" 3 sender;
+    Alcotest.(check int) "msg" 17 d.msg;
+    Alcotest.(check string) "payload bytes" "payload-bytes"
+      (Codec.string_of_slice d.payload);
+    Alcotest.(check bool) "payload borrows the receive buffer" true
+      (d.payload.Codec.bytes == buf)
+  | Ok _ -> Alcotest.fail "decoded to the wrong body");
+  (* out-of-range windows are an error, never an exception *)
+  List.iter
+    (fun (pos, len) ->
+      match Frame.decode_sub buf ~pos ~len with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "bad window pos=%d len=%d accepted" pos len)
+    [ (-1, 10); (0, Bytes.length buf + 1); (Bytes.length buf, 8); (5, -3) ]
 
 (* --- loopback session helpers ----------------------------------------- *)
 
@@ -545,6 +580,8 @@ let () =
             test_frame_bitflips;
           Alcotest.test_case "junk and trailing bytes rejected" `Quick
             test_frame_junk;
+          Alcotest.test_case "decode_sub: mid-buffer, borrowed payload" `Quick
+            test_frame_decode_sub;
         ] );
       ( "session",
         [
