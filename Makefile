@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench-smoke bench-guard analyze-smoke net-smoke crash-smoke check fmt fmt-check clean
+.PHONY: all build test bench-smoke bench-guard analyze-smoke net-smoke crash-smoke hub-smoke hub-crash-smoke check fmt fmt-check clean
 
 all: build
 
@@ -46,7 +46,20 @@ net-smoke: build
 crash-smoke: build
 	sh scripts/crash_smoke.sh
 
-check: build test bench-smoke bench-guard analyze-smoke
+# one hub process serving a 50-client swarm through a single UDP socket
+# with injected loss; every client must establish, converge, and stay
+# sound, and the hub's trace (per-cohort gauges included) must analyze
+# clean (see scripts/hub_smoke.sh)
+hub-smoke: build
+	sh scripts/hub_smoke.sh
+
+# kill -9 a checkpointed hub under a live swarm and restart it on the
+# same port + checkpoint directory: every cohort must recover and every
+# client must end sound across the crash (see scripts/hub_crash_smoke.sh)
+hub-crash-smoke: build
+	sh scripts/hub_crash_smoke.sh
+
+check: build test bench-smoke bench-guard analyze-smoke hub-smoke
 	@echo "check: OK"
 
 # Formatting is best-effort: the sealed build image does not ship

@@ -1294,6 +1294,88 @@ let e18_two_tier_speedup () =
      over the recorded pre-two-tier E5 baseline (%.0f inserts/s).@."
     speedup (ips_fast /. e5_baseline) e5_baseline
 
+(* ------------------------- E19: hub capacity (loopback swarm) *)
+
+(* One hub process, K clients, one deterministic loopback fabric — the
+   single-socket NTP-server deployment of DESIGN.md Section 12.  Each
+   row is a full swarm run: all clients must converge to finite, sound
+   estimates; the interesting numbers are clients per process, hub
+   frames per wall second, and the p99 final external-accuracy width.
+   Cohorts are kept small: per-frame cost grows ~C^2.5-3 with cohort
+   size C (full-information fan-out), so capacity scaling is measured
+   along K, not C. *)
+let e19_row ~clients ~cohort =
+  let r =
+    Swarm.run_loopback ~seed:7 ~clients ~cohort ~duration:(q 8)
+      ~heartbeat:Q.one ()
+  in
+  let frames, batched, coalesced =
+    match r.Swarm.hub with
+    | Some h -> (h.Hub.frames, h.Hub.batched, h.Hub.coalesced)
+    | None -> (0, 0, 0)
+  in
+  let fps = float_of_int frames /. r.Swarm.elapsed_wall in
+  (clients, cohort, r, frames, batched, coalesced, fps)
+
+let e19_hub_capacity () =
+  section "E19" "hub capacity: one socket, K NTP-pattern clients";
+  let data =
+    List.map
+      (fun (clients, cohort) -> e19_row ~clients ~cohort)
+      [ (16, 4); (64, 4); (128, 4); (256, 2) ]
+  in
+  metric "hub_capacity"
+    (J.List
+       (List.map
+          (fun (clients, cohort, r, frames, batched, coalesced, fps) ->
+            J.Obj
+              [
+                ("clients", J.Int clients);
+                ("cohort", J.Int cohort);
+                ("established", J.Int r.Swarm.established);
+                ("converged", J.Int r.Swarm.converged);
+                ("sound", J.Int r.Swarm.sound);
+                ("hub_frames", J.Int frames);
+                ("hub_batched", J.Int batched);
+                ("hub_coalesced", J.Int coalesced);
+                ("frames_per_wall_s", J.Float fps);
+                ("p50_width_s", J.Float (Swarm.p_width r 50.));
+                ("p99_width_s", J.Float (Swarm.p_width r 99.));
+                ("wall_s", J.Float r.Swarm.elapsed_wall);
+              ])
+          data));
+  Table.print
+    ~header:
+      [
+        "clients"; "cohort"; "conv/sound"; "hub frames"; "frames/s";
+        "p50 width"; "p99 width"; "wall s";
+      ]
+    (List.map
+       (fun (clients, cohort, r, frames, _, _, fps) ->
+         [
+           string_of_int clients;
+           string_of_int cohort;
+           Printf.sprintf "%d/%d" r.Swarm.converged r.Swarm.sound;
+           string_of_int frames;
+           Printf.sprintf "%.0f" fps;
+           Printf.sprintf "%.4f" (Swarm.p_width r 50.);
+           Printf.sprintf "%.4f" (Swarm.p_width r 99.);
+           Printf.sprintf "%.1f" r.Swarm.elapsed_wall;
+         ])
+       data);
+  List.iter
+    (fun (clients, cohort, r, _, _, _, _) ->
+      if r.Swarm.converged < clients || r.Swarm.sound < clients then
+        failwith
+          (Printf.sprintf
+             "E19: %d/%d converged, %d/%d sound at K=%d cohort=%d"
+             r.Swarm.converged clients r.Swarm.sound clients clients cohort))
+    data;
+  Format.printf
+    "@.every client converges to a sound estimate through one shared@.\
+     socket; frames/s is the hub's sustained decode+dispatch rate on@.\
+     this machine (virtual-time fabric, so widths are exact).@."
+
 (* ------------------------------------------------ bench-guard (CI) *)
 
 (* Conservative throughput floor for `make bench-guard` / CI: the fast
@@ -1338,6 +1420,17 @@ let guard () =
     in
     Stdlib.max (run ()) (Stdlib.max (run ()) (run ()))
   in
+  (* Hub floor (E19): a 64-client loopback swarm through one hub socket
+     must fully converge, and the hub must sustain a conservative
+     frame-handling rate.  The reference container measures ~200-250
+     hub frames per wall second at K=64 cohort=4; 80/s absorbs heavy
+     machine noise while failing CI on any serious regression in the
+     drive loop, the cohort dispatch, or the fabric scheduler. *)
+  let floor_hub_fps = 80. in
+  let hub_clients, hub_r, hub_fps =
+    let clients, _, r, _, _, _, fps = e19_row ~clients:64 ~cohort:4 in
+    (clients, r, fps)
+  in
   metric "bench_guard"
     (J.Obj
        [
@@ -1346,10 +1439,17 @@ let guard () =
          ("floor_inserts_per_sec", J.Float floor_ips);
          ("decode_frames_per_sec", J.Float dec_fps);
          ("floor_decode_frames_per_sec", J.Float floor_fps);
+         ("hub_clients", J.Int hub_clients);
+         ("hub_converged", J.Int hub_r.Swarm.converged);
+         ("hub_sound", J.Int hub_r.Swarm.sound);
+         ("hub_frames_per_wall_s", J.Float hub_fps);
+         ("floor_hub_frames_per_wall_s", J.Float floor_hub_fps);
        ]);
   Format.printf "L=%d: %.0f inserts/s (floor %.0f)@." l ips floor_ips;
   Format.printf "decode: %.0f frames/s at 64 events (floor %.0f)@." dec_fps
     floor_fps;
+  Format.printf "hub: %d/%d converged, %.0f frames/s (floor %.0f)@."
+    hub_r.Swarm.converged hub_clients hub_fps floor_hub_fps;
   if ips < floor_ips then
     failwith
       (Printf.sprintf
@@ -1359,7 +1459,18 @@ let guard () =
     failwith
       (Printf.sprintf
          "bench-guard: %.0f decoded frames/s is below the %.0f floor" dec_fps
-         floor_fps)
+         floor_fps);
+  if hub_r.Swarm.converged < hub_clients || hub_r.Swarm.sound < hub_clients
+  then
+    failwith
+      (Printf.sprintf
+         "bench-guard: hub swarm %d/%d converged, %d/%d sound"
+         hub_r.Swarm.converged hub_clients hub_r.Swarm.sound hub_clients);
+  if hub_fps < floor_hub_fps then
+    failwith
+      (Printf.sprintf
+         "bench-guard: %.0f hub frames/s is below the %.0f floor" hub_fps
+         floor_hub_fps)
 
 (* --------------------------------------------------------------- smoke *)
 
@@ -1410,6 +1521,7 @@ let all =
     ("E16", e16_checkpoint_throughput);
     ("E17", e17_instrumentation_overhead);
     ("E18", e18_two_tier_speedup);
+    ("E19", e19_hub_capacity);
     ("uB", microbenches);
   ]
 

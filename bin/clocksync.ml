@@ -447,6 +447,40 @@ let checkpoint_opt =
                and pending loss verdicts intact, so a kill -9 at any \
                instant is recoverable.")
 
+(* Local times are process-relative (Udp.wall rebases to a per-process
+   epoch), but a restored session's clock must continue past its
+   snapshot — so the epoch is part of the durable state.  Pin it from
+   the checkpoint directory before the first clock reading, or persist
+   the fresh one beside the node checkpoints (atomic rename, same crash
+   discipline as Fault.Store). *)
+let pin_epoch = function
+  | None -> Ok ()
+  | Some dir ->
+    let file = Filename.concat dir "epoch" in
+    (match In_channel.with_open_text file In_channel.input_all with
+    | s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some e ->
+        Udp.set_epoch e;
+        Ok ()
+      | None -> Error (file ^ ": malformed wall epoch (wipe the \
+                               checkpoint directory to start fresh)"))
+    | exception Sys_error _ ->
+      let rec mkdir_p d =
+        if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+        else begin
+          mkdir_p (Filename.dirname d);
+          try Unix.mkdir d 0o755
+          with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+        end
+      in
+      mkdir_p dir;
+      let tmp = file ^ ".tmp" in
+      Out_channel.with_open_text tmp (fun oc ->
+          Out_channel.output_string oc (string_of_int (Udp.epoch ())));
+      Sys.rename tmp file;
+      Ok ())
+
 (* Build the session, through the checkpoint store when one is asked
    for.  A corrupt checkpoint is a refusal, not a silent fresh start:
    rebooting amnesiac after having participated would re-issue event
@@ -503,6 +537,9 @@ let serve_cmd =
       with_obs ~profile:(stat_port <> None) ~live_metrics:(stat_port <> None)
         trace (fun ~sink ~prof ~metrics ->
           let spec = net_spec ~nodes ~drift_ppm ~hi_ms in
+          match pin_epoch checkpoint with
+          | Error m -> `Error (false, m)
+          | Ok () ->
           let net = Udp.create ~drop ~seed ~port () in
           Format.printf "clocksync reference node: processor 0 of %d, %s@."
             nodes
@@ -605,6 +642,9 @@ let peer_cmd =
           ~live_metrics:(stat_port <> None) trace
           (fun ~sink ~prof ~metrics ->
             let spec = net_spec ~nodes ~drift_ppm ~hi_ms in
+            match pin_epoch checkpoint with
+            | Error m -> `Error (false, m)
+            | Ok () ->
             let rate = Q.add Q.one (Q.of_ints skew_ppm 1_000_000) in
             let net =
               Udp.create ~offset:(Scenario.ms offset_ms) ~rate ~drop
@@ -694,6 +734,256 @@ let peer_cmd =
           node, printing live optimal offset intervals (and checking, on \
           localhost, that each interval contains the reference node's \
           true time).")
+    term
+
+(* ---- hub / swarm: one socket, thousands of clients ---- *)
+
+let cohort_opt =
+  Arg.(value & opt int 8 & info [ "cohort" ] ~docv:"C"
+         ~doc:"Clients per cohort: each cohort shares one session (one \
+               history, one AGDP matrix) across its members.  1 \
+               degenerates to a private session per client.")
+
+let burst_opt =
+  Arg.(value & opt int 256 & info [ "burst" ] ~docv:"K"
+         ~doc:"Max datagrams handled per readiness wakeup (the burst \
+               drain cap).")
+
+(* per-cohort checkpoint wiring: one Fault.Store per cohort (keyed by
+   cohort index inside the hub's --checkpoint DIR), restored with the
+   cohort's member subset.  Same refusal discipline as mk_session: a
+   corrupt blob is an error, not a silent fresh start. *)
+let mk_cohort_session ~sink ~prof ~checkpoint cfg ~now ~idx ~members =
+  match checkpoint with
+  | None -> Ok (Session.create ~sink ~prof ~peers:members cfg ~now)
+  | Some dir ->
+    let store = Fault.Store.create ~dir ~node:idx in
+    let attach session =
+      Session.set_checkpoint session (Fault.Store.save store);
+      session
+    in
+    (match Fault.Store.load_result store with
+    | Error m ->
+      Error
+        (Printf.sprintf "cohort %d checkpoint unusable (wipe it to start \
+                         fresh): %s" idx m)
+    | Ok None -> Ok (attach (Session.create ~sink ~prof ~peers:members cfg ~now))
+    | Ok (Some blob) -> (
+      match Session.restore ~sink ~prof ~peers:members cfg ~now blob with
+      | Error m -> Error (Printf.sprintf "cohort %d: %s" idx m)
+      | Ok session ->
+        Trace.emit sink (Trace.Recover { t = Q.to_float now; node = 0 });
+        Format.printf "cohort %d recovered from checkpoint %s@." idx
+          (Fault.Store.path store);
+        Ok (attach session)))
+
+let hub_cmd =
+  let action port nodes drift_ppm hi_ms duration sample heartbeat drop seed
+      cohort burst checkpoint trace stat_port =
+    if nodes < 2 then `Error (false, "need at least 2 nodes")
+    else if cohort < 1 then `Error (false, "--cohort must be >= 1")
+    else begin
+      with_obs ~profile:(stat_port <> None) ~live_metrics:(stat_port <> None)
+        trace (fun ~sink ~prof ~metrics ->
+          let spec = net_spec ~nodes ~drift_ppm ~hi_ms in
+          match pin_epoch checkpoint with
+          | Error m -> `Error (false, m)
+          | Ok () ->
+          let net = Udp.create ~drop ~seed ~port () in
+          let cfg =
+            {
+              (Session.default_config ~me:0 ~spec) with
+              Session.heartbeat = q_of_float_s heartbeat;
+            }
+          in
+          let start = Udp.now net in
+          Option.iter
+            (fun dir -> Format.printf "checkpointing cohorts to %s@." dir)
+            checkpoint;
+          match
+            Swarm.Uhub.create ~sink ~prof ~burst ~net ~spec ~cohort_size:cohort
+              ~mk_session:(fun ~idx ~members ->
+                mk_cohort_session ~sink ~prof ~checkpoint cfg ~now:start ~idx
+                  ~members)
+              ()
+          with
+          | Error m ->
+            Udp.close net;
+            `Error (false, m)
+          | Ok hub ->
+          match mk_stats ~stat_port ~metrics with
+          | exception Unix.Unix_error (e, _, _) ->
+            Udp.close net;
+            `Error (false, "stat-port: " ^ Unix.error_message e)
+          | stats ->
+          Format.printf
+            "clocksync hub: processor 0 of %d, %s; %d clients in %d \
+             cohorts of <= %d@."
+            nodes
+            (Udp.string_of_addr (Udp.loopback (Udp.port net)))
+            (Swarm.Uhub.clients hub) (Swarm.Uhub.cohorts hub) cohort;
+          let deadline = Q.add start (q_of_float_s duration) in
+          let next_sample = ref (Q.add start (q_of_float_s sample)) in
+          let print ~now =
+            let st = Swarm.Uhub.stats hub in
+            Swarm.Uhub.emit_stats hub ~now;
+            Format.printf
+              "t=%6.2f  clients up: %d/%d  frames %d (batched %d, \
+               coalesced %d)@."
+              (Q.to_float (Q.sub now start))
+              st.Hub.established st.Hub.clients st.Hub.frames st.Hub.batched
+              st.Hub.coalesced
+          in
+          let rec go () =
+            Option.iter Stat_server.poll stats;
+            let now = Udp.now net in
+            if Q.(now < deadline) && not (Swarm.Uhub.all_clients_done hub)
+            then begin
+              if Q.(now >= !next_sample) then begin
+                print ~now;
+                next_sample := Q.add now (q_of_float_s sample)
+              end;
+              let wait =
+                Q.min
+                  (Q.min (Q.sub deadline now)
+                     (Q.max Q.zero (Q.sub !next_sample now)))
+                  (Q.of_ints 1 5)
+              in
+              Swarm.Uhub.poll hub ~max_wait:wait;
+              go ()
+            end
+          in
+          go ();
+          let now = Udp.now net in
+          print ~now;
+          Swarm.Uhub.stop hub ~now;
+          Swarm.Uhub.poll hub ~max_wait:Q.zero;
+          Option.iter Stat_server.close stats;
+          Udp.close net;
+          Format.printf "hub done (%s)@."
+            (if Swarm.Uhub.all_clients_done hub then
+               "all clients came up and said bye"
+             else "duration elapsed");
+          `Ok ())
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ port_opt $ net_nodes $ net_drift $ net_hi_ms
+       $ net_duration $ net_sample $ net_heartbeat $ net_drop $ seed
+       $ cohort_opt $ burst_opt $ checkpoint_opt $ trace_file
+       $ stat_port_opt))
+  in
+  Cmd.v
+    (Cmd.info "hub"
+       ~doc:
+         "Run the reference node as a single-socket hub serving clients \
+          1..N-1, sharded into cohorts that share per-cohort protocol \
+          state.  Drive it with $(b,clocksync swarm) or ordinary \
+          $(b,clocksync peer) processes.")
+    term
+
+let print_report (r : Swarm.report) =
+  Format.printf
+    "swarm: %d clients — %d established, %d converged, %d sound@."
+    r.Swarm.clients r.Swarm.established r.Swarm.converged r.Swarm.sound;
+  if Array.length r.Swarm.widths > 0 then
+    Format.printf
+      "final widths (s): p50=%.6f p90=%.6f p99=%.6f max=%.6f@."
+      (Swarm.p_width r 50.) (Swarm.p_width r 90.) (Swarm.p_width r 99.)
+      (Swarm.p_width r 100.);
+  Option.iter
+    (fun (st : Hub.stats) ->
+      Format.printf
+        "hub: %d frames handled (batched %d, coalesced %d), %.0f frames/s \
+         wall@."
+        st.Hub.frames st.Hub.batched st.Hub.coalesced
+        (if r.Swarm.elapsed_wall > 0. then
+           float_of_int st.Hub.frames /. r.Swarm.elapsed_wall
+         else 0.))
+    r.Swarm.hub;
+  Format.printf "wall time %.2f s@." r.Swarm.elapsed_wall
+
+let swarm_cmd =
+  let clients_arg =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"CLIENTS"
+           ~doc:"Number of swarm clients to run in this process.")
+  in
+  let server =
+    Arg.(value & opt (some string) None & info [ "server" ] ~docv:"HOST:PORT"
+           ~doc:"Drive a real $(b,clocksync hub) over UDP at $(docv).  \
+                 Without it the swarm runs hub and clients in-process on \
+                 the deterministic loopback fabric.")
+  in
+  let max_offset_ms =
+    Arg.(value & opt int 250 & info [ "max-offset" ] ~docv:"MS"
+           ~doc:"Client initial offsets are drawn from [0, $(docv)].")
+  in
+  let action clients server nodes drift_ppm hi_ms duration sample heartbeat
+      drop seed cohort burst max_offset_ms trace =
+    if clients < 1 then `Error (false, "need at least 1 client")
+    else
+      let duration = q_of_float_s duration
+      and sample = q_of_float_s sample
+      and heartbeat = q_of_float_s heartbeat in
+      match server with
+      | None ->
+        with_obs trace (fun ~sink ~prof:_ ~metrics:_ ->
+            Format.printf
+              "loopback swarm: %d clients, cohorts of %d, loss %.2f@."
+              clients cohort drop;
+            let r =
+              Swarm.run_loopback ~seed ~loss:drop ~cohort ~duration ~sample
+                ~heartbeat ~drift_ppm ~hi_ms ~max_offset_ms ~sink ~burst
+                ~clients ()
+            in
+            print_report r;
+            if r.Swarm.sound < r.Swarm.clients then
+              `Error (false, "soundness violated: some intervals missed \
+                              the source time")
+            else if r.Swarm.converged < r.Swarm.clients then
+              `Error (false, "not every client converged to a finite \
+                              interval")
+            else `Ok ())
+      | Some server -> (
+        match Udp.addr_of_string server with
+        | Error m -> `Error (false, m)
+        | Ok server_addr ->
+          if nodes < clients + 1 then
+            `Error (false, "--nodes must exceed the client count (and \
+                            match the hub's)")
+          else
+            with_obs trace (fun ~sink ~prof:_ ~metrics:_ ->
+                Format.printf "udp swarm: %d clients -> %s@." clients server;
+                let r =
+                  Swarm.run_udp ~seed ~drop ~duration ~sample ~heartbeat
+                    ~drift_ppm ~hi_ms ~max_offset_ms ~sink ~nodes ~clients
+                    ~server_addr ()
+                in
+                print_report r;
+                if r.Swarm.sound < r.Swarm.clients then
+                  `Error (false, "soundness violated: some intervals \
+                                  missed the source time")
+                else if r.Swarm.converged < r.Swarm.clients then
+                  `Error (false, "not every client converged to a finite \
+                                  interval")
+                else `Ok ()))
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ clients_arg $ server $ net_nodes $ net_drift
+       $ net_hi_ms $ net_duration $ net_sample $ net_heartbeat $ net_drop
+       $ seed $ cohort_opt $ burst_opt $ max_offset_ms $ trace_file))
+  in
+  Cmd.v
+    (Cmd.info "swarm"
+       ~doc:
+         "Run CLIENTS NTP-pattern clients with seeded offsets and skews \
+          in one process — against an in-process hub on the deterministic \
+          loopback fabric (default), or against a real $(b,clocksync \
+          hub) over UDP with $(b,--server).")
     term
 
 (* ---- analyze ---- *)
@@ -808,4 +1098,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; sweep_cmd; verify_cmd; serve_cmd; peer_cmd; analyze_cmd ]))
+          [ run_cmd; sweep_cmd; verify_cmd; serve_cmd; peer_cmd; hub_cmd;
+            swarm_cmd; analyze_cmd ]))

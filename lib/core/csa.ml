@@ -68,16 +68,24 @@ let insert_event t (e : Event.t) =
     in
     let msg_part =
       match e.kind with
-      | Event.Recv { msg; _ } ->
-        let send_ev =
-          match Hashtbl.find_opt t.pending msg with
-          | Some s -> s
-          | None ->
+      | Event.Recv { msg; _ } -> (
+        match Hashtbl.find_opt t.pending msg with
+        | Some send_ev -> Edges.msg_edges t.spec ~send:send_ev ~recv:e
+        | None ->
+          if Hashtbl.mem t.known_lost msg then
+            (* a Section 3.3 verdict already wrote this message off and
+               its send is no longer pending, yet the datagram reached
+               its destination anyway and the receive is part of that
+               processor's history.  Keep the event on processor edges
+               alone: dropping the message edges only widens bounds,
+               which is sound, whereas rejecting the event would leave
+               the history and the distance oracle permanently out of
+               step. *)
+            []
+          else
             invalid_arg
               (Format.asprintf "Csa: receive %a for unknown send" Event.pp_id
-                 e.id)
-        in
-        Edges.msg_edges t.spec ~send:send_ev ~recv:e
+                 e.id))
       | Event.Init | Event.Internal | Event.Send _ -> []
     in
     proc_part @ msg_part
@@ -203,6 +211,8 @@ let receive t ~msg ~lt (payload : Payload.t) =
 
 let on_msg_delivered t ~msg = History.on_delivered t.hist ~msg
 let inflight t = History.inflight_msgs t.hist
+
+let msg_known_lost t ~msg = Hashtbl.mem t.known_lost msg
 
 let on_msg_lost t ~msg =
   History.on_lost t.hist ~msg;

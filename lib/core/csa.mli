@@ -71,6 +71,12 @@ val on_msg_lost : t -> msg:int -> unit
     corresponding send point; at the sender also re-buffers the payload
     events for retransmission. *)
 
+val msg_known_lost : t -> msg:int -> bool
+(** Has a loss verdict (local timeout or a peer's gossiped ring) been
+    applied to [msg]?  The net layer consults this before integrating a
+    late-arriving datagram: the verdict stands, so such data must be
+    discarded rather than received (Section 3.3). *)
+
 val inflight : t -> (int * Event.proc) list
 (** Messages this node sent that still await a delivery or loss verdict,
     as [(msg id, destination)] sorted by id (empty in reliable mode).

@@ -1,0 +1,217 @@
+(* functor-independent so reports can carry hub stats regardless of the
+   underlying NET *)
+type stats = {
+  clients : int;
+  established : int;
+  frames : int;
+  batched : int;
+  coalesced : int;
+}
+
+module Make (N : Net_intf.NET) = struct
+  type cohort = {
+    idx : int;
+    members : Event.proc list;
+    session : Session.t;
+    (* cumulative, per cohort; hub totals are the sums *)
+    mutable frames : int;
+    mutable batched : int;
+    mutable coalesced : int;
+  }
+
+  type t = {
+    net : N.t;
+    sink : Trace.sink;
+    prof : Prof.t;
+    n : int;  (* spec size: clients are 1..n-1 *)
+    cohort_size : int;
+    cohorts : cohort array;
+    (* client id -> last source address; learned from incoming frames
+       (clients bind ephemeral ports), consulted at flush *)
+    routes : (Event.proc, N.addr) Hashtbl.t;
+    (* the one receive buffer for the one socket: each datagram is
+       decoded in place and fully handled before the next receive
+       overwrites it *)
+    rbuf : Bytes.t;
+    burst : int;
+  }
+
+  let cohort_count ~n ~cohort_size = (n - 1 + cohort_size - 1) / cohort_size
+
+  let members_of ~n ~cohort_size idx =
+    let lo = 1 + (idx * cohort_size) in
+    let hi = min (n - 1) (lo + cohort_size - 1) in
+    List.init (hi - lo + 1) (fun k -> lo + k)
+
+  let create ?(sink = Trace.null) ?(prof = Prof.null) ?(burst = 256) ~net
+      ~spec ~cohort_size ~mk_session () =
+    if cohort_size < 1 then
+      invalid_arg "Hub.create: cohort size must be >= 1";
+    if burst < 1 then invalid_arg "Hub.create: burst must be >= 1";
+    let n = System_spec.n spec in
+    if n < 2 then invalid_arg "Hub.create: need at least one client";
+    let ncoh = cohort_count ~n ~cohort_size in
+    let rec build idx acc =
+      if idx < 0 then Ok acc
+      else
+        let members = members_of ~n ~cohort_size idx in
+        match mk_session ~idx ~members with
+        | Error _ as e -> e
+        | Ok session ->
+          build (idx - 1)
+            ({ idx; members; session; frames = 0; batched = 0;
+               coalesced = 0 }
+            :: acc)
+    in
+    match build (ncoh - 1) [] with
+    | Error m -> Error m
+    | Ok cohorts ->
+      Ok
+        {
+          net;
+          sink;
+          prof;
+          n;
+          cohort_size;
+          cohorts = Array.of_list cohorts;
+          routes = Hashtbl.create 64;
+          rbuf = Bytes.create Frame.max_frame;
+          burst;
+        }
+
+  let net t = t.net
+  let cohorts t = Array.length t.cohorts
+  let clients t = t.n - 1
+  let session t idx = t.cohorts.(idx).session
+  let members t idx = t.cohorts.(idx).members
+
+  let cohort_of t g =
+    if g < 1 || g >= t.n then None
+    else Some t.cohorts.((g - 1) / t.cohort_size)
+
+  let ft now = Q.to_float now
+
+  (* One pass over every cohort's outgoing queue: a drive tick's worth
+     of acks and heartbeats to the same client leaves in a single
+     flush rather than one flush per handled frame.  [coalesced]
+     counts the frames beyond the first that shared their flush with
+     an earlier frame to the same destination. *)
+  let flush t =
+    Array.iter
+      (fun c ->
+        match Session.drain c.session with
+        | [] -> ()
+        | frames ->
+          let seen = Hashtbl.create 8 in
+          List.iter
+            (fun (dst, bytes) ->
+              (match Hashtbl.find_opt t.routes dst with
+              | Some addr -> N.send t.net addr bytes
+              | None ->
+                (* the session only addresses reachable members, and
+                   reachability is only ever granted on receive, which
+                   records the route first — but dropping matches the
+                   datagram contract *)
+                ());
+              if Hashtbl.mem seen dst then
+                c.coalesced <- c.coalesced + 1
+              else Hashtbl.add seen dst ())
+            frames)
+      t.cohorts
+
+  let handle_datagram t ~batched (addr, len) =
+    let now = N.now t.net in
+    match Frame.decode_sub t.rbuf ~pos:0 ~len with
+    | Error e ->
+      Trace.emit t.sink
+        (Trace.Net_drop { t = ft now; reason = "frame: " ^ e })
+    | Ok frame -> (
+      let g = frame.Frame.sender in
+      match cohort_of t g with
+      | None ->
+        Trace.emit t.sink
+          (Trace.Net_drop
+             { t = ft now; reason = Printf.sprintf "frame from non-client %d" g })
+      | Some c ->
+        c.frames <- c.frames + 1;
+        if batched then c.batched <- c.batched + 1;
+        (match Hashtbl.find_opt t.routes g with
+        | Some a when N.equal_addr a addr -> ()
+        | _ -> Hashtbl.replace t.routes g addr);
+        Session.peer_reachable c.session ~peer:g ~now;
+        Session.handle c.session ~now ~bytes:len frame)
+
+  let next_deadline t =
+    Array.fold_left
+      (fun acc c ->
+        match Session.next_deadline c.session with
+        | None -> acc
+        | Some d -> (
+          match acc with None -> Some d | Some a -> Some (Q.min a d)))
+      None t.cohorts
+
+  let poll t ~max_wait = Prof.span t.prof "hub_poll" @@ fun () ->
+    let now = N.now t.net in
+    Array.iter (fun c -> Session.tick c.session ~now) t.cohorts;
+    flush t;
+    let timeout =
+      match next_deadline t with
+      | None -> max_wait
+      | Some d -> Q.max Q.zero (Q.min max_wait (Q.sub d now))
+    in
+    (match N.recv t.net ~buf:t.rbuf ~timeout with
+    | None -> ()
+    | Some first ->
+      handle_datagram t ~batched:false first;
+      (* one readiness wakeup, whole kernel burst: keep receiving with
+         a zero timeout until the queue is dry or the cap is hit *)
+      let rec go k =
+        if k < t.burst then
+          match N.recv t.net ~buf:t.rbuf ~timeout:Q.zero with
+          | None -> ()
+          | Some d ->
+            handle_datagram t ~batched:true d;
+            go (k + 1)
+      in
+      go 1);
+    flush t
+
+  let established_in c =
+    List.length (List.filter (Session.established c.session) c.members)
+
+  let stats t =
+    Array.fold_left
+      (fun acc c ->
+        {
+          clients = acc.clients + List.length c.members;
+          established = acc.established + established_in c;
+          frames = acc.frames + c.frames;
+          batched = acc.batched + c.batched;
+          coalesced = acc.coalesced + c.coalesced;
+        })
+      { clients = 0; established = 0; frames = 0; batched = 0; coalesced = 0 }
+      t.cohorts
+
+  let emit_stats t ~now =
+    Array.iter
+      (fun c ->
+        Trace.emit t.sink
+          (Trace.Hub_cohort
+             {
+               t = ft now;
+               cohort = c.idx;
+               clients = List.length c.members;
+               established = established_in c;
+               frames = c.frames;
+               batched = c.batched;
+               coalesced = c.coalesced;
+             }))
+      t.cohorts
+
+  let stop t ~now =
+    Array.iter (fun c -> Session.stop c.session ~now) t.cohorts;
+    flush t
+
+  let all_clients_done t =
+    Array.for_all (fun c -> Session.all_peers_done c.session) t.cohorts
+end

@@ -1,12 +1,40 @@
 type packet = { at : Q.t; seq : int; src : int; dst : int; bytes : string }
 
+(* Pairing heap over (at, seq, dst): the fabric's delivery schedule.
+   Entries are never updated in place — consumption makes them stale and
+   they are discarded lazily when popped (an entry is live iff its
+   packet is still the head of its destination queue; both structures
+   share the (at, seq) order, so the check is one head comparison). *)
+type hnode = { h_at : Q.t; h_seq : int; h_dst : int }
+type heap = E | N of hnode * heap list
+
+let h_le a b =
+  match Q.compare a.h_at b.h_at with 0 -> a.h_seq <= b.h_seq | c -> c < 0
+
+let h_merge a b =
+  match (a, b) with
+  | E, h | h, E -> h
+  | N (x, xs), N (y, ys) -> if h_le x y then N (x, b :: xs) else N (y, a :: ys)
+
+let h_push h x = h_merge h (N (x, []))
+
+let rec h_merge_pairs = function
+  | [] -> E
+  | [ h ] -> h
+  | a :: b :: rest -> h_merge (h_merge a b) (h_merge_pairs rest)
+
+let h_pop = function E -> None | N (x, hs) -> Some (x, h_merge_pairs hs)
+
 type fabric = {
   rng : Rng.t;
   loss : float;
   delay_lo : Q.t;
   delay_hi : Q.t;
   mutable vnow : Q.t;
-  mutable queue : packet list;  (* sorted by (at, seq) *)
+  (* per-destination pending packets, each sorted by (at, seq); recv is
+     a head pop instead of a scan of everyone's traffic *)
+  queues : (int, packet list) Hashtbl.t;
+  mutable sched : heap;
   mutable next_seq : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -25,7 +53,8 @@ let fabric ?(seed = 11) ?(loss = 0.) ~delay_lo ~delay_hi () =
     delay_lo;
     delay_hi;
     vnow = Q.zero;
-    queue = [];
+    queues = Hashtbl.create 64;
+    sched = E;
     next_seq = 0;
     delivered = 0;
     dropped = 0;
@@ -42,6 +71,18 @@ let dropped fab = fab.dropped
 let local_of_virtual ep vt = Q.add ep.offset (Q.mul ep.rate vt)
 let virtual_of_local ep lt = Q.div (Q.sub lt ep.offset) ep.rate
 
+let queue_head fab dst =
+  match Hashtbl.find_opt fab.queues dst with
+  | Some (p :: _) -> Some p
+  | _ -> None
+
+let queue_pop fab dst =
+  match Hashtbl.find_opt fab.queues dst with
+  | Some (p :: rest) ->
+    Hashtbl.replace fab.queues dst rest;
+    Some p
+  | _ -> None
+
 let insert_sorted fab p =
   let earlier q =
     Q.(q.at < p.at) || (Q.(q.at = p.at) && q.seq < p.seq)
@@ -50,7 +91,28 @@ let insert_sorted fab p =
     | q :: rest when earlier q -> q :: go rest
     | rest -> p :: rest
   in
-  fab.queue <- go fab.queue
+  let old = Option.value ~default:[] (Hashtbl.find_opt fab.queues p.dst) in
+  Hashtbl.replace fab.queues p.dst (go old);
+  fab.sched <- h_push fab.sched { h_at = p.at; h_seq = p.seq; h_dst = p.dst }
+
+(* drop stale heads (consumed or discarded packets); the surviving head
+   is the fabric's next delivery *)
+let rec sched_head fab =
+  match fab.sched with
+  | E -> None
+  | N (e, _) -> (
+    match queue_head fab e.h_dst with
+    | Some p when p.seq = e.h_seq -> Some e
+    | _ ->
+      (match h_pop fab.sched with
+      | Some (_, rest) -> fab.sched <- rest
+      | None -> ());
+      sched_head fab)
+
+let sched_drop fab =
+  match h_pop fab.sched with
+  | Some (_, rest) -> fab.sched <- rest
+  | None -> ()
 
 module Net = struct
   type t = endpoint
@@ -85,75 +147,209 @@ module Net = struct
   (* non-blocking by design: time only moves in [run] *)
   let recv ep ~buf ~timeout:_ =
     let fab = ep.fab in
-    let rec pick acc = function
-      | [] -> None
-      | p :: rest when p.dst = ep.id && Q.(p.at <= fab.vnow) ->
-        fab.queue <- List.rev_append acc rest;
-        fab.delivered <- fab.delivered + 1;
-        (* mirror the kernel: copy into the caller's buffer, truncating
-           an oversized datagram (the checksum rejects it downstream) *)
-        let len = min (String.length p.bytes) (Bytes.length buf) in
-        Bytes.blit_string p.bytes 0 buf 0 len;
-        Some (p.src, len)
-      | p :: rest -> pick (p :: acc) rest
-    in
-    pick [] fab.queue
+    match queue_head fab ep.id with
+    | Some p when Q.(p.at <= fab.vnow) ->
+      ignore (queue_pop fab ep.id);
+      fab.delivered <- fab.delivered + 1;
+      (* mirror the kernel: copy into the caller's buffer, truncating
+         an oversized datagram (the checksum rejects it downstream) *)
+      let len = min (String.length p.bytes) (Bytes.length buf) in
+      Bytes.blit_string p.bytes 0 buf 0 len;
+      Some (p.src, len)
+    | _ -> None
 end
 
 module L = Loop.Make (Net)
 
 let deliverable fab =
-  match fab.queue with [] -> false | p :: _ -> Q.(p.at <= fab.vnow)
+  match sched_head fab with
+  | Some e -> Q.(e.h_at <= fab.vnow)
+  | None -> false
 
-let run fab ~loops ~until ?(script = []) () =
+(* The scheduler only needs three things from whatever it is driving: a
+   non-blocking poll step, the next virtual-time deadline, and the
+   endpoint address it receives on (so a thousand idle drivers are not
+   polled for every datagram addressed to someone else; [addr = None]
+   falls back to polling on every step).  A [Loop] is one such driver;
+   the hub (many sessions behind one endpoint) is another. *)
+type driver = {
+  poll : unit -> unit;
+  next_vt : unit -> Q.t option;
+  addr : int option;
+}
+
+let driver_of_loop l =
+  {
+    poll = (fun () -> L.poll l ~max_wait:Q.zero);
+    next_vt =
+      (fun () ->
+        match Session.next_deadline (L.session l) with
+        | None -> None
+        | Some d -> Some (virtual_of_local (L.net l) d));
+    addr = Some (L.net l).id;
+  }
+
+let run_drivers fab ~drivers ~until ?(script = []) () =
+  let drivers = Array.of_list drivers in
+  let k = Array.length drivers in
+  let by_addr = Hashtbl.create (max 16 k) in
+  Array.iteri
+    (fun i d -> Option.iter (fun a -> Hashtbl.replace by_addr a i) d.addr)
+    drivers;
+  (* cached next deadlines, in virtual time; refreshed only for drivers
+     that were polled (their state is the only one that moved).  A lazy
+     min-heap mirrors the cache so finding the earliest deadline — and
+     the set of due drivers — never scans all K drivers: an entry is
+     live iff it still equals its driver's cached deadline, and stale
+     entries are discarded when popped, exactly like the packet
+     schedule above. *)
+  let deadline = Array.map (fun d -> d.next_vt ()) drivers in
+  let dheap = ref E in
+  let push_deadline i =
+    match deadline.(i) with
+    | Some vt -> dheap := h_push !dheap { h_at = vt; h_seq = 0; h_dst = i }
+    | None -> ()
+  in
+  Array.iteri (fun i _ -> push_deadline i) deadline;
+  let rec dheap_head () =
+    match !dheap with
+    | E -> None
+    | N (e, _) -> (
+      match deadline.(e.h_dst) with
+      | Some vt when Q.equal vt e.h_at -> Some e
+      | _ ->
+        (match h_pop !dheap with
+        | Some (_, rest) -> dheap := rest
+        | None -> ());
+        dheap_head ())
+  in
+  let dheap_pop () =
+    match h_pop !dheap with
+    | Some (_, rest) -> dheap := rest
+    | None -> ()
+  in
+  let refresh i =
+    deadline.(i) <- drivers.(i).next_vt ();
+    push_deadline i
+  in
+  let poll_all () =
+    Array.iteri
+      (fun i d ->
+        d.poll ();
+        refresh i)
+      drivers
+  in
   let script =
     ref (List.stable_sort (fun (a, _) (b, _) -> Q.compare a b) script)
   in
+  (* script hooks can touch any session (forced data rounds, byes), so
+     a fired hook invalidates every cached deadline: poll everyone *)
   let fire_due () =
+    let fired = ref false in
     let rec go () =
       match !script with
       | (at, f) :: rest when Q.(at <= fab.vnow) ->
         script := rest;
+        fired := true;
         f ();
         go ()
       | _ -> ()
     in
-    go ()
+    go ();
+    if !fired then poll_all ()
   in
-  let poll_all () = List.iter (fun l -> L.poll l ~max_wait:Q.zero) loops in
-  (* polls deliver at most one datagram per endpoint, so repeat until the
-     due set is empty; the delivered counter guards against a datagram
-     addressed to an endpoint nobody polls *)
-  let rec drain () =
-    if deliverable fab then begin
-      let d0 = fab.delivered in
-      poll_all ();
-      if fab.delivered > d0 then drain ()
-    end
+  (* one instant: poll exactly the drivers with a due packet or a due
+     deadline, in driver-index order (the order the old poll-everyone
+     loop used, so the fabric's RNG stream is untouched by the targeted
+     wakeups); repeat until the due set stops making progress *)
+  let due = Array.make k false in
+  let free_drivers =
+    Array.to_list
+      (Array.mapi (fun i d -> if d.addr = None then Some i else None) drivers)
+    |> List.filter_map Fun.id
   in
   let step () =
     fire_due ();
-    poll_all ();
+    let rec drain () =
+      let due_list = ref [] in
+      let mark_due i =
+        if not due.(i) then begin
+          due.(i) <- true;
+          due_list := i :: !due_list
+        end
+      in
+      (* due deadlines: pop live heap entries at or before now (the
+         polled drivers' refresh re-pushes whatever deadline remains) *)
+      let rec mark_deadlines () =
+        match dheap_head () with
+        | Some e when Q.(e.h_at <= fab.vnow) ->
+          dheap_pop ();
+          mark_due e.h_dst;
+          mark_deadlines ()
+        | _ -> ()
+      in
+      mark_deadlines ();
+      (* mark the receiver of the due packet at the schedule head; a
+         due packet for an address nobody polls is undeliverable —
+         discard it so it cannot stall the schedule.  Only the head is
+         visible without popping; packets to other destinations due at
+         this same instant surface on the next drain round, once the
+         head is consumed and its entry goes stale. *)
+      let rec mark () =
+        match sched_head fab with
+        | Some e when Q.(e.h_at <= fab.vnow) -> (
+          match Hashtbl.find_opt by_addr e.h_dst with
+          | Some i -> mark_due i
+          | None ->
+            ignore (queue_pop fab e.h_dst);
+            sched_drop fab;
+            mark ())
+        | _ -> ()
+      in
+      mark ();
+      (* addressless drivers are always due: we cannot know their mail *)
+      List.iter mark_due free_drivers;
+      match !due_list with
+      | [] -> ()
+      | l ->
+        let l = List.sort compare l in
+        let d0 = fab.delivered in
+        List.iter
+          (fun i ->
+            drivers.(i).poll ();
+            refresh i)
+          l;
+        List.iter (fun i -> due.(i) <- false) l;
+        (* progress = a delivery or a timer pushed past now; stop when
+           neither can happen anymore *)
+        let timers_pending =
+          match dheap_head () with
+          | Some e -> Q.(e.h_at <= fab.vnow)
+          | None -> false
+        in
+        if fab.delivered > d0 || timers_pending then drain ()
+        else if deliverable fab then begin
+          (* a due packet survived a poll of its receiver: undeliverable
+             in practice; drop it rather than spin *)
+          match sched_head fab with
+          | Some e ->
+            ignore (queue_pop fab e.h_dst);
+            sched_drop fab
+          | None -> ()
+        end
+    in
     drain ()
   in
   let next_deadline_vt () =
-    List.fold_left
-      (fun acc l ->
-        match Session.next_deadline (L.session l) with
-        | None -> acc
-        | Some d ->
-          let vt = virtual_of_local (L.net l) d in
-          (match acc with
-          | None -> Some vt
-          | Some a -> Some (Q.min a vt)))
-      None loops
+    Option.map (fun e -> e.h_at) (dheap_head ())
   in
+  poll_all ();
   step ();
   let rec go () =
     if Q.(fab.vnow < until) then begin
       let cands = [] in
       let cands =
-        match fab.queue with p :: _ -> p.at :: cands | [] -> cands
+        match sched_head fab with Some e -> e.h_at :: cands | None -> cands
       in
       let cands =
         match !script with (at, _) :: _ -> at :: cands | [] -> cands
@@ -173,3 +369,6 @@ let run fab ~loops ~until ?(script = []) () =
   in
   go ();
   step ()
+
+let run fab ~loops ~until ?script () =
+  run_drivers fab ~drivers:(List.map driver_of_loop loops) ~until ?script ()

@@ -30,10 +30,42 @@ val vnow : fabric -> Q.t
 val delivered : fabric -> int
 val dropped : fabric -> int
 
+val local_of_virtual : endpoint -> Q.t -> Q.t
+val virtual_of_local : endpoint -> Q.t -> Q.t
+(** The endpoint's affine clock and its inverse; {!run_drivers} wants
+    deadlines in virtual time, sessions speak local time. *)
+
 (** The NET instance ({!Net_intf.NET} with [addr = int]). *)
 module Net : Net_intf.NET with type t = endpoint and type addr = int
 
 module L : module type of Loop.Make (Net)
+
+type driver = {
+  poll : unit -> unit;
+  next_vt : unit -> Q.t option;
+  addr : int option;
+}
+(** Anything the scheduler can drive: a non-blocking poll step, the next
+    {e virtual-time} deadline ([None] when idle), and the endpoint
+    address it receives on — the scheduler wakes a driver only for its
+    own datagrams and due deadlines, so a thousand idle drivers cost
+    nothing per delivery.  [addr = None] falls back to polling on every
+    step.  {!driver_of_loop} wraps a [Loop]; the hub supplies its own. *)
+
+val driver_of_loop : L.t -> driver
+
+val run_drivers :
+  fabric ->
+  drivers:driver list ->
+  until:Q.t ->
+  ?script:(Q.t * (unit -> unit)) list ->
+  unit ->
+  unit
+(** Generalized {!run}: drive arbitrary {!driver}s until the virtual
+    clock reaches [until].  Each step jumps to the next due instant
+    (packet delivery, driver deadline, or script entry), fires due
+    script hooks, then polls every driver until no deliverable datagram
+    remains. *)
 
 val run :
   fabric ->

@@ -35,6 +35,10 @@ module type NET = sig
       datagram — this is what lets the whole receive path decode in
       place with zero per-datagram allocation.  A datagram longer than
       [buf] is truncated to fit, as UDP itself would; the checksum then
-      rejects it downstream.  The loopback fabric never blocks: it
-      returns whatever is deliverable at the current virtual time. *)
+      rejects it downstream.  A non-positive [timeout] is a nonblocking
+      poll: return a queued datagram if one is already deliverable,
+      [None] otherwise, without waiting — callers drain bursts by
+      looping zero-timeout receives until [None].  The loopback fabric
+      never blocks regardless: it returns whatever is deliverable at
+      the current virtual time. *)
 end

@@ -10,6 +10,27 @@ type config = {
 }
 
 let default_config ~me ~spec =
+  (* The liveness timeouts scale with the declared link bound: under a
+     2 s one-way bound a fixed 1 s ack deadline would declare nearly
+     every slow-but-legal ack lost, flooding the Section 3.3 rollback
+     machinery with spurious verdicts (sound, but all re-reporting).
+     The scaling is deliberately sub-linear in the bound, though: an
+     ack timeout is a retransmission timer, not a soundness deadline —
+     a false verdict only costs redundant re-reporting (the verdict
+     stands; a late ack or datagram is discarded) — while a timeout
+     near the worst-case round trip lets every unresolved send keep
+     its point live and its events in history for the whole window,
+     growing the per-insert O(L^2) oracle work until a busy session
+     cannot keep up with its own socket. *)
+  let hi =
+    List.fold_left
+      (fun acc peer ->
+        match System_spec.transit spec me peer with
+        | Some { Transit.hi = Ext.Fin h; _ } -> Q.max acc h
+        | Some _ | None -> acc)
+      Q.zero
+      (System_spec.neighbors spec me)
+  in
   {
     me;
     spec;
@@ -17,8 +38,8 @@ let default_config ~me ~spec =
     heartbeat = Q.of_ints 1 2;
     announce_base = Q.of_ints 1 4;
     announce_cap = Q.of_int 8;
-    ack_timeout = Q.one;
-    peer_timeout = Q.of_int 5;
+    ack_timeout = Q.max Q.one (Q.div_int hi 2);
+    peer_timeout = Q.max (Q.of_int 5) (Q.mul_int hi 3);
   }
 
 (* Two endpoints pairing with different specs would exchange payloads and
@@ -86,24 +107,43 @@ let fresh_peer cfg ~now ~preestablished id =
     inflight = [];
   }
 
+(* [?peers] restricts the session to a subset of the spec's neighbors:
+   the hub shards one node id's neighbor set across cohort sessions, and
+   each cohort must announce to / heartbeat / time out only its own
+   members.  The subset is a view, not a different system — the config
+   digest still covers the full spec, so members cannot tell a sharded
+   counterpart from a whole one. *)
+let member_subset cfg = function
+  | None -> System_spec.neighbors cfg.spec cfg.me
+  | Some subset ->
+    let neighbors = System_spec.neighbors cfg.spec cfg.me in
+    List.iter
+      (fun id ->
+        if not (List.mem id neighbors) then
+          invalid_arg
+            (Printf.sprintf "Session: peer %d is not a neighbor of %d" id
+               cfg.me))
+      subset;
+    subset
+
 let create ?(sink = Trace.null) ?(prof = Prof.null) ?alloc_msg
-    ?(preestablished = false) cfg ~now =
+    ?(preestablished = false) ?peers cfg ~now =
   let csa =
     Csa.create ~lossy:cfg.lossy ~sink ~prof cfg.spec ~me:cfg.me ~lt0:now
   in
-  let neighbors = System_spec.neighbors cfg.spec cfg.me in
-  let peers = Hashtbl.create (List.length neighbors) in
+  let members = member_subset cfg peers in
+  let peers = Hashtbl.create (List.length members) in
   List.iter
     (fun id ->
       Hashtbl.replace peers id (fresh_peer cfg ~now ~preestablished id))
-    neighbors;
+    members;
   {
     cfg;
     csa;
     sink;
     prof;
     peers;
-    peer_order = neighbors;
+    peer_order = members;
     out = Queue.create ();
     custom_alloc = alloc_msg;
     next_k = 0;
@@ -214,8 +254,8 @@ let do_checkpoint t ~now =
       (Trace.Checkpoint
          { t = ft now; node = t.cfg.me; bytes = String.length blob })
 
-let restore ?(sink = Trace.null) ?(prof = Prof.null) ?alloc_msg cfg ~now blob
-    =
+let restore ?(sink = Trace.null) ?(prof = Prof.null) ?alloc_msg ?peers cfg
+    ~now blob =
   try
     let r = Codec.reader_of_string blob in
     if Codec.read_varint r <> session_snapshot_version then
@@ -247,8 +287,8 @@ let restore ?(sink = Trace.null) ?(prof = Prof.null) ?alloc_msg cfg ~now blob
     let csa_r = Codec.reader_of_sub r len in
     if not (Codec.at_end r) then failwith "trailing bytes in snapshot";
     let csa = Csa.restore_reader ~sink ~prof cfg.spec csa_r in
-    let neighbors = System_spec.neighbors cfg.spec cfg.me in
-    let peers = Hashtbl.create (List.length neighbors) in
+    let members = member_subset cfg peers in
+    let peers = Hashtbl.create (List.length members) in
     List.iter
       (fun id ->
         let p = fresh_peer cfg ~now ~preestablished:false id in
@@ -256,7 +296,7 @@ let restore ?(sink = Trace.null) ?(prof = Prof.null) ?alloc_msg cfg ~now blob
         | Some floor -> p.last_seen_msg <- floor
         | None -> ());
         Hashtbl.replace peers id p)
-      neighbors;
+      members;
     let t =
       {
         cfg;
@@ -264,7 +304,7 @@ let restore ?(sink = Trace.null) ?(prof = Prof.null) ?alloc_msg cfg ~now blob
         sink;
         prof;
         peers;
-        peer_order = neighbors;
+        peer_order = members;
         out = Queue.create ();
         custom_alloc = alloc_msg;
         next_k;
@@ -379,6 +419,15 @@ let handle t ~now ~bytes (frame : Frame.t) =
         if t.cfg.lossy then emit_frame t ~now ~dst:p.id (Frame.Ack { msg });
         note_drop t ~now (Printf.sprintf "stale data msg %d" msg)
       end
+      else if Csa.msg_known_lost t.csa ~msg then
+        (* the sender's gossiped ring already declared this very message
+           lost: the sender rolled its frontier back and re-reported the
+           events under a fresh id, so the verdict stands on this end
+           too and the late datagram is discarded.  Receiving it instead
+           would resurrect a send the Section 3.3 machinery has written
+           off — and wedge this session's history against its oracle. *)
+        note_drop t ~now
+          (Printf.sprintf "data msg %d outlived its loss verdict" msg)
       else (
         (* [payload] borrows the loop's receive buffer; decode in place
            now — nothing may retain the slice past this handler *)

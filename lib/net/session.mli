@@ -44,6 +44,7 @@ val create :
   ?prof:Prof.t ->
   ?alloc_msg:(unit -> int) ->
   ?preestablished:bool ->
+  ?peers:Event.proc list ->
   config ->
   now:Q.t ->
   t
@@ -52,7 +53,13 @@ val create :
     must be globally unique; the default strides by node count).
     [preestablished] skips the handshake — every peer starts reachable
     and up, which the deterministic equivalence tests use to mirror the
-    simulator exactly. *)
+    simulator exactly.  [peers] restricts the session to a subset of the
+    spec neighbors (the hub shards node 0's neighbor set across cohort
+    sessions this way); it must be a subset of
+    [System_spec.neighbors spec me] or the call raises
+    [Invalid_argument].  The config digest is unchanged by the
+    restriction — members cannot tell a sharded counterpart from a
+    whole one. *)
 
 val snapshot : t -> string
 (** Serialize everything a restart needs: the CSA blob plus the session
@@ -65,11 +72,16 @@ val restore :
   ?sink:Trace.sink ->
   ?prof:Prof.t ->
   ?alloc_msg:(unit -> int) ->
+  ?peers:Event.proc list ->
   config ->
   now:Q.t ->
   string ->
   (t, string) result
 (** Rebuild a session from {!snapshot} output at local time [now].
+    [peers] restricts the revived session to a neighbor subset exactly
+    as in {!create} (dedup floors recorded for non-members are simply
+    not revived; in-flight messages to non-members are left for the
+    owning cohort).
     Refuses (like the hello handshake) when the snapshot's config digest
     does not match [config], or when it belongs to a different node id.
     Every peer starts unestablished — the restored node re-announces and

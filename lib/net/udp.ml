@@ -12,7 +12,56 @@ type t = {
 (* exact microseconds: floats in this range hold integers exactly, and
    the quotient stays well inside 63-bit ints *)
 let q_of_wall f = Q.of_ints (int_of_float (f *. 1e6)) 1_000_000
-let wall () = q_of_wall (Unix.gettimeofday ())
+
+(* Local times are process-relative, not Unix-epoch: wall readings are
+   rebased to a per-process epoch fixed at the first reading.  Epochs
+   carry no information — clock offsets between processors are
+   arbitrary and estimated by the protocol, never assumed — but the
+   magnitude matters enormously for the arithmetic: at Unix-epoch scale
+   (~1.8e9 s) the float enclosures that Q's two-tier comparisons rely
+   on cannot separate values closer than ~1e-4 s relative to each
+   other, so every distance comparison in the AGDP hot loop falls back
+   to exact multi-limb cross-multiplication.  Rebased to seconds since
+   start, the same microsecond differences sit far above the enclosure
+   width and the float tier answers almost always — the difference
+   between a session that drains its socket promptly and one that
+   falls whole seconds behind a 50-client burst (which the AGDP then
+   correctly rejects as a transit-bound violation).
+
+   Crash recovery pins the epoch instead: a restored session's local
+   clock must continue past its snapshot, so a runtime that checkpoints
+   persists the epoch beside the checkpoint and calls [set_epoch]
+   before its first reading. *)
+let epoch_ref = ref None
+
+(* Not seconds-since-start but the enclosing 2^17 s (~1.5 day) boundary:
+   every process on the host lands on the same epoch without
+   coordination, which is what keeps the localhost soundness
+   cross-check meaningful (a peer's interval is compared against the
+   reference process's clock — with private epochs they would disagree
+   by the startup skew).  Rebased readings stay below ~1.3e5 s, small
+   enough for the float tier with four orders of magnitude to spare. *)
+let epoch_quantum = 0x20000
+
+let epoch () =
+  match !epoch_ref with
+  | Some e -> e
+  | None ->
+    let e =
+      int_of_float (Unix.gettimeofday ()) / epoch_quantum * epoch_quantum
+    in
+    epoch_ref := Some e;
+    e
+
+let set_epoch e =
+  match !epoch_ref with
+  | Some cur when cur <> e ->
+    invalid_arg "Udp.set_epoch: wall epoch already fixed"
+  | _ -> epoch_ref := Some e
+
+(* the subtraction is exact: both operands are representable and the
+   difference needs far fewer mantissa bits than either *)
+let wall () = q_of_wall (Unix.gettimeofday () -. float_of_int (epoch ()))
 
 let create ?(offset = Q.zero) ?(rate = Q.one) ?(drop = 0.) ?(seed = 7)
     ~port () =
@@ -20,6 +69,10 @@ let create ?(offset = Q.zero) ?(rate = Q.one) ?(drop = 0.) ?(seed = 7)
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (* nonblocking: [recv ~timeout:Q.zero] must poll the kernel queue
+     directly (no select round trip) and report emptiness as [None] —
+     that is what lets a caller drain a burst per readiness wakeup *)
+  Unix.set_nonblock fd;
   { fd; offset; rate; drop; rng = Rng.create seed; last_now = Q.neg (Q.of_int max_int) }
 
 let port t =
@@ -45,17 +98,34 @@ let send t a s =
     ()
 
 let recv t ~buf ~timeout =
-  (* [timeout] is a local-time duration; real seconds differ by [rate] *)
-  let secs = Float.max 0. (Q.to_float (Q.div timeout t.rate)) in
-  match Unix.select [ t.fd ] [] [] secs with
-  | [], _, _ -> None
-  | _ -> (
+  (* a non-positive timeout skips select entirely: one nonblocking
+     recvfrom against the kernel queue.  A positive timeout is one
+     readiness wakeup; the caller then drains the burst with
+     [~timeout:Q.zero] calls until [None]. *)
+  let ready =
+    if Q.sign timeout <= 0 then true
+    else begin
+      (* [timeout] is a local-time duration; real seconds differ by
+         [rate] *)
+      let secs = Float.max 0. (Q.to_float (Q.div timeout t.rate)) in
+      match Unix.select [ t.fd ] [] [] secs with
+      | [], _, _ -> false
+      | _ -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    end
+  in
+  if not ready then None
+  else
     (* the kernel copies the datagram straight into the caller's buffer;
        nothing else is allocated on this path *)
-    let len, from = Unix.recvfrom t.fd buf 0 (Bytes.length buf) [] in
-    if t.drop > 0. && Rng.bernoulli t.rng ~p:t.drop then None
-    else Some (from, len))
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
+    match Unix.recvfrom t.fd buf 0 (Bytes.length buf) [] with
+    | len, from ->
+      if t.drop > 0. && Rng.bernoulli t.rng ~p:t.drop then None
+      else Some (from, len)
+    | exception
+        Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+      ->
+      None
 
 let equal_addr (a : addr) (b : addr) = a = b
 

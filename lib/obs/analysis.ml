@@ -313,6 +313,36 @@ let render_sessions buf t =
     Buffer.add_char buf '\n'
   end
 
+let render_hub buf t =
+  match Metrics.hub_cohort_ids t.metrics with
+  | [] -> ()
+  | ids ->
+    let row idx (c : Metrics.cohort_stats) =
+      [
+        idx;
+        string_of_int c.Metrics.cohort_clients;
+        string_of_int c.Metrics.cohort_established;
+        string_of_int c.Metrics.cohort_frames;
+        string_of_int c.Metrics.cohort_batched;
+        string_of_int c.Metrics.cohort_coalesced;
+      ]
+    in
+    let rows =
+      List.filter_map
+        (fun idx ->
+          Option.map
+            (row (string_of_int idx))
+            (Metrics.hub_cohort t.metrics idx))
+        ids
+      @ [ row "total" (Metrics.hub_totals t.metrics) ]
+    in
+    Buffer.add_string buf "hub cohorts (latest gauges):\n";
+    Buffer.add_string buf
+      (Table.render
+         ~header:[ "cohort"; "clients"; "up"; "frames"; "batched"; "coalesced" ]
+         rows);
+    Buffer.add_char buf '\n'
+
 let render_checkpoints buf t =
   let m = t.metrics in
   if Metrics.checkpoints m + Metrics.crashes m + Metrics.recoveries m > 0 then begin
@@ -410,6 +440,7 @@ let render t =
   render_timeline buf t;
   render_accuracy buf t;
   render_sessions buf t;
+  render_hub buf t;
   render_checkpoints buf t;
   render_spans buf t;
   Buffer.contents buf

@@ -82,6 +82,34 @@ let render (m : Metrics.t) =
     (Metrics.checkpoint_bytes m);
   counter "csync_crashes_total" "Node crashes." (Metrics.crashes m);
   counter "csync_recoveries_total" "Node recoveries." (Metrics.recoveries m);
+  (match Metrics.hub_cohort_ids m with
+  | [] -> ()
+  | ids ->
+    let per name kind help field =
+      header name kind help;
+      List.iter
+        (fun idx ->
+          match Metrics.hub_cohort m idx with
+          | None -> ()
+          | Some c ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s{cohort=\"%d\"} %d\n" name idx (field c)))
+        ids
+    in
+    per "csync_hub_clients" "gauge" "Clients assigned to each hub cohort."
+      (fun c -> c.Metrics.cohort_clients);
+    per "csync_hub_established" "gauge"
+      "Clients currently established per hub cohort."
+      (fun c -> c.Metrics.cohort_established);
+    per "csync_hub_frames_total" "counter"
+      "Valid client frames handled per hub cohort."
+      (fun c -> c.Metrics.cohort_frames);
+    per "csync_hub_batched_total" "counter"
+      "Frames handled on a burst drain per hub cohort."
+      (fun c -> c.Metrics.cohort_batched);
+    per "csync_hub_coalesced_total" "counter"
+      "Frames that shared a per-tick flush per hub cohort."
+      (fun c -> c.Metrics.cohort_coalesced));
   (match Metrics.algo_names m with
   | [] -> ()
   | algos ->

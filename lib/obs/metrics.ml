@@ -14,6 +14,14 @@ type acc = {
   mutable width_max : float;
 }
 
+type cohort_stats = {
+  cohort_clients : int;
+  cohort_established : int;
+  cohort_frames : int;
+  cohort_batched : int;
+  cohort_coalesced : int;
+}
+
 type t = {
   mutable sends : int;
   mutable receives : int;
@@ -43,6 +51,10 @@ type t = {
   mutable algo_order : string list; (* first-appearance order, reversed *)
   spans : (string, Histogram.t) Hashtbl.t;
   mutable span_order : string list; (* first-appearance order, reversed *)
+  (* hub_cohort counters are cumulative at the producer: keep only the
+     latest emission per cohort *)
+  hub : (int, cohort_stats) Hashtbl.t;
+  mutable hub_order : int list; (* first-appearance order, reversed *)
 }
 
 let create () =
@@ -75,6 +87,8 @@ let create () =
     algo_order = [];
     spans = Hashtbl.create 8;
     span_order = [];
+    hub = Hashtbl.create 8;
+    hub_order = [];
   }
 
 let acc t name =
@@ -130,6 +144,18 @@ let on_event t (ev : Trace.event) =
     t.checkpoint_bytes <- t.checkpoint_bytes + bytes
   | Trace.Crash _ -> t.crashes <- t.crashes + 1
   | Trace.Recover _ -> t.recoveries <- t.recoveries + 1
+  | Trace.Hub_cohort { cohort; clients; established; frames; batched;
+                       coalesced; _ } ->
+    if not (Hashtbl.mem t.hub cohort) then
+      t.hub_order <- cohort :: t.hub_order;
+    Hashtbl.replace t.hub cohort
+      {
+        cohort_clients = clients;
+        cohort_established = established;
+        cohort_frames = frames;
+        cohort_batched = batched;
+        cohort_coalesced = coalesced;
+      }
   | Trace.Span { name; dur } ->
     let h =
       match Hashtbl.find_opt t.spans name with
@@ -177,6 +203,27 @@ let recoveries t = t.recoveries
 let algo_names t = List.rev t.algo_order
 let span_names t = List.rev t.span_order
 let span_hist t name = Hashtbl.find_opt t.spans name
+let hub_cohort_ids t = List.rev t.hub_order
+let hub_cohort t idx = Hashtbl.find_opt t.hub idx
+
+let hub_totals t =
+  Hashtbl.fold
+    (fun _ c acc ->
+      {
+        cohort_clients = acc.cohort_clients + c.cohort_clients;
+        cohort_established = acc.cohort_established + c.cohort_established;
+        cohort_frames = acc.cohort_frames + c.cohort_frames;
+        cohort_batched = acc.cohort_batched + c.cohort_batched;
+        cohort_coalesced = acc.cohort_coalesced + c.cohort_coalesced;
+      })
+    t.hub
+    {
+      cohort_clients = 0;
+      cohort_established = 0;
+      cohort_frames = 0;
+      cohort_batched = 0;
+      cohort_coalesced = 0;
+    }
 
 let algo_stats t name =
   match Hashtbl.find_opt t.algos name with
@@ -237,6 +284,21 @@ let summary_json t =
                      ("max_width", J.Float a.max_width);
                    ] ))
              (algo_names t)) );
+      ( "hub_cohorts",
+        J.Obj
+          (List.map
+             (fun idx ->
+               let c = Hashtbl.find t.hub idx in
+               ( string_of_int idx,
+                 J.Obj
+                   [
+                     ("clients", J.Int c.cohort_clients);
+                     ("established", J.Int c.cohort_established);
+                     ("frames", J.Int c.cohort_frames);
+                     ("batched", J.Int c.cohort_batched);
+                     ("coalesced", J.Int c.cohort_coalesced);
+                   ] ))
+             (hub_cohort_ids t)) );
       ( "spans",
         J.Obj
           (List.map

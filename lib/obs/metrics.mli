@@ -16,6 +16,16 @@ type algo_stats = {
   max_width : float;
 }
 
+type cohort_stats = {
+  cohort_clients : int;
+  cohort_established : int;
+  cohort_frames : int;
+  cohort_batched : int;
+  cohort_coalesced : int;
+}
+(** Latest gauges one [Hub_cohort] emission carried (the producer's
+    counters are cumulative, so the latest emission is the state). *)
+
 type t
 
 val create : unit -> t
@@ -85,6 +95,18 @@ val checkpoints : t -> int
 val checkpoint_bytes : t -> int
 val crashes : t -> int
 val recoveries : t -> int
+
+(** {1 Hub aggregates}
+
+    Latest per-cohort gauges from [Hub_cohort] events; empty unless a
+    hub emitted stats on this stream. *)
+
+val hub_cohort_ids : t -> int list
+(** Cohorts seen, in first-appearance order. *)
+
+val hub_cohort : t -> int -> cohort_stats option
+val hub_totals : t -> cohort_stats
+(** Sums of the latest per-cohort gauges (all zero without a hub). *)
 
 (** {1 Profiler aggregates}
 

@@ -29,6 +29,15 @@ type event =
   | Checkpoint of { t : float; node : int; bytes : int }
   | Crash of { t : float; node : int }
   | Recover of { t : float; node : int }
+  | Hub_cohort of {
+      t : float;
+      cohort : int;
+      clients : int;
+      established : int;
+      frames : int;  (* cumulative counters at emission time *)
+      batched : int;
+      coalesced : int;
+    }
   | Span of { name : string; dur : float }
 
 module type SINK = sig
@@ -85,6 +94,7 @@ let label = function
   | Checkpoint _ -> "checkpoint"
   | Crash _ -> "crash"
   | Recover _ -> "recover"
+  | Hub_cohort _ -> "hub_cohort"
   | Span _ -> "span"
 
 let json_of_event ev =
@@ -133,6 +143,14 @@ let json_of_event ev =
       [ ("t", J.Float t); ("node", J.Int node); ("bytes", J.Int bytes) ]
     | Crash { t; node } -> [ ("t", J.Float t); ("node", J.Int node) ]
     | Recover { t; node } -> [ ("t", J.Float t); ("node", J.Int node) ]
+    | Hub_cohort { t; cohort; clients; established; frames; batched;
+                   coalesced } ->
+      [
+        ("t", J.Float t); ("cohort", J.Int cohort);
+        ("clients", J.Int clients); ("established", J.Int established);
+        ("frames", J.Int frames); ("batched", J.Int batched);
+        ("coalesced", J.Int coalesced);
+      ]
     | Span { name; dur } -> [ ("name", J.Str name); ("dur", J.Float dur) ]
   in
   J.Obj (("event", J.Str (label ev)) :: fields)
@@ -265,6 +283,17 @@ let event_of_json (j : Json_out.t) : (event, string) result =
       let* t = t "t" in
       let* node = int "node" in
       Ok (Recover { t; node })
+    | "hub_cohort" ->
+      let* t = t "t" in
+      let* cohort = int "cohort" in
+      let* clients = int "clients" in
+      let* established = int "established" in
+      let* frames = int "frames" in
+      let* batched = int "batched" in
+      let* coalesced = int "coalesced" in
+      Ok
+        (Hub_cohort
+           { t; cohort; clients; established; frames; batched; coalesced })
     | "span" ->
       let* name = str "name" in
       let* dur = num ~null:Float.nan "dur" in

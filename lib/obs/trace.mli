@@ -65,6 +65,20 @@ type event =
   | Recover of { t : float; node : int }
       (** fault layer: [node] restarted from its last checkpoint (or
           joined the network) *)
+  | Hub_cohort of {
+      t : float;
+      cohort : int;
+      clients : int;  (** members assigned to this cohort *)
+      established : int;  (** members currently up *)
+      frames : int;  (** valid client frames handled, cumulative *)
+      batched : int;  (** frames that rode a burst drain, cumulative *)
+      coalesced : int;
+          (** frames that shared a per-tick flush with an earlier frame
+              to the same client, cumulative *)
+    }
+      (** hub runtime: one cohort's health gauges, emitted on the hub's
+          sample cadence.  Counters are cumulative; consumers keep the
+          latest value per cohort. *)
   | Span of { name : string; dur : float }
       (** profiler: one timed hot-path operation ([name] is the
           operation label, e.g. ["agdp_insert"]; [dur] is wall-clock
@@ -113,4 +127,4 @@ val label : event -> string
     ["estimate"], ["validation"], ["liveness"], ["oracle_insert"],
     ["oracle_gc"], ["net_tx"], ["net_rx"], ["net_drop"], ["peer_up"],
     ["peer_down"], ["retransmit"], ["checkpoint"], ["crash"],
-    ["recover"], ["span"]. *)
+    ["recover"], ["hub_cohort"], ["span"]. *)

@@ -1,0 +1,123 @@
+#!/bin/sh
+# Crash/recovery smoke test for the hub's per-cohort checkpointing:
+#   - a `clocksync hub` with --checkpoint serving a 12-client swarm
+#     (cohorts of 4) over real UDP with injected loss;
+#   - the hub is kill -9'd mid-session, then restarted on the same port
+#     and checkpoint directory;
+#   - the restarted hub must recover every cohort session ("cohort N
+#     recovered from checkpoint"), re-learn the clients' addresses from
+#     their heartbeats, and see all of them re-establish;
+#   - every swarm client must still end established, converged, and
+#     sound (the swarm exits nonzero otherwise) — the crash must cost
+#     availability, never soundness.
+# Exercises: per-cohort Fault.Store write-ahead checkpoints, cohort
+# restore with the member subset, the persisted wall epoch (the revived
+# sessions' clocks must continue past their snapshots), and the
+# re-handshake of a rebooted hub against live clients.
+#
+# Environment knobs (shared with the other smoke tests):
+#   NET_SMOKE_PORT_BASE   first port of the random range (default 20000)
+#   HUB_SMOKE_DROP        receive-side loss probability (default 0.05)
+#   SMOKE_ARTIFACT_DIR    if set, logs + JSONL traces are copied there on
+#                         failure so CI can upload them
+set -eu
+
+BIN=${CLOCKSYNC:-_build/default/bin/clocksync.exe}
+DIR=$(mktemp -d)
+CKPT="$DIR/ckpt"
+mkdir -p "$CKPT"
+PIDS=""
+
+cleanup() {
+  status=$?
+  for pid in $PIDS; do
+    kill "$pid" 2>/dev/null || true
+  done
+  for pid in $PIDS; do
+    wait "$pid" 2>/dev/null || true
+  done
+  if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$SMOKE_ARTIFACT_DIR"
+    cp "$DIR"/*-analysis.txt "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+    if [ "$status" -ne 0 ]; then
+      cp "$DIR"/*.log "$DIR"/*.jsonl "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+    fi
+  fi
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+PORT_BASE=${NET_SMOKE_PORT_BASE:-20000}
+PORT=$((PORT_BASE + ($$ + 3) % 40000))
+CLIENTS=12
+NODES=$((CLIENTS + 1))
+DROP=${HUB_SMOKE_DROP:-0.05}
+
+echo "hub-crash-smoke: hub + $CLIENTS-client swarm on 127.0.0.1:$PORT (drop=$DROP), hub will be kill -9'd"
+
+"$BIN" hub --port "$PORT" --nodes "$NODES" --duration 40 --sample 2 \
+  --cohort 4 --max-delay 5000 --drop "$DROP" --checkpoint "$CKPT" \
+  >"$DIR/hub-run1.log" 2>&1 &
+HUB_PID=$!
+PIDS="$PIDS $HUB_PID"
+
+sleep 1
+
+"$BIN" swarm "$CLIENTS" --server "127.0.0.1:$PORT" --nodes "$NODES" \
+  --duration 26 --sample 1 --seed 5 --max-delay 5000 --drop "$DROP" \
+  >"$DIR/swarm.log" 2>&1 &
+SWARM_PID=$!
+PIDS="$PIDS $SWARM_PID"
+
+# let every cohort establish and checkpoint a few rounds, then pull the plug
+sleep 6
+echo "hub-crash-smoke: kill -9 hub (pid $HUB_PID)"
+kill -9 "$HUB_PID" 2>/dev/null || true
+wait "$HUB_PID" 2>/dev/null || true
+
+# restart on the same port and checkpoint directory; it must recover
+# every cohort, not boot fresh
+"$BIN" hub --port "$PORT" --nodes "$NODES" --duration 32 --sample 2 \
+  --cohort 4 --max-delay 5000 --drop "$DROP" --checkpoint "$CKPT" \
+  --trace "$DIR/hub-run2.jsonl" >"$DIR/hub-run2.log" 2>&1 &
+HUB_PID=$!
+PIDS="$SWARM_PID $HUB_PID"
+
+fail=0
+wait "$SWARM_PID" || { echo "hub-crash-smoke: swarm FAILED (unsound or unconverged clients)"; fail=1; }
+wait "$HUB_PID" || { echo "hub-crash-smoke: restarted hub FAILED"; fail=1; }
+PIDS=""
+
+if ! grep -q "checkpointing cohorts to" "$DIR/hub-run1.log"; then
+  echo "hub-crash-smoke: first run did not start checkpointing"
+  fail=1
+fi
+if [ "$(grep -c "recovered from checkpoint" "$DIR/hub-run2.log")" -ne 3 ]; then
+  echo "hub-crash-smoke: restarted hub did not recover all 3 cohorts"
+  fail=1
+fi
+if ! grep -q "clients up: $CLIENTS/$CLIENTS" "$DIR/hub-run2.log"; then
+  echo "hub-crash-smoke: clients did not re-establish with the restarted hub"
+  fail=1
+fi
+if ! grep -q "swarm: $CLIENTS clients — $CLIENTS established, $CLIENTS converged, $CLIENTS sound" \
+    "$DIR/swarm.log"; then
+  echo "hub-crash-smoke: not every client established+converged+sound across the crash"
+  fail=1
+fi
+
+# the restarted hub's trace spans the restore; it must analyze clean
+if ! "$BIN" analyze "$DIR/hub-run2.jsonl" >"$DIR/hub-run2-analysis.txt" 2>&1; then
+  echo "hub-crash-smoke: restarted hub's trace analysis FAILED"
+  cat "$DIR/hub-run2-analysis.txt"
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "--- hub run 1 ---"; cat "$DIR/hub-run1.log"
+  echo "--- hub run 2 ---"; cat "$DIR/hub-run2.log"
+  echo "--- swarm ---";     cat "$DIR/swarm.log"
+  exit 1
+fi
+
+echo "hub-crash-smoke: OK (hub recovered all cohorts from kill -9; every client stayed sound)"

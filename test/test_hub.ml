@@ -1,0 +1,528 @@
+(* Hub tests — cohort sharding, batching/coalescing accounting, and the
+   load generator, all on the deterministic loopback fabric.  The
+   centerpiece is the equivalence property: a hub serving K clients
+   gives every client the exact interval trajectory it would get from
+   its own private reference node — cohort sharing is invisible not
+   just on the wire but in the estimates. *)
+
+let ms = Scenario.ms
+let q_one = Q.one
+
+let star_spec ~nodes = Swarm.star_spec ~nodes ~drift_ppm:300 ~hi_ms:50
+
+type client_clock = { g : int; offset : Q.t; rate : Q.t }
+
+let mk_cfg ~spec ~me ~heartbeat =
+  { (Session.default_config ~me ~spec) with Session.heartbeat }
+
+(* one client against its own private reference node: the baseline
+   trajectory.  Fixed transit delay and no loss make the fabric
+   deterministic without consulting its RNG, so the hub world below
+   sees identical packet timings. *)
+let pair_trajectory ~spec ~delay ~heartbeat ~samples cc =
+  let fab = Loopback.fabric ~seed:1 ~delay_lo:delay ~delay_hi:delay () in
+  let sep = Loopback.endpoint fab ~id:0 () in
+  let cep = Loopback.endpoint fab ~id:cc.g ~offset:cc.offset ~rate:cc.rate () in
+  let ssess =
+    Session.create (mk_cfg ~spec ~me:0 ~heartbeat) ~now:(Loopback.Net.now sep)
+  in
+  let csess =
+    Session.create (mk_cfg ~spec ~me:cc.g ~heartbeat)
+      ~now:(Loopback.Net.now cep)
+  in
+  let sloop = Loopback.L.create ~net:sep ~session:ssess () in
+  let cloop = Loopback.L.create ~net:cep ~session:csess () in
+  Loopback.L.learn cloop ~peer:0 0;
+  let out = ref [] in
+  let script =
+    List.map
+      (fun vt ->
+        ( vt,
+          fun () ->
+            out :=
+              Session.sample csess ~now:(Loopback.Net.now cep) () :: !out ))
+      samples
+  in
+  let until = Q.add (List.fold_left Q.max Q.zero samples) (ms 1) in
+  Loopback.run fab ~loops:[ sloop; cloop ] ~until ~script ();
+  List.rev !out
+
+(* the same clients behind one hub, sharded into cohorts *)
+let hub_trajectories ~spec ~cohort ~delay ~heartbeat ~samples ccs =
+  let fab = Loopback.fabric ~seed:1 ~delay_lo:delay ~delay_hi:delay () in
+  let hub_ep = Loopback.endpoint fab ~id:0 () in
+  let cfg0 = mk_cfg ~spec ~me:0 ~heartbeat in
+  let hub =
+    match
+      Swarm.Lhub.create ~net:hub_ep ~spec ~cohort_size:cohort
+        ~mk_session:(fun ~idx:_ ~members ->
+          Ok
+            (Session.create ~peers:members cfg0
+               ~now:(Loopback.Net.now hub_ep)))
+        ()
+    with
+    | Ok h -> h
+    | Error m -> Alcotest.failf "hub create: %s" m
+  in
+  let clients =
+    List.map
+      (fun cc ->
+        let ep =
+          Loopback.endpoint fab ~id:cc.g ~offset:cc.offset ~rate:cc.rate ()
+        in
+        let session =
+          Session.create
+            (mk_cfg ~spec ~me:cc.g ~heartbeat)
+            ~now:(Loopback.Net.now ep)
+        in
+        let loop = Loopback.L.create ~net:ep ~session () in
+        Loopback.L.learn loop ~peer:0 0;
+        (cc, ep, session, loop, ref []))
+      ccs
+  in
+  let drivers =
+    {
+      Loopback.poll = (fun () -> Swarm.Lhub.poll hub ~max_wait:Q.zero);
+      next_vt = (fun () -> Swarm.Lhub.next_deadline hub);
+      addr = Some 0;
+    }
+    :: List.map (fun (_, _, _, loop, _) -> Loopback.driver_of_loop loop)
+         clients
+  in
+  let script =
+    List.map
+      (fun vt ->
+        ( vt,
+          fun () ->
+            List.iter
+              (fun (_, ep, session, _, out) ->
+                out :=
+                  Session.sample session ~now:(Loopback.Net.now ep) ()
+                  :: !out)
+              clients ))
+      samples
+  in
+  let until = Q.add (List.fold_left Q.max Q.zero samples) (ms 1) in
+  Loopback.run_drivers fab ~drivers ~until ~script ();
+  (hub, List.map (fun (cc, _, _, _, out) -> (cc.g, List.rev !out)) clients)
+
+let check_equal_trajectories ~what pair hubbed =
+  List.iteri
+    (fun i (p, h) ->
+      if not (Interval.equal p h) then
+        Alcotest.failf "%s: sample %d differs: pair %s, hub %s" what i
+          (Interval.to_string p) (Interval.to_string h))
+    (List.combine pair hubbed)
+
+let default_clients =
+  [
+    { g = 1; offset = ms 40; rate = Q.add Q.one (Q.of_ints 120 1_000_000) };
+    { g = 2; offset = ms 0; rate = Q.sub Q.one (Q.of_ints 250 1_000_000) };
+    { g = 3; offset = ms 210; rate = Q.one };
+    { g = 4; offset = ms 999; rate = Q.add Q.one (Q.of_ints 7 1_000_000) };
+    { g = 5; offset = ms 3; rate = Q.sub Q.one (Q.of_ints 300 1_000_000) };
+  ]
+
+let samples_1_to_8 = List.init 8 (fun k -> Q.of_int (k + 1))
+
+let test_hub_equals_pairs () =
+  let nodes = List.length default_clients + 1 in
+  let spec = star_spec ~nodes in
+  let delay = ms 10 and heartbeat = Q.of_ints 1 2 in
+  List.iter
+    (fun cohort ->
+      let _, hub_trajs =
+        hub_trajectories ~spec ~cohort ~delay ~heartbeat
+          ~samples:samples_1_to_8 default_clients
+      in
+      List.iter
+        (fun cc ->
+          let pair =
+            pair_trajectory ~spec ~delay ~heartbeat ~samples:samples_1_to_8
+              cc
+          in
+          let hubbed = List.assoc cc.g hub_trajs in
+          check_equal_trajectories
+            ~what:(Printf.sprintf "cohort=%d client %d" cohort cc.g)
+            pair hubbed)
+        default_clients)
+    [ 1; 2; 5 ]
+
+(* the same property under QCheck-randomized clocks, delays, cadences
+   and cohort sizes *)
+let prop_hub_equals_pairs =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* k = int_range 2 6 in
+      let* cohort = int_range 1 4 in
+      let* delay_ms = int_range 2 40 in
+      let* hb_ms = int_range 200 900 in
+      let* clocks =
+        flatten_l
+          (List.init k (fun i ->
+               let* off = int_range 0 800 in
+               let* ppm = int_range (-300) 300 in
+               return
+                 {
+                   g = i + 1;
+                   offset = Scenario.ms off;
+                   rate = Q.add Q.one (Q.of_ints ppm 1_000_000);
+                 }))
+      in
+      return (k, cohort, delay_ms, hb_ms, clocks))
+  in
+  let print (k, cohort, delay_ms, hb_ms, _) =
+    Printf.sprintf "k=%d cohort=%d delay=%dms hb=%dms" k cohort delay_ms
+      hb_ms
+  in
+  QCheck.Test.make ~count:12
+    ~name:"hub: K clients == K private serve/peer pairs"
+    (QCheck.make ~print gen)
+    (fun (k, cohort, delay_ms, hb_ms, clocks) ->
+      let spec = star_spec ~nodes:(k + 1) in
+      let delay = ms delay_ms in
+      let heartbeat = Q.of_ints hb_ms 1000 in
+      let samples = List.init 6 (fun i -> Q.of_int (i + 1)) in
+      let _, hub_trajs =
+        hub_trajectories ~spec ~cohort ~delay ~heartbeat ~samples clocks
+      in
+      List.for_all
+        (fun cc ->
+          let pair = pair_trajectory ~spec ~delay ~heartbeat ~samples cc in
+          List.for_all2 Interval.equal pair (List.assoc cc.g hub_trajs))
+        clocks)
+
+(* --- cohort sharding -------------------------------------------------- *)
+
+let test_cohort_partition () =
+  let spec = star_spec ~nodes:11 in
+  let fab = Loopback.fabric ~delay_lo:(ms 1) ~delay_hi:(ms 2) () in
+  let ep = Loopback.endpoint fab ~id:0 () in
+  let cfg0 = mk_cfg ~spec ~me:0 ~heartbeat:q_one in
+  let mk ~idx:_ ~members =
+    Ok (Session.create ~peers:members cfg0 ~now:Q.zero)
+  in
+  let hub =
+    match
+      Swarm.Lhub.create ~net:ep ~spec ~cohort_size:4 ~mk_session:mk ()
+    with
+    | Ok h -> h
+    | Error m -> Alcotest.failf "create: %s" m
+  in
+  Alcotest.(check int) "cohorts" 3 (Swarm.Lhub.cohorts hub);
+  Alcotest.(check int) "clients" 10 (Swarm.Lhub.clients hub);
+  Alcotest.(check (list int)) "cohort 0" [ 1; 2; 3; 4 ]
+    (Swarm.Lhub.members hub 0);
+  Alcotest.(check (list int)) "cohort 1" [ 5; 6; 7; 8 ]
+    (Swarm.Lhub.members hub 1);
+  Alcotest.(check (list int)) "cohort 2" [ 9; 10 ] (Swarm.Lhub.members hub 2);
+  (* the cohort sessions see exactly their members *)
+  Alcotest.(check (list int)) "session 1 peers" [ 5; 6; 7; 8 ]
+    (Session.peer_ids (Swarm.Lhub.session hub 1));
+  Alcotest.(check bool) "sharded digests match a whole node's" true
+    (Session.config_digest cfg0
+    = Session.config_digest (mk_cfg ~spec ~me:0 ~heartbeat:q_one))
+
+let test_peers_subset_validated () =
+  let spec = star_spec ~nodes:4 in
+  let cfg = mk_cfg ~spec ~me:0 ~heartbeat:q_one in
+  (match Session.create ~peers:[ 1; 7 ] cfg ~now:Q.zero with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-neighbor subset accepted");
+  let s = Session.create ~peers:[ 2 ] cfg ~now:Q.zero in
+  Alcotest.(check (list int)) "subset peers" [ 2 ] (Session.peer_ids s);
+  Alcotest.(check bool) "non-member not a peer" false (Session.is_peer s 1)
+
+(* --- batching / coalescing accounting -------------------------------- *)
+
+(* a tickful of same-destination frames must leave in one flush and be
+   counted; frames to distinct clients must not be *)
+let test_coalescing_accounting () =
+  let clients =
+    [
+      { g = 1; offset = Q.zero; rate = Q.one };
+      { g = 2; offset = Q.zero; rate = Q.one };
+    ]
+  in
+  let spec = star_spec ~nodes:3 in
+  let fab = Loopback.fabric ~seed:3 ~delay_lo:(ms 5) ~delay_hi:(ms 5) () in
+  let hub_ep = Loopback.endpoint fab ~id:0 () in
+  let cfg0 = mk_cfg ~spec ~me:0 ~heartbeat:q_one in
+  let hub =
+    match
+      Swarm.Lhub.create ~net:hub_ep ~spec ~cohort_size:2
+        ~mk_session:(fun ~idx:_ ~members ->
+          Ok (Session.create ~peers:members cfg0 ~now:Q.zero))
+        ()
+    with
+    | Ok h -> h
+    | Error m -> Alcotest.failf "create: %s" m
+  in
+  let mk_client cc =
+    let ep = Loopback.endpoint fab ~id:cc.g () in
+    let session =
+      Session.create (mk_cfg ~spec ~me:cc.g ~heartbeat:q_one) ~now:Q.zero
+    in
+    let loop = Loopback.L.create ~net:ep ~session () in
+    Loopback.L.learn loop ~peer:0 0;
+    (session, loop)
+  in
+  let cls = List.map mk_client clients in
+  let drivers =
+    {
+      Loopback.poll = (fun () -> Swarm.Lhub.poll hub ~max_wait:Q.zero);
+      next_vt = (fun () -> Swarm.Lhub.next_deadline hub);
+      addr = Some 0;
+    }
+    :: List.map (fun (_, loop) -> Loopback.driver_of_loop loop) cls
+  in
+  let script =
+    [
+      ( Q.of_int 3,
+        fun () ->
+          (* two data frames to client 1 queued in the same tick: the
+             second must share the flush *)
+          let s = Swarm.Lhub.session hub 0 in
+          Session.send_data s ~now:(Loopback.vnow fab) ~dst:1;
+          Session.send_data s ~now:(Loopback.vnow fab) ~dst:1 );
+    ]
+  in
+  Loopback.run_drivers fab ~drivers ~until:(Q.of_int 5) ~script ();
+  let st = Swarm.Lhub.stats hub in
+  Alcotest.(check int) "both clients up" 2 st.Hub.established;
+  if st.Hub.coalesced < 1 then
+    Alcotest.failf "no coalescing counted (stats: frames=%d coalesced=%d)"
+      st.Hub.frames st.Hub.coalesced;
+  if st.Hub.frames < 4 then
+    Alcotest.failf "hub handled too few frames: %d" st.Hub.frames;
+  (* the fixed delay lands both clients' frames at the same virtual
+     instant, so the second one of each pair rides the burst drain *)
+  if st.Hub.batched < 1 then
+    Alcotest.failf "no batched frames (frames=%d)" st.Hub.frames
+
+(* duplicate hellos: a client that re-announces (its first hello_ack
+   was still in flight) must stay a single established member with a
+   single peer-up, in whichever cohort owns it *)
+let test_duplicate_hellos () =
+  let spec = star_spec ~nodes:3 in
+  let fab = Loopback.fabric ~seed:5 ~delay_lo:(ms 40) ~delay_hi:(ms 40) () in
+  let hub_ep = Loopback.endpoint fab ~id:0 () in
+  let mk_cfg ~spec ~me ~heartbeat =
+    { (mk_cfg ~spec ~me ~heartbeat) with Session.announce_base = ms 15 }
+  in
+  let cfg0 = mk_cfg ~spec ~me:0 ~heartbeat:q_one in
+  let ups = ref [] in
+  let sink =
+    Trace.callback (function
+      | Trace.Peer_up { peer; _ } -> ups := peer :: !ups
+      | _ -> ())
+  in
+  let hub =
+    match
+      Swarm.Lhub.create ~sink ~net:hub_ep ~spec ~cohort_size:1
+        ~mk_session:(fun ~idx:_ ~members ->
+          Ok (Session.create ~sink ~peers:members cfg0 ~now:Q.zero))
+        ()
+    with
+    | Ok h -> h
+    | Error m -> Alcotest.failf "create: %s" m
+  in
+  (* announce_base is 15 ms and the round trip is 80 ms: both clients
+     send further hellos before the first hello_ack can possibly
+     arrive *)
+  let cls =
+    List.map
+      (fun g ->
+        let ep = Loopback.endpoint fab ~id:g () in
+        let session =
+          Session.create (mk_cfg ~spec ~me:g ~heartbeat:q_one) ~now:Q.zero
+        in
+        let loop = Loopback.L.create ~net:ep ~session () in
+        Loopback.L.learn loop ~peer:0 0;
+        (session, loop))
+      [ 1; 2 ]
+  in
+  let drivers =
+    {
+      Loopback.poll = (fun () -> Swarm.Lhub.poll hub ~max_wait:Q.zero);
+      next_vt = (fun () -> Swarm.Lhub.next_deadline hub);
+      addr = Some 0;
+    }
+    :: List.map (fun (_, loop) -> Loopback.driver_of_loop loop) cls
+  in
+  Loopback.run_drivers fab ~drivers ~until:(Q.of_int 4) ();
+  let st = Swarm.Lhub.stats hub in
+  Alcotest.(check int) "both established" 2 st.Hub.established;
+  (* both clients came up on the hub side, and no phantom peers did *)
+  Alcotest.(check (list int)) "hub-side ups" [ 1; 2 ]
+    (List.sort_uniq compare !ups)
+
+(* churn mid-run: one client says bye and leaves; the hub must mark it
+   down and keep serving the others *)
+let test_client_churn () =
+  let spec = star_spec ~nodes:4 in
+  let fab = Loopback.fabric ~seed:9 ~delay_lo:(ms 5) ~delay_hi:(ms 5) () in
+  let hub_ep = Loopback.endpoint fab ~id:0 () in
+  let cfg0 = mk_cfg ~spec ~me:0 ~heartbeat:(Q.of_ints 1 2) in
+  let hub =
+    match
+      Swarm.Lhub.create ~net:hub_ep ~spec ~cohort_size:2
+        ~mk_session:(fun ~idx:_ ~members ->
+          Ok (Session.create ~peers:members cfg0 ~now:Q.zero))
+        ()
+    with
+    | Ok h -> h
+    | Error m -> Alcotest.failf "create: %s" m
+  in
+  let cls =
+    List.map
+      (fun g ->
+        let ep = Loopback.endpoint fab ~id:g () in
+        let session =
+          Session.create
+            (mk_cfg ~spec ~me:g ~heartbeat:(Q.of_ints 1 2))
+            ~now:Q.zero
+        in
+        let loop = Loopback.L.create ~net:ep ~session () in
+        Loopback.L.learn loop ~peer:0 0;
+        (g, ep, session, loop))
+      [ 1; 2; 3 ]
+  in
+  let drivers =
+    {
+      Loopback.poll = (fun () -> Swarm.Lhub.poll hub ~max_wait:Q.zero);
+      next_vt = (fun () -> Swarm.Lhub.next_deadline hub);
+      addr = Some 0;
+    }
+    :: List.map (fun (_, _, _, loop) -> Loopback.driver_of_loop loop) cls
+  in
+  let script =
+    [
+      ( Q.of_int 4,
+        fun () ->
+          let _, ep, session, _ =
+            List.find (fun (g, _, _, _) -> g = 2) cls
+          in
+          Session.stop session ~now:(Loopback.Net.now ep) );
+    ]
+  in
+  Loopback.run_drivers fab ~drivers ~until:(Q.of_int 8) ~script ();
+  let st = Swarm.Lhub.stats hub in
+  Alcotest.(check int) "two still up" 2 st.Hub.established;
+  Alcotest.(check bool) "client 2 down on its cohort" false
+    (Session.established (Swarm.Lhub.session hub 0) 2);
+  List.iter
+    (fun (g, ep, session, _) ->
+      if g <> 2 then begin
+        let est = Session.sample session ~now:(Loopback.Net.now ep) () in
+        (match Interval.width est with
+        | Ext.Fin _ -> ()
+        | Ext.Inf -> Alcotest.failf "client %d never converged" g);
+        if not (Interval.mem (Loopback.vnow fab) est) then
+          Alcotest.failf "client %d unsound after churn" g
+      end)
+    cls
+
+(* --- swarm ------------------------------------------------------------ *)
+
+let test_swarm_loopback_converges () =
+  let r =
+    Swarm.run_loopback ~seed:7 ~clients:40 ~cohort:8
+      ~duration:(Q.of_int 10) ()
+  in
+  Alcotest.(check int) "all converged" 40 r.Swarm.converged;
+  Alcotest.(check int) "all sound" 40 r.Swarm.sound;
+  Alcotest.(check int) "all established" 40 r.Swarm.established;
+  let st = Option.get r.Swarm.hub in
+  if st.Hub.frames < 40 * 3 then
+    Alcotest.failf "suspiciously few hub frames: %d" st.Hub.frames;
+  if Float.is_nan (Swarm.p_width r 99.) then Alcotest.fail "no p99 width"
+
+let test_swarm_deterministic () =
+  let run () =
+    Swarm.run_loopback ~seed:11 ~clients:12 ~cohort:3
+      ~duration:(Q.of_int 6) ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "converged" a.Swarm.converged b.Swarm.converged;
+  Alcotest.(check (array (float 0.)))
+    "widths identical" a.Swarm.widths b.Swarm.widths;
+  Alcotest.(check int) "frames identical"
+    (Option.get a.Swarm.hub).Hub.frames (Option.get b.Swarm.hub).Hub.frames
+
+(* --- Udp burst drain -------------------------------------------------- *)
+
+(* the EWOULDBLOCK fix: zero-timeout receives drain an entire kernel
+   burst without blocking, and report emptiness as None *)
+let test_udp_burst_drain () =
+  let a = Udp.create ~port:0 () in
+  let b = Udp.create ~port:0 () in
+  let dst = Udp.loopback (Udp.port b) in
+  for i = 1 to 5 do
+    Udp.send a dst (Printf.sprintf "datagram-%d" i)
+  done;
+  let buf = Bytes.create 256 in
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  let rec collect n =
+    if n >= 5 || Unix.gettimeofday () > deadline then n
+    else
+      match Udp.recv b ~buf ~timeout:(Q.of_ints 1 10) with
+      | None -> collect n
+      | Some (_, _) ->
+        (* drain the rest of the burst without blocking *)
+        let rec drain n =
+          match Udp.recv b ~buf ~timeout:Q.zero with
+          | Some _ -> drain (n + 1)
+          | None -> n
+        in
+        collect (drain (n + 1))
+  in
+  let got = collect 0 in
+  Alcotest.(check int) "all datagrams received" 5 got;
+  (* an empty queue with a zero timeout must return immediately *)
+  let t0 = Unix.gettimeofday () in
+  (match Udp.recv b ~buf ~timeout:Q.zero with
+  | None -> ()
+  | Some _ -> Alcotest.fail "phantom datagram");
+  if Unix.gettimeofday () -. t0 > 0.5 then
+    Alcotest.fail "zero-timeout recv blocked";
+  Udp.close a;
+  Udp.close b
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "hub"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "hub == private pairs (fixed)" `Quick
+            test_hub_equals_pairs;
+          qt prop_hub_equals_pairs;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "cohort partition" `Quick test_cohort_partition;
+          Alcotest.test_case "peer subset validated" `Quick
+            test_peers_subset_validated;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "coalescing accounted" `Quick
+            test_coalescing_accounting;
+          Alcotest.test_case "duplicate hellos" `Quick test_duplicate_hellos;
+          Alcotest.test_case "client churn mid-run" `Quick test_client_churn;
+        ] );
+      ( "swarm",
+        [
+          Alcotest.test_case "loopback swarm converges" `Quick
+            test_swarm_loopback_converges;
+          Alcotest.test_case "deterministic under seed" `Quick
+            test_swarm_deterministic;
+        ] );
+      ( "udp",
+        [
+          Alcotest.test_case "burst drain until EWOULDBLOCK" `Quick
+            test_udp_burst_drain;
+        ] );
+    ]

@@ -287,6 +287,16 @@ let all_events =
     Trace.Checkpoint { t = 10.; node = 1; bytes = 512 };
     Trace.Crash { t = 11.; node = 2 };
     Trace.Recover { t = 12.; node = 2 };
+    Trace.Hub_cohort
+      {
+        t = 13.;
+        cohort = 1;
+        clients = 8;
+        established = 7;
+        frames = 4096;
+        batched = 512;
+        coalesced = 64;
+      };
     Trace.Span { name = "agdp_insert"; dur = 3.2e-05 };
   ]
 
@@ -308,7 +318,7 @@ let test_event_round_trip () =
     all_events;
   (* every constructor appears exactly once above (estimates twice) *)
   let labels = List.sort_uniq compare (List.map Trace.label all_events) in
-  Alcotest.(check int) "all 18 constructors covered" 18 (List.length labels)
+  Alcotest.(check int) "all 19 constructors covered" 19 (List.length labels)
 
 let test_event_of_json_rejects () =
   let bad j =
