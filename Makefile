@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench-smoke bench-guard analyze-smoke net-smoke crash-smoke hub-smoke hub-crash-smoke check fmt fmt-check clean
+.PHONY: all build test bench-smoke bench-guard analyze-smoke net-smoke crash-smoke hub-smoke hub-crash-smoke tournament-smoke check fmt fmt-check clean
 
 all: build
 
@@ -59,7 +59,14 @@ hub-smoke: build
 hub-crash-smoke: build
 	sh scripts/hub_crash_smoke.sh
 
-check: build test bench-smoke bench-guard analyze-smoke hub-smoke
+# small scenario-family x algorithm grid in one `clocksync tournament`
+# run: the optimal CSA must be sound in every cell, no baseline may
+# beat it on median width in a static family, and every per-family
+# trace must re-analyze clean (see scripts/tournament_smoke.sh)
+tournament-smoke: build
+	sh scripts/tournament_smoke.sh
+
+check: build test bench-smoke bench-guard analyze-smoke tournament-smoke hub-smoke
 	@echo "check: OK"
 
 # Formatting is best-effort: the sealed build image does not ship

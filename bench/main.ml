@@ -1376,6 +1376,57 @@ let e19_hub_capacity () =
      socket; frames/s is the hub's sustained decode+dispatch rate on@.\
      this machine (virtual-time fabric, so widths are exact).@."
 
+(* --------------------- E20: tournament grid (families x algorithms) *)
+
+(* The full baselines tournament as a throughput measurement: five
+   scenario families (static polling, lossy NTP hierarchy, gossip,
+   link churn, partition-and-heal), each one seeded execution scoring
+   six algorithms on identical messages.  The interesting numbers are
+   wall time per family and simulated messages per wall second with
+   every algorithm stack enabled — the cost of a full comparison run —
+   plus the accuracy gates themselves: the optimal CSA must be sound
+   in every cell and must lead every static ranking. *)
+let e20_tournament () =
+  section "E20" "baselines tournament: scenario families x algorithms";
+  let spec =
+    { Tourney.default_spec with Tourney.nodes = 6; duration = q 10; seed = 7 }
+  in
+  let t0 = Unix.gettimeofday () in
+  let o = Tourney.run spec in
+  let wall = Unix.gettimeofday () -. t0 in
+  let families = List.length o.Tourney.duels in
+  let cells =
+    List.fold_left
+      (fun acc fr -> acc + List.length fr.Tourney.cells)
+      0 o.Tourney.duels
+  in
+  let msgs =
+    List.fold_left (fun acc fr -> acc + fr.Tourney.messages) 0 o.Tourney.duels
+  in
+  metric "tournament_grid" (Tourney.json_of_outcome o);
+  metric "tournament_throughput"
+    (J.Obj
+       [
+         ("families", J.Int families);
+         ("cells", J.Int cells);
+         ("messages", J.Int msgs);
+         ("grid_wall_s", J.Float wall);
+         ("messages_per_wall_s", J.Float (float_of_int msgs /. wall));
+       ]);
+  print_string (Tourney.render o);
+  (match Tourney.check_csa_sound o with
+  | Ok () -> ()
+  | Error m -> failwith ("E20: " ^ m));
+  (match Tourney.check_csa_leads_static o with
+  | Ok () -> ()
+  | Error m -> failwith ("E20: " ^ m));
+  Format.printf
+    "@.%d cells across %d families in %.1f s wall (%.0f simulated@.\
+     messages/s with all six algorithm stacks enabled); the optimal@.\
+     CSA is sound in every cell and leads every static ranking.@."
+    cells families wall
+    (float_of_int msgs /. wall)
+
 (* ------------------------------------------------ bench-guard (CI) *)
 
 (* Conservative throughput floor for `make bench-guard` / CI: the fast
@@ -1522,6 +1573,7 @@ let all =
     ("E17", e17_instrumentation_overhead);
     ("E18", e18_two_tier_speedup);
     ("E19", e19_hub_capacity);
+    ("E20", e20_tournament);
     ("uB", microbenches);
   ]
 

@@ -1031,6 +1031,123 @@ let analyze_cmd =
           it byte for byte.")
     term
 
+(* ---- tournament ---- *)
+
+let tournament_cmd =
+  let families_opt =
+    Arg.(value & opt string "all" & info [ "families" ] ~docv:"F1,F2,.."
+           ~doc:"Comma-separated scenario families to run \
+                 (static|ntp-poll|gossip|churn|partition-heal), or \
+                 $(b,all).")
+  in
+  let algos_opt =
+    Arg.(value & opt string "all" & info [ "algos" ] ~docv:"A1,A2,.."
+           ~doc:"Comma-separated algorithms to score \
+                 (optimal|driftfree|ntp|cristian|ftsp|marzullo), or \
+                 $(b,all).  The optimal CSA is always scored.")
+  in
+  let trace_dir_opt =
+    Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR"
+           ~doc:"Write each family's full event stream to \
+                 DIR/<family>.jsonl (the $(b,run --trace) format, \
+                 accepted by $(b,analyze)).")
+  in
+  let json_opt =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the grid as one JSON document to FILE.")
+  in
+  let assert_sound =
+    Arg.(value & flag & info [ "assert-sound" ]
+           ~doc:"Fail unless the optimal CSA is sound in every cell \
+                 (sampled, and every interval contained true time).")
+  in
+  let assert_leads =
+    Arg.(value & flag & info [ "assert-leads-static" ]
+           ~doc:"Fail if any baseline strictly beats the optimal CSA on \
+                 median width in a static (clean) family.")
+  in
+  let action nodes duration seed families algos trace_dir json assert_sound
+      assert_leads =
+    let split s = String.split_on_char ',' s |> List.map String.trim in
+    let families =
+      if families = "all" then Ok Tourney.all_families
+      else
+        List.fold_right
+          (fun name acc ->
+            Result.bind acc (fun fs ->
+                Result.map (fun f -> f :: fs) (Tourney.family_of_name name)))
+          (split families) (Ok [])
+    in
+    match families with
+    | Error m -> `Error (false, m)
+    | Ok families -> (
+      let algos =
+        if algos = "all" then Tourney.algo_names
+        else
+          let a = split algos in
+          if List.mem "optimal" a then a else "optimal" :: a
+      in
+      let spec =
+        {
+          Tourney.nodes;
+          duration = Scenario.sec duration;
+          seed;
+          families;
+          algos;
+          trace_dir;
+        }
+      in
+      match Tourney.run ~log:(Format.printf "%s@.") spec with
+      | exception Invalid_argument m -> `Error (false, m)
+      | outcome ->
+        print_string (Tourney.render outcome);
+        Option.iter
+          (fun dir -> Format.printf "@.wrote per-family traces under %s@." dir)
+          trace_dir;
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            output_string oc
+              (Json_out.to_line (Tourney.json_of_outcome outcome));
+            output_char oc '\n';
+            close_out oc;
+            Format.printf "wrote %s@." path)
+          json;
+        let checks =
+          (if assert_sound then [ ("soundness", Tourney.check_csa_sound) ]
+           else [])
+          @
+          if assert_leads then
+            [ ("static ranking", Tourney.check_csa_leads_static) ]
+          else []
+        in
+        let failures =
+          List.filter_map
+            (fun (what, check) ->
+              match check outcome with
+              | Ok () -> None
+              | Error m -> Some (what ^ ": " ^ m))
+            checks
+        in
+        if failures = [] then `Ok ()
+        else `Error (false, String.concat "\n" failures))
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ nodes $ duration $ seed $ families_opt $ algos_opt
+       $ trace_dir_opt $ json_opt $ assert_sound $ assert_leads))
+  in
+  Cmd.v
+    (Cmd.info "tournament"
+       ~doc:
+         "Run the baselines tournament: dynamic-network scenario families \
+          (static polling, lossy NTP hierarchy, gossip mesh, link churn, \
+          partition-and-heal) crossed with the synchronization \
+          algorithms, each family one seeded execution shared by every \
+          algorithm, ranked per family by median estimate width.")
+    term
+
 (* ---- verify ---- *)
 
 let verify_cmd =
@@ -1098,5 +1215,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; sweep_cmd; verify_cmd; serve_cmd; peer_cmd; hub_cmd;
-            swarm_cmd; analyze_cmd ]))
+          [ run_cmd; sweep_cmd; tournament_cmd; verify_cmd; serve_cmd;
+            peer_cmd; hub_cmd; swarm_cmd; analyze_cmd ]))

@@ -1,0 +1,167 @@
+type wire = { root : int; seq : int; t3 : Q.t; est : Interval.t }
+
+let root_timeout = 6
+let entries_limit = 8
+
+(* Regression residuals beyond this (seconds) flush the table, like
+   FTSP's TIME_ERROR_LIMIT: a reboot or a topology change makes old
+   samples describe a different clock relation. *)
+let error_limit = 0.05
+
+type entry = { at : float; offset : float } (* local time, midpoint - lt *)
+
+type t = {
+  spec : System_spec.t;
+  me : Event.proc;
+  mutable root_id : int;
+  mutable highest_seq : int;
+  mutable heartbeats : int;
+  mutable anchor : (Q.t * Interval.t) option;
+  mutable entries : entry list; (* newest first, at most entries_limit *)
+  mutable accepted : int;
+  mutable rejected : int;
+}
+
+let name = "ftsp"
+
+let create spec ~me ~lt0 =
+  let anchor =
+    if me = System_spec.source spec then Some (lt0, Interval.point lt0)
+    else None
+  in
+  {
+    spec;
+    me;
+    root_id = me;
+    highest_seq = 0;
+    heartbeats = 0;
+    anchor;
+    entries = [];
+    accepted = 0;
+    rejected = 0;
+  }
+
+let samples_accepted t = t.accepted
+let samples_rejected t = t.rejected
+let root t = t.root_id
+
+let widen_to t (anchor_lt, interval) lt =
+  let d = System_spec.drift t.spec t.me in
+  let delta = Q.sub lt anchor_lt in
+  if Q.sign delta < 0 then invalid_arg "Ftsp: query before anchor";
+  Interval.widen
+    (Interval.shift interval delta)
+    ~lo_by:(Q.mul (Q.sub Q.one d.Drift.rmin) delta)
+    ~hi_by:(Q.mul (Q.sub d.Drift.rmax Q.one) delta)
+
+let estimate_at t ~lt =
+  if t.me = System_spec.source t.spec then Interval.point lt
+  else
+    match t.anchor with
+    | None -> Interval.full
+    | Some a -> widen_to t a lt
+
+let on_send t ~dst ~msg ~lt =
+  ignore dst;
+  ignore msg;
+  t.heartbeats <- t.heartbeats + 1;
+  if t.root_id <> t.me && t.heartbeats >= root_timeout then t.root_id <- t.me;
+  if t.root_id = t.me then t.highest_seq <- t.highest_seq + 1;
+  { root = t.root_id; seq = t.highest_seq; t3 = lt; est = estimate_at t ~lt }
+
+(* Least-squares slope of offset against local time. *)
+let skew t =
+  match t.entries with
+  | [] | [ _ ] -> None
+  | entries ->
+    let n = float_of_int (List.length entries) in
+    let sx = List.fold_left (fun a e -> a +. e.at) 0. entries in
+    let sy = List.fold_left (fun a e -> a +. e.offset) 0. entries in
+    let sxx = List.fold_left (fun a e -> a +. (e.at *. e.at)) 0. entries in
+    let sxy =
+      List.fold_left (fun a e -> a +. (e.at *. e.offset)) 0. entries
+    in
+    let var = (n *. sxx) -. (sx *. sx) in
+    if var = 0. then None else Some (((n *. sxy) -. (sx *. sy)) /. var)
+
+let predict_offset t ~at =
+  match skew t, t.entries with
+  | Some slope, { at = x0; offset = y0 } :: _ ->
+    Some (y0 +. (slope *. (at -. x0)))
+  | _ -> None
+
+let note_entry t ~lt sample =
+  match Interval.lo sample, Interval.hi sample with
+  | Interval.B a, Interval.B b ->
+    let at = Q.to_float lt in
+    let mid = (Q.to_float a +. Q.to_float b) /. 2. in
+    let offset = mid -. at in
+    let flush =
+      match predict_offset t ~at with
+      | Some p -> Float.abs (p -. offset) > error_limit
+      | None -> false
+    in
+    if flush then t.entries <- [ { at; offset } ]
+    else begin
+      let keep =
+        if List.length t.entries >= entries_limit then
+          List.filteri (fun i _ -> i < entries_limit - 1) t.entries
+        else t.entries
+      in
+      t.entries <- { at; offset } :: keep
+    end
+  | _ -> ()
+
+let sample_of_wire t ~src (w : wire) =
+  let tr = System_spec.transit_exn t.spec src t.me in
+  let lo =
+    match Interval.lo w.est with
+    | Interval.Neg_inf -> Interval.Neg_inf
+    | Interval.B a -> Interval.B (Q.add a tr.Transit.lo)
+    | Interval.Pos_inf -> Interval.Pos_inf
+  in
+  let hi =
+    match Interval.hi w.est, tr.Transit.hi with
+    | Interval.Pos_inf, _ | _, Ext.Inf -> Interval.Pos_inf
+    | Interval.B b, Ext.Fin h -> Interval.B (Q.add b h)
+    | Interval.Neg_inf, _ -> Interval.Neg_inf
+  in
+  Interval.make lo hi
+
+let on_recv t ~src ~msg ~lt (w : wire) =
+  ignore msg;
+  (* FTSP acceptance: adopt a lower root unconditionally; from the
+     current root's chain accept only fresh sequence numbers. *)
+  let accept =
+    if w.root < t.root_id then begin
+      t.root_id <- w.root;
+      t.highest_seq <- w.seq;
+      true
+    end
+    else if w.root > t.root_id || w.seq <= t.highest_seq then false
+    else begin
+      t.highest_seq <- w.seq;
+      true
+    end
+  in
+  if not accept then t.rejected <- t.rejected + 1
+  else begin
+    if t.root_id < t.me then t.heartbeats <- 0;
+    if t.me <> System_spec.source t.spec then begin
+      let sample = sample_of_wire t ~src w in
+      t.accepted <- t.accepted + 1;
+      note_entry t ~lt sample;
+      let updated =
+        match t.anchor with
+        | None -> sample
+        | Some a -> (
+          match Interval.inter (widen_to t a lt) sample with
+          | Some i -> i
+          | None ->
+            (* sound inputs cannot disagree under exact arithmetic;
+               keep the fresh sample defensively *)
+            sample)
+      in
+      t.anchor <- Some (lt, updated)
+    end
+  end

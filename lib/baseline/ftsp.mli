@@ -1,0 +1,46 @@
+(** FTSP-style baseline (Maróti et al., flooding time synchronization).
+
+    Root election by lowest id with heartbeat timeout, sequence-number
+    gated flooding, and a linear-regression drift estimate over recent
+    samples.  The protocol skeleton follows FTSP: a node adopts any
+    lower-id root it hears, ignores floods from higher roots or stale
+    sequence numbers, and nominates itself root after [root_timeout]
+    sends without news from the root chain.  On a connected network the
+    election converges to the lowest id — processor 0, the source.
+
+    Accuracy bookkeeping stays in the repo's interval discipline: every
+    accepted flood yields a sound one-way sample (the sender's interval
+    shifted by the link's transit bounds), intersected with the
+    drift-widened anchor, so [estimate_at] is sound whenever the inputs
+    were.  The regression table mirrors FTSP's [estimate_drift]: it fits
+    local-clock skew from sample midpoints and is exposed for
+    diagnostics ({!skew}); it never narrows the sound interval. *)
+
+type wire = { root : int; seq : int; t3 : Q.t; est : Interval.t }
+
+type t
+
+val create : System_spec.t -> me:Event.proc -> lt0:Q.t -> t
+val name : string
+
+val on_send : t -> dst:Event.proc -> msg:int -> lt:Q.t -> wire
+(** Also the node's heartbeat timer, as in FTSP's periodic broadcast:
+    counts toward self-nomination, and the root increments its flood
+    sequence number here. *)
+
+val on_recv : t -> src:Event.proc -> msg:int -> lt:Q.t -> wire -> unit
+val estimate_at : t -> lt:Q.t -> Interval.t
+val samples_accepted : t -> int
+val samples_rejected : t -> int
+(** Floods ignored by the root/sequence acceptance rule. *)
+
+val root : t -> int
+(** Current root belief; converges to the lowest reachable id. *)
+
+val skew : t -> float option
+(** Least-squares slope of (sample midpoint − local time) against local
+    time over the regression table — FTSP's drift estimate, in seconds
+    of offset per local second.  [None] until two usable samples. *)
+
+val root_timeout : int
+(** Sends without root-chain news before self-nomination. *)

@@ -1,0 +1,130 @@
+type wire = { t3 : Q.t; est : Interval.t }
+
+(* Sorted-endpoint sweep.  Each interval contributes a start and an end
+   tuple; sorting starts before ends at equal bounds makes touching
+   closed intervals count as overlapping.  The maximum coverage is
+   always attained in the region immediately after some start, so only
+   those regions are candidates; among regions with maximal coverage the
+   narrowest wins. *)
+let combine intervals =
+  match intervals with
+  | [] -> (Interval.full, 0)
+  | _ ->
+    let endpoints =
+      List.concat_map
+        (fun i -> [ (Interval.lo i, 1); (Interval.hi i, -1) ])
+        intervals
+    in
+    let sorted =
+      List.sort
+        (fun (a, da) (b, db) ->
+          let c = Interval.compare_bound a b in
+          if c <> 0 then c else compare db da)
+        endpoints
+    in
+    let best_count = ref 0 in
+    let best = ref Interval.full in
+    let count = ref 0 in
+    let rec sweep = function
+      | [] | [ _ ] -> ()
+      | (a, d) :: ((b, _) :: _ as rest) ->
+        count := !count + d;
+        if d = 1 then begin
+          (* the region [a, b] up to the next endpoint has coverage
+             [!count]; [a <= b] by sort order *)
+          let candidate = Interval.make a b in
+          let better =
+            !count > !best_count
+            || !count = !best_count
+               && Ext.lt (Interval.width candidate) (Interval.width !best)
+          in
+          if better then begin
+            best_count := !count;
+            best := candidate
+          end
+        end;
+        sweep rest
+    in
+    sweep sorted;
+    (!best, !best_count)
+
+type t = {
+  spec : System_spec.t;
+  me : Event.proc;
+  anchors : (Event.proc, Q.t * Interval.t) Hashtbl.t; (* peer -> (lt, iv) *)
+  mutable accepted : int;
+}
+
+let name = "marzullo"
+
+let create spec ~me ~lt0 =
+  ignore lt0;
+  { spec; me; anchors = Hashtbl.create 8; accepted = 0 }
+
+let samples_accepted t = t.accepted
+let sources t = Hashtbl.length t.anchors
+
+(* Same forward-propagation bound as {!Rtt_estimator.widen_to}: over a
+   local elapse Δ the real elapse is in [rmin·Δ, rmax·Δ]. *)
+let widen_to t (anchor_lt, interval) lt =
+  let d = System_spec.drift t.spec t.me in
+  let delta = Q.sub lt anchor_lt in
+  if Q.sign delta < 0 then invalid_arg "Marzullo: query before anchor";
+  Interval.widen
+    (Interval.shift interval delta)
+    ~lo_by:(Q.mul (Q.sub Q.one d.Drift.rmin) delta)
+    ~hi_by:(Q.mul (Q.sub d.Drift.rmax Q.one) delta)
+
+let estimate_at t ~lt =
+  if t.me = System_spec.source t.spec then Interval.point lt
+  else begin
+    let widened =
+      Hashtbl.fold (fun _ a acc -> widen_to t a lt :: acc) t.anchors []
+    in
+    match widened with
+    | [] -> Interval.full
+    | _ -> fst (combine widened)
+  end
+
+let on_send t ~dst ~msg ~lt =
+  ignore dst;
+  ignore msg;
+  { t3 = lt; est = estimate_at t ~lt }
+
+(* One-way sample: the sender's interval held source time at the send
+   instant, and source time advances by exactly the transit in flight,
+   which is within the link's [lo, hi] bound. *)
+let sample_of_wire t ~src (w : wire) =
+  let tr = System_spec.transit_exn t.spec src t.me in
+  let lo =
+    match Interval.lo w.est with
+    | Interval.Neg_inf -> Interval.Neg_inf
+    | Interval.B a -> Interval.B (Q.add a tr.Transit.lo)
+    | Interval.Pos_inf -> Interval.Pos_inf
+  in
+  let hi =
+    match Interval.hi w.est, tr.Transit.hi with
+    | Interval.Pos_inf, _ | _, Ext.Inf -> Interval.Pos_inf
+    | Interval.B b, Ext.Fin h -> Interval.B (Q.add b h)
+    | Interval.Neg_inf, _ -> Interval.Neg_inf
+  in
+  Interval.make lo hi
+
+let on_recv t ~src ~msg ~lt w =
+  ignore msg;
+  if t.me <> System_spec.source t.spec then begin
+    let sample = sample_of_wire t ~src w in
+    t.accepted <- t.accepted + 1;
+    let updated =
+      match Hashtbl.find_opt t.anchors src with
+      | None -> sample
+      | Some a -> (
+        match Interval.inter (widen_to t a lt) sample with
+        | Some i -> i
+        | None ->
+          (* both are sound, so exact arithmetic never lands here; keep
+             the fresh sample defensively *)
+          sample)
+    in
+    Hashtbl.replace t.anchors src (lt, updated)
+  end

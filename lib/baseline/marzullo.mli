@@ -1,0 +1,37 @@
+(** Marzullo's interval-intersection combiner (1984), as a baseline.
+
+    Every received message carries the sender's current source-time
+    interval; shifting it by the link's transit bounds gives a sound
+    one-way sample (the source clock runs at the rate of real time, so
+    source time advances by exactly the transit during flight).  The
+    combiner keeps one drift-widened anchor per peer and answers queries
+    with the classic sorted-endpoint sweep: the smallest interval
+    consistent with the largest number of peers.  With sound inputs all
+    peers agree, the sweep degenerates to plain intersection and the
+    estimate is sound; with a faulty peer the majority region wins —
+    the robustness NTP borrows from Marzullo. *)
+
+type wire = { t3 : Q.t; est : Interval.t }
+
+val combine : Interval.t list -> Interval.t * int
+(** [combine ivs] is [(best, count)]: the smallest interval contained in
+    [count] of the inputs, where [count] is the maximum number of inputs
+    sharing any common point (sorted-endpoint sweep, starts before ends
+    at equal bounds so touching intervals overlap).  [(Interval.full, 0)]
+    on the empty list.  Pure — exposed for the brute-force oracle test. *)
+
+type t
+
+val create : System_spec.t -> me:Event.proc -> lt0:Q.t -> t
+val name : string
+val on_send : t -> dst:Event.proc -> msg:int -> lt:Q.t -> wire
+val on_recv : t -> src:Event.proc -> msg:int -> lt:Q.t -> wire -> unit
+
+val estimate_at : t -> lt:Q.t -> Interval.t
+(** The sweep over every peer's anchor drift-widened to [lt]; the full
+    line before the first sample. *)
+
+val samples_accepted : t -> int
+
+val sources : t -> int
+(** Peers currently contributing an anchor. *)

@@ -128,20 +128,22 @@ module Injection = struct
     | Leave of { at : Q.t; node : int }
     | Join of { at : Q.t; node : int }
     | Partition of { at : Q.t; heal : Q.t; island : int list }
+    | Link_cut of { at : Q.t; heal : Q.t; u : int; v : int }
 
   let at = function
     | Crash { at; _ }
     | Restart { at; _ }
     | Leave { at; _ }
     | Join { at; _ }
-    | Partition { at; _ } ->
+    | Partition { at; _ }
+    | Link_cut { at; _ } ->
       at
 
   let node = function
     | Crash { node; _ } | Restart { node; _ } | Leave { node; _ }
     | Join { node; _ } ->
       Some node
-    | Partition _ -> None
+    | Partition _ | Link_cut _ -> None
 
   let label = function
     | Crash _ -> "crash"
@@ -149,6 +151,7 @@ module Injection = struct
     | Leave _ -> "leave"
     | Join _ -> "join"
     | Partition _ -> "partition"
+    | Link_cut _ -> "link_cut"
 
   let by_time evs =
     List.stable_sort (fun a b -> Q.compare (at a) (at b)) evs
@@ -204,6 +207,47 @@ module Chaos = struct
       in
       if island <> [] && List.length island < nodes then
         events := Injection.Partition { at; heal; island } :: !events
+    done;
+    Injection.by_time !events
+
+  let link_churn ~seed ~links ~duration ?(cuts = 4) ?min_down ?max_down
+      ?(protect = []) () =
+    if Q.sign duration <= 0 then
+      invalid_arg "Fault.Chaos.link_churn: non-positive duration";
+    let norm (u, v) = if u <= v then (u, v) else (v, u) in
+    let protect = List.map norm protect in
+    let victims =
+      List.filter (fun l -> not (List.mem l protect)) (List.map norm links)
+    in
+    if victims = [] then
+      invalid_arg "Fault.Chaos.link_churn: every link is protected";
+    let pct k = Q.mul duration (Q.of_ints k 100) in
+    let min_down = Option.value min_down ~default:(pct 2) in
+    let max_down = Option.value max_down ~default:(pct 10) in
+    let rng = Rng.create seed in
+    (* cuts land in the middle of the run, like crash cycles: the network
+       synchronizes once before the first cut and re-converges after the
+       last heal.  Overlapping windows on one link are dropped, not
+       stacked, so a cut's heal never races a later cut of the same
+       link. *)
+    let windows = Hashtbl.create 8 in
+    let overlaps link t0 t1 =
+      List.exists
+        (fun (a, b) -> Q.compare t0 b <= 0 && Q.compare a t1 <= 0)
+        (Option.value (Hashtbl.find_opt windows link) ~default:[])
+    in
+    let events = ref [] in
+    for _ = 1 to cuts do
+      let ((u, v) as link) = Rng.pick rng victims in
+      let t0 = Rng.q_between rng (pct 10) (pct 80) in
+      let down = Rng.q_between rng min_down max_down in
+      let t1 = Q.add t0 down in
+      if not (overlaps link t0 t1) then begin
+        Hashtbl.replace windows link
+          ((t0, t1)
+          :: Option.value (Hashtbl.find_opt windows link) ~default:[]);
+        events := Injection.Link_cut { at = t0; heal = t1; u; v } :: !events
+      end
     done;
     Injection.by_time !events
 end

@@ -92,11 +92,16 @@ module Injection : sig
     | Partition of { at : Q.t; heal : Q.t; island : int list }
         (** every link between [island] and its complement drops
             messages from [at] until [heal] *)
+    | Link_cut of { at : Q.t; heal : Q.t; u : int; v : int }
+        (** edge churn: the undirected link [u—v] is down from [at]
+            until [heal].  Messages sent while it is down — and messages
+            already in flight when it goes down — are declared lost
+            through the Section 3.3 oracle *)
 
   val at : event -> Q.t
 
   val node : event -> int option
-  (** [None] for partitions. *)
+  (** [None] for partitions and link cuts. *)
 
   val label : event -> string
 
@@ -129,4 +134,25 @@ module Chaos : sig
       Result is sorted by time.
       @raise Invalid_argument when every node is protected, on
       [nodes < 2], or on a non-positive [duration]. *)
+
+  val link_churn :
+    seed:int ->
+    links:(int * int) list ->
+    duration:Q.t ->
+    ?cuts:int ->
+    ?min_down:Q.t ->
+    ?max_down:Q.t ->
+    ?protect:(int * int) list ->
+    unit ->
+    Injection.event list
+  (** [link_churn ~seed ~links ~duration ()] draws [cuts] (default 4)
+      {!Injection.Link_cut} events on links outside [protect]
+      (orientation-insensitive), each cutting uniformly inside the
+      middle of the run and staying down between [min_down] and
+      [max_down] (defaults 2% and 10% of [duration]).  Cuts that would
+      overlap an earlier down window of the same link are dropped.
+      Result is sorted by time — continuous edge churn for the dynamic-
+      network scenarios.
+      @raise Invalid_argument when every link is protected or on a
+      non-positive [duration]. *)
 end

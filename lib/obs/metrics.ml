@@ -47,6 +47,8 @@ type t = {
   mutable checkpoint_bytes : int;
   mutable crashes : int;
   mutable recoveries : int;
+  mutable link_cuts : int;
+  mutable link_heals : int;
   algos : (string, acc) Hashtbl.t;
   mutable algo_order : string list; (* first-appearance order, reversed *)
   spans : (string, Histogram.t) Hashtbl.t;
@@ -83,6 +85,8 @@ let create () =
     checkpoint_bytes = 0;
     crashes = 0;
     recoveries = 0;
+    link_cuts = 0;
+    link_heals = 0;
     algos = Hashtbl.create 8;
     algo_order = [];
     spans = Hashtbl.create 8;
@@ -144,6 +148,8 @@ let on_event t (ev : Trace.event) =
     t.checkpoint_bytes <- t.checkpoint_bytes + bytes
   | Trace.Crash _ -> t.crashes <- t.crashes + 1
   | Trace.Recover _ -> t.recoveries <- t.recoveries + 1
+  | Trace.Link_down _ -> t.link_cuts <- t.link_cuts + 1
+  | Trace.Link_up _ -> t.link_heals <- t.link_heals + 1
   | Trace.Hub_cohort { cohort; clients; established; frames; batched;
                        coalesced; _ } ->
     if not (Hashtbl.mem t.hub cohort) then
@@ -200,6 +206,8 @@ let checkpoints t = t.checkpoints
 let checkpoint_bytes t = t.checkpoint_bytes
 let crashes t = t.crashes
 let recoveries t = t.recoveries
+let link_cuts t = t.link_cuts
+let link_heals t = t.link_heals
 let algo_names t = List.rev t.algo_order
 let span_names t = List.rev t.span_order
 let span_hist t name = Hashtbl.find_opt t.spans name
@@ -269,6 +277,8 @@ let summary_json t =
       ("checkpoint_bytes", J.Int t.checkpoint_bytes);
       ("crashes", J.Int t.crashes);
       ("recoveries", J.Int t.recoveries);
+      ("link_cuts", J.Int t.link_cuts);
+      ("link_heals", J.Int t.link_heals);
       ( "algos",
         J.Obj
           (List.map

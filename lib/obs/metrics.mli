@@ -96,6 +96,11 @@ val checkpoint_bytes : t -> int
 val crashes : t -> int
 val recoveries : t -> int
 
+val link_cuts : t -> int
+(** [Link_down] events: edges severed by churn. *)
+
+val link_heals : t -> int
+
 (** {1 Hub aggregates}
 
     Latest per-cohort gauges from [Hub_cohort] events; empty unless a

@@ -29,6 +29,8 @@ type event =
   | Checkpoint of { t : float; node : int; bytes : int }
   | Crash of { t : float; node : int }
   | Recover of { t : float; node : int }
+  | Link_down of { t : float; u : int; v : int }
+  | Link_up of { t : float; u : int; v : int }
   | Hub_cohort of {
       t : float;
       cohort : int;
@@ -94,6 +96,8 @@ let label = function
   | Checkpoint _ -> "checkpoint"
   | Crash _ -> "crash"
   | Recover _ -> "recover"
+  | Link_down _ -> "link_down"
+  | Link_up _ -> "link_up"
   | Hub_cohort _ -> "hub_cohort"
   | Span _ -> "span"
 
@@ -143,6 +147,8 @@ let json_of_event ev =
       [ ("t", J.Float t); ("node", J.Int node); ("bytes", J.Int bytes) ]
     | Crash { t; node } -> [ ("t", J.Float t); ("node", J.Int node) ]
     | Recover { t; node } -> [ ("t", J.Float t); ("node", J.Int node) ]
+    | Link_down { t; u; v } | Link_up { t; u; v } ->
+      [ ("t", J.Float t); ("u", J.Int u); ("v", J.Int v) ]
     | Hub_cohort { t; cohort; clients; established; frames; batched;
                    coalesced } ->
       [
@@ -283,6 +289,16 @@ let event_of_json (j : Json_out.t) : (event, string) result =
       let* t = t "t" in
       let* node = int "node" in
       Ok (Recover { t; node })
+    | "link_down" ->
+      let* t = t "t" in
+      let* u = int "u" in
+      let* v = int "v" in
+      Ok (Link_down { t; u; v })
+    | "link_up" ->
+      let* t = t "t" in
+      let* u = int "u" in
+      let* v = int "v" in
+      Ok (Link_up { t; u; v })
     | "hub_cohort" ->
       let* t = t "t" in
       let* cohort = int "cohort" in

@@ -65,6 +65,12 @@ type event =
   | Recover of { t : float; node : int }
       (** fault layer: [node] restarted from its last checkpoint (or
           joined the network) *)
+  | Link_down of { t : float; u : int; v : int }
+      (** fault layer: the undirected link [u—v] was cut (edge churn);
+          messages on it — including those already in flight — are
+          declared lost through the Section 3.3 oracle *)
+  | Link_up of { t : float; u : int; v : int }
+      (** fault layer: the link [u—v] healed *)
   | Hub_cohort of {
       t : float;
       cohort : int;
@@ -127,4 +133,5 @@ val label : event -> string
     ["estimate"], ["validation"], ["liveness"], ["oracle_insert"],
     ["oracle_gc"], ["net_tx"], ["net_rx"], ["net_drop"], ["peer_up"],
     ["peer_down"], ["retransmit"], ["checkpoint"], ["crash"],
-    ["recover"], ["hub_cohort"], ["span"]. *)
+    ["recover"], ["link_down"], ["link_up"], ["hub_cohort"],
+    ["span"]. *)

@@ -48,8 +48,10 @@ type sim_event =
       dst : Event.proc;
       env : Node_rt.envelope;
       app : app;
+      sent_at : Q.t; (* send real time, for the in-flight sever check *)
     }
   | Lost_notify of { msg : int }
+  | Link_heal of { u : Event.proc; v : Event.proc }
   | Poll of { p : Event.proc }
   | Gossip_tick
   | Token_send of { p : Event.proc }
@@ -82,6 +84,12 @@ type state = {
   rng : Rng.t;
   nodes : Node_rt.t array;
   frt : fault_rt option;
+  (* dynamic-link state (edge churn), keyed by normalized undirected
+     link: when the link heals, and when it was last cut.  Kept apart
+     from [frt] because link cuts touch no node state — a churn-only
+     scenario needs no checkpointing machinery. *)
+  cuts : (Event.proc * Event.proc, Q.t) Hashtbl.t; (* link -> heal time *)
+  last_cut : (Event.proc * Event.proc, Q.t) Hashtbl.t;
   transport : Transport.t;
   metrics : Metrics.t;
   trace : Trace.sink; (* metrics ∪ the scenario's sink *)
@@ -99,7 +107,9 @@ let algo_names st =
   ::
   (if st.scenario.Scenario.run_driftfree then [ Driftfree.name ] else [])
   @ (if st.scenario.Scenario.run_ntp then [ Ntp.name ] else [])
-  @ if st.scenario.Scenario.run_cristian then [ Cristian.name ] else []
+  @ (if st.scenario.Scenario.run_cristian then [ Cristian.name ] else [])
+  @ (if st.scenario.Scenario.run_ftsp then [ Ftsp.name ] else [])
+  @ if st.scenario.Scenario.run_marzullo then [ Marzullo.name ] else []
 
 let lt_now st node = Node_rt.lt_at node ~rt:st.now
 let now_f st = Q.to_float st.now
@@ -153,7 +163,9 @@ let validate st (node : Node_rt.t) =
 (* ------------------------------------------------------------------ *)
 
 let lossy st =
-  st.scenario.Scenario.loss_prob > 0. || st.scenario.Scenario.faults <> []
+  st.scenario.Scenario.loss_prob > 0.
+  || st.scenario.Scenario.faults <> []
+  || st.scenario.Scenario.churn <> None
 
 let is_down st p =
   match st.frt with None -> false | Some f -> f.down.(p)
@@ -184,6 +196,21 @@ let checkpoint st p =
           f.queued.(sender) <- Acked msg :: f.queued.(sender)
         else Csa.on_msg_delivered st.nodes.(sender).Node_rt.csa ~msg)
       acks
+
+let link_key u v = if u <= v then (u, v) else (v, u)
+
+let link_down st ~src ~dst =
+  match Hashtbl.find_opt st.cuts (link_key src dst) with
+  | Some heal -> Q.compare heal st.now > 0
+  | None -> false
+
+(* Was the link cut at any point since [sent_at]?  A message in flight
+   across a cut is severed even if the link healed again before the
+   would-be arrival. *)
+let severed st ~src ~dst ~sent_at =
+  match Hashtbl.find_opt st.last_cut (link_key src dst) with
+  | Some cut -> Q.compare cut sent_at >= 0
+  | None -> false
 
 let partitioned st ~src ~dst =
   match st.frt with
@@ -219,10 +246,11 @@ let send st ~src ~dst ~app =
     (* [seq] counts this send: the metrics sink has already seen it *)
     let seq = Metrics.sends st.metrics in
     let verdict = Transport.send st.transport ~now:st.now ~seq ~src ~dst in
-    (* a partition overrides the transport verdict but never skips it:
-       the random stream stays aligned with an unpartitioned run *)
+    (* a partition or a cut link overrides the transport verdict but
+       never skips it: the random stream stays aligned with an
+       unperturbed run *)
     let verdict =
-      if partitioned st ~src ~dst then
+      if partitioned st ~src ~dst || link_down st ~src ~dst then
         Transport.Lost
           { detect_at = Q.add st.now st.scenario.Scenario.loss_detect }
       else verdict
@@ -232,11 +260,23 @@ let send st ~src ~dst ~app =
       Trace.emit st.trace (Trace.Lost { t = now_f st; msg });
       Heap.push st.agenda ~at:detect_at (Lost_notify { msg })
     | Transport.Deliver_at at ->
-      Heap.push st.agenda ~at (Deliver { msg; src; dst; env; app })
+      Heap.push st.agenda ~at
+        (Deliver { msg; src; dst; env; app; sent_at = st.now })
   end
 
-let deliver st ~msg ~src ~dst ~env ~app =
-  if is_down st dst then begin
+let deliver st ~msg ~src ~dst ~env ~app ~sent_at =
+  if severed st ~src ~dst ~sent_at then begin
+    (* the link was cut under a message in flight: the datagram died on
+       the wire.  It must NOT be silently dropped — the loss oracle
+       reports it like any other lost message, or the sender would wait
+       on a verdict forever and CSA's Section 3.3 bookkeeping would leak
+       a pending message (soundness is indifferent, liveness is not). *)
+    Trace.emit st.trace (Trace.Lost { t = now_f st; msg });
+    Heap.push st.agenda
+      ~at:(Q.add st.now st.scenario.Scenario.loss_detect)
+      (Lost_notify { msg })
+  end
+  else if is_down st dst then begin
     (* crash-as-loss: the datagram reached a dead host; the loss oracle
        reports it like any other lost message (Section 3.3) *)
     Trace.emit st.trace (Trace.Lost { t = now_f st; msg });
@@ -358,6 +398,23 @@ let fault_ev st (ev : Fault.Injection.event) =
     match st.frt with
     | None -> ()
     | Some f -> f.partitions <- (heal, island) :: f.partitions)
+  | Fault.Injection.Link_cut { heal; u; v; _ } ->
+    let key = link_key u v in
+    Hashtbl.replace st.cuts key heal;
+    Hashtbl.replace st.last_cut key st.now;
+    Trace.emit st.trace (Trace.Link_down { t = now_f st; u; v });
+    Heap.push st.agenda ~at:heal (Link_heal { u; v })
+
+let link_heal st ~u ~v =
+  let key = link_key u v in
+  match Hashtbl.find_opt st.cuts key with
+  | Some heal when Q.compare heal st.now <= 0 ->
+    Hashtbl.remove st.cuts key;
+    Trace.emit st.trace (Trace.Link_up { t = now_f st; u; v })
+  | _ ->
+    (* a later overlapping cut re-armed the link; its own heal event
+       will close it *)
+    ()
 
 let schedule_local st node ~after_lt ev =
   (* fire when the node's clock shows (now_lt + after_lt) *)
@@ -480,6 +537,33 @@ let bootstrap st =
       sends
 
 let run_nodes (scenario : Scenario.t) =
+  (* compile edge churn into Link_cut fault events up front: the
+     schedule is drawn from the scenario seed alone, so a churn run is
+     reproducible and every downstream consumer (node boot, lossy-mode
+     detection, the agenda) sees one merged fault list *)
+  let scenario =
+    match scenario.Scenario.churn with
+    | None -> scenario
+    | Some { Scenario.cuts; min_down; max_down } ->
+      let spec = scenario.Scenario.spec in
+      let n = System_spec.n spec in
+      let links =
+        List.concat
+          (List.init n (fun u ->
+               List.filter_map
+                 (fun v -> if u < v then Some (u, v) else None)
+                 (System_spec.neighbors spec u)))
+      in
+      let churn_faults =
+        Fault.Chaos.link_churn ~seed:scenario.Scenario.seed ~links
+          ~duration:scenario.Scenario.duration ~cuts ?min_down ?max_down ()
+      in
+      {
+        scenario with
+        Scenario.faults =
+          Fault.Injection.by_time (scenario.Scenario.faults @ churn_faults);
+      }
+  in
   if scenario.Scenario.faults <> [] && scenario.Scenario.validate then
     invalid_arg
       "Engine: validate (full-view mirror) cannot be combined with faults";
@@ -487,8 +571,16 @@ let run_nodes (scenario : Scenario.t) =
   let metrics = Metrics.create () in
   let trace = Trace.tee (Metrics.sink metrics) scenario.Scenario.trace in
   let nodes = init_nodes scenario rng trace in
+  (* link cuts touch no node state: only node-level faults (and
+     partitions, whose bookkeeping rides the same record) need the
+     checkpoint/recovery runtime *)
+  let node_faults =
+    List.filter
+      (function Fault.Injection.Link_cut _ -> false | _ -> true)
+      scenario.Scenario.faults
+  in
   let frt =
-    if scenario.Scenario.faults = [] then None
+    if node_faults = [] then None
     else begin
       let n = Array.length nodes in
       let stores =
@@ -537,6 +629,8 @@ let run_nodes (scenario : Scenario.t) =
       rng;
       nodes;
       frt;
+      cuts = Hashtbl.create 8;
+      last_cut = Hashtbl.create 8;
       transport;
       metrics;
       trace;
@@ -560,7 +654,7 @@ let run_nodes (scenario : Scenario.t) =
     List.iter
       (fun ev ->
         (* a node whose first fault is a Join is absent from time 0 *)
-        (match ev with
+        match ev with
         | Fault.Injection.Join { node; _ }
           when not (List.exists
                       (fun e ->
@@ -570,9 +664,11 @@ let run_nodes (scenario : Scenario.t) =
                            < 0)
                       scenario.Scenario.faults) ->
           f.down.(node) <- true
-        | _ -> ());
-        Heap.push st.agenda ~at:(Fault.Injection.at ev) (Fault_ev ev))
+        | _ -> ())
       scenario.Scenario.faults);
+  List.iter
+    (fun ev -> Heap.push st.agenda ~at:(Fault.Injection.at ev) (Fault_ev ev))
+    scenario.Scenario.faults;
   bootstrap st;
   let continue = ref true in
   while !continue do
@@ -582,8 +678,10 @@ let run_nodes (scenario : Scenario.t) =
     | Some (at, ev) -> (
       st.now <- at;
       match ev with
-      | Deliver { msg; src; dst; env; app } -> deliver st ~msg ~src ~dst ~env ~app
+      | Deliver { msg; src; dst; env; app; sent_at } ->
+        deliver st ~msg ~src ~dst ~env ~app ~sent_at
       | Lost_notify { msg } -> lost_notify st ~msg
+      | Link_heal { u; v } -> link_heal st ~u ~v
       | Poll { p } -> poll st ~p
       | Gossip_tick -> gossip_tick st
       | Token_send { p } -> token_send st ~p

@@ -2,6 +2,8 @@ type envelope = {
   wire : string;
   ntp_w : Ntp.wire option;
   cris_w : Cristian.wire option;
+  ftsp_w : Ftsp.wire option;
+  marz_w : Marzullo.wire option;
 }
 
 type t = {
@@ -12,6 +14,8 @@ type t = {
   driftfree : Driftfree.t option;
   ntp : Ntp.t option;
   cristian : Cristian.t option;
+  ftsp : Ftsp.t option;
+  marzullo : Marzullo.t option;
   parents : Event.proc list;
   prof : Prof.t;
 }
@@ -34,7 +38,9 @@ let create (scenario : Scenario.t) ~rng ~links ~sink p =
     csa =
       Csa.create
         ~lossy:
-          (scenario.Scenario.loss_prob > 0. || scenario.Scenario.faults <> [])
+          (scenario.Scenario.loss_prob > 0.
+          || scenario.Scenario.faults <> []
+          || scenario.Scenario.churn <> None)
         ~validate:scenario.Scenario.validate_oracle ~sink
         ~prof:scenario.Scenario.prof spec ~me:p ~lt0;
     mirror =
@@ -54,6 +60,13 @@ let create (scenario : Scenario.t) ~rng ~links ~sink p =
          Some
            (Cristian.create ~rtt_threshold:scenario.Scenario.cristian_rtt spec
               ~me:p ~lt0)
+       else None);
+    ftsp =
+      (if scenario.Scenario.run_ftsp then Some (Ftsp.create spec ~me:p ~lt0)
+       else None);
+    marzullo =
+      (if scenario.Scenario.run_marzullo then
+         Some (Marzullo.create spec ~me:p ~lt0)
        else None);
     parents =
       Topology.parents_toward_source ~n ~links
@@ -90,6 +103,13 @@ let revive (scenario : Scenario.t) ~clock ~parents ~csa ~now p =
            (Cristian.create ~rtt_threshold:scenario.Scenario.cristian_rtt spec
               ~me:p ~lt0)
        else None);
+    ftsp =
+      (if scenario.Scenario.run_ftsp then Some (Ftsp.create spec ~me:p ~lt0)
+       else None);
+    marzullo =
+      (if scenario.Scenario.run_marzullo then
+         Some (Marzullo.create spec ~me:p ~lt0)
+       else None);
     parents;
     prof = scenario.Scenario.prof;
   }
@@ -104,10 +124,14 @@ let prepare_send t ~dst ~msg ~lt =
   let cris_w =
     Option.map (fun a -> Cristian.on_send a ~dst ~msg ~lt) t.cristian
   in
+  let ftsp_w = Option.map (fun a -> Ftsp.on_send a ~dst ~msg ~lt) t.ftsp in
+  let marz_w =
+    Option.map (fun a -> Marzullo.on_send a ~dst ~msg ~lt) t.marzullo
+  in
   let t0 = Prof.start t.prof in
   let wire = Codec.encode payload in
   Prof.stop t.prof "codec_encode" t0;
-  ({ wire; ntp_w; cris_w }, Payload.size payload)
+  ({ wire; ntp_w; cris_w; ftsp_w; marz_w }, Payload.size payload)
 
 let receive t ~src ~msg ~lt env =
   (* messages travel in their encoded form; decode exactly once here *)
@@ -120,8 +144,14 @@ let receive t ~src ~msg ~lt env =
   (match t.ntp, env.ntp_w with
   | Some a, Some w -> Ntp.on_recv a ~src ~msg ~lt w
   | _ -> ());
-  match t.cristian, env.cris_w with
+  (match t.cristian, env.cris_w with
   | Some a, Some w -> Cristian.on_recv a ~src ~msg ~lt w
+  | _ -> ());
+  (match t.ftsp, env.ftsp_w with
+  | Some a, Some w -> Ftsp.on_recv a ~src ~msg ~lt w
+  | _ -> ());
+  match t.marzullo, env.marz_w with
+  | Some a, Some w -> Marzullo.on_recv a ~src ~msg ~lt w
   | _ -> ()
 
 let estimates t ~lt =
@@ -135,6 +165,10 @@ let estimates t ~lt =
          Option.map
            (fun a -> (Cristian.name, Cristian.estimate_at a ~lt))
            t.cristian;
+         Option.map (fun a -> (Ftsp.name, Ftsp.estimate_at a ~lt)) t.ftsp;
+         Option.map
+           (fun a -> (Marzullo.name, Marzullo.estimate_at a ~lt))
+           t.marzullo;
        ]
 
 let validate t =

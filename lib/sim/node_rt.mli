@@ -17,6 +17,8 @@ type envelope = {
   wire : string;
   ntp_w : Ntp.wire option;
   cris_w : Cristian.wire option;
+  ftsp_w : Ftsp.wire option;
+  marz_w : Marzullo.wire option;
 }
 
 type t = {
@@ -27,6 +29,8 @@ type t = {
   driftfree : Driftfree.t option;
   ntp : Ntp.t option;
   cristian : Cristian.t option;
+  ftsp : Ftsp.t option;
+  marzullo : Marzullo.t option;
   parents : Event.proc list;  (** next hops toward the source *)
   prof : Prof.t;  (** scenario profiler (times codec encode/decode) *)
 }

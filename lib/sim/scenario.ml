@@ -7,6 +7,8 @@ type traffic =
   | Burst of { check_period : Q.t; width_target : Q.t }
   | Script of { sends : (Q.t * Event.proc * Event.proc) list }
 
+type churn = { cuts : int; min_down : Q.t option; max_down : Q.t option }
+
 type t = {
   spec : System_spec.t;
   seed : int;
@@ -23,6 +25,9 @@ type t = {
   run_ntp : bool;
   run_cristian : bool;
   cristian_rtt : Q.t;
+  run_ftsp : bool;
+  run_marzullo : bool;
+  churn : churn option;
   validate : bool;
   validate_oracle : bool;
   series_cap : int;
@@ -54,6 +59,9 @@ let default ~spec ~traffic =
     run_ntp = false;
     run_cristian = false;
     cristian_rtt = ms 50;
+    run_ftsp = false;
+    run_marzullo = false;
+    churn = None;
     validate = false;
     validate_oracle = false;
     series_cap = 2_000;

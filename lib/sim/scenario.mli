@@ -36,6 +36,13 @@ type traffic =
           net-layer equivalence tests use to run the simulator and the
           loopback socket runtime over the same execution. *)
 
+type churn = { cuts : int; min_down : Q.t option; max_down : Q.t option }
+(** Continuous edge churn: [cuts] seeded link cut/heal cycles drawn from
+    the scenario's seed over the spec's links ({!Fault.Chaos.link_churn});
+    [min_down]/[max_down] bound each outage (defaults 2% and 10% of the
+    duration).  The engine compiles this into [Link_cut] fault events at
+    start-up, so a churn scenario stays reproducible from its seed. *)
+
 type t = {
   spec : System_spec.t;
   seed : int;
@@ -52,6 +59,13 @@ type t = {
   run_ntp : bool;
   run_cristian : bool;
   cristian_rtt : Q.t;  (** Cristian's quick-round-trip threshold *)
+  run_ftsp : bool;
+  run_marzullo : bool;
+  churn : churn option;
+      (** edge churn compiled into [Link_cut] faults at engine start.
+          Like any fault, churn forces lossy CSA mode (severed messages
+          surface as Section 3.3 losses) and is incompatible with
+          [validate]. *)
   validate : bool;
       (** drive a full-view mirror per node and check, at every receive,
           that the CSA equals the reference optimal algorithm and contains

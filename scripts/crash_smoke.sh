@@ -19,35 +19,11 @@
 #                         failure so CI can upload them
 set -eu
 
-BIN=${CLOCKSYNC:-_build/default/bin/clocksync.exe}
-DIR=$(mktemp -d)
+. "$(dirname "$0")/smoke_lib.sh"
+smoke_init 1
+
 CKPT="$DIR/ckpt"
 mkdir -p "$CKPT"
-PIDS=""
-
-cleanup() {
-  status=$?
-  for pid in $PIDS; do
-    kill "$pid" 2>/dev/null || true
-  done
-  for pid in $PIDS; do
-    wait "$pid" 2>/dev/null || true
-  done
-  if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
-    mkdir -p "$SMOKE_ARTIFACT_DIR"
-    # analyzer reports are always worth keeping; raw logs + traces only
-    # when an assertion failed
-    cp "$DIR"/*-analysis.txt "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
-    if [ "$status" -ne 0 ]; then
-      cp "$DIR"/*.log "$DIR"/*.jsonl "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
-    fi
-  fi
-  rm -rf "$DIR"
-}
-trap cleanup EXIT
-
-PORT_BASE=${NET_SMOKE_PORT_BASE:-20000}
-PORT=$((PORT_BASE + ($$ + 1) % 40000))
 DURATION=${CRASH_SMOKE_DURATION:-16}
 DROP=${NET_SMOKE_DROP:-0.15}
 
@@ -57,7 +33,7 @@ echo "crash-smoke: UDP session on 127.0.0.1:$PORT (drop=$DROP), peer will be kil
   --sample 1 --drop "$DROP" --trace "$DIR/serve.jsonl" \
   >"$DIR/serve.log" 2>&1 &
 SERVE_PID=$!
-PIDS="$PIDS $SERVE_PID"
+smoke_track "$SERVE_PID"
 
 sleep 1
 
@@ -66,7 +42,7 @@ sleep 1
   --offset-ms=250 --skew-ppm=200 --checkpoint "$CKPT" \
   --trace "$DIR/peer-run1.jsonl" >"$DIR/peer-run1.log" 2>&1 &
 PEER_PID=$!
-PIDS="$PIDS $PEER_PID"
+smoke_track "$PEER_PID"
 
 # let the session establish and exchange a few rounds, then pull the plug
 sleep 4
@@ -80,7 +56,7 @@ wait "$PEER_PID" 2>/dev/null || true
   --offset-ms=250 --skew-ppm=200 --checkpoint "$CKPT" \
   --trace "$DIR/peer-run2.jsonl" >"$DIR/peer-run2.log" 2>&1 &
 PEER_PID=$!
-PIDS="$SERVE_PID $PEER_PID"
+smoke_track "$PEER_PID"
 
 fail=0
 wait "$PEER_PID" || { echo "crash-smoke: restarted peer FAILED"; fail=1; }

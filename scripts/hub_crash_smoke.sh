@@ -22,33 +22,11 @@
 #                         failure so CI can upload them
 set -eu
 
-BIN=${CLOCKSYNC:-_build/default/bin/clocksync.exe}
-DIR=$(mktemp -d)
+. "$(dirname "$0")/smoke_lib.sh"
+smoke_init 3
+
 CKPT="$DIR/ckpt"
 mkdir -p "$CKPT"
-PIDS=""
-
-cleanup() {
-  status=$?
-  for pid in $PIDS; do
-    kill "$pid" 2>/dev/null || true
-  done
-  for pid in $PIDS; do
-    wait "$pid" 2>/dev/null || true
-  done
-  if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
-    mkdir -p "$SMOKE_ARTIFACT_DIR"
-    cp "$DIR"/*-analysis.txt "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
-    if [ "$status" -ne 0 ]; then
-      cp "$DIR"/*.log "$DIR"/*.jsonl "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
-    fi
-  fi
-  rm -rf "$DIR"
-}
-trap cleanup EXIT
-
-PORT_BASE=${NET_SMOKE_PORT_BASE:-20000}
-PORT=$((PORT_BASE + ($$ + 3) % 40000))
 CLIENTS=12
 NODES=$((CLIENTS + 1))
 DROP=${HUB_SMOKE_DROP:-0.05}
@@ -59,7 +37,7 @@ echo "hub-crash-smoke: hub + $CLIENTS-client swarm on 127.0.0.1:$PORT (drop=$DRO
   --cohort 4 --max-delay 5000 --drop "$DROP" --checkpoint "$CKPT" \
   >"$DIR/hub-run1.log" 2>&1 &
 HUB_PID=$!
-PIDS="$PIDS $HUB_PID"
+smoke_track "$HUB_PID"
 
 sleep 1
 
@@ -67,7 +45,7 @@ sleep 1
   --duration 26 --sample 1 --seed 5 --max-delay 5000 --drop "$DROP" \
   >"$DIR/swarm.log" 2>&1 &
 SWARM_PID=$!
-PIDS="$PIDS $SWARM_PID"
+smoke_track "$SWARM_PID"
 
 # let every cohort establish and checkpoint a few rounds, then pull the plug
 sleep 6
@@ -81,7 +59,7 @@ wait "$HUB_PID" 2>/dev/null || true
   --cohort 4 --max-delay 5000 --drop "$DROP" --checkpoint "$CKPT" \
   --trace "$DIR/hub-run2.jsonl" >"$DIR/hub-run2.log" 2>&1 &
 HUB_PID=$!
-PIDS="$SWARM_PID $HUB_PID"
+smoke_track "$HUB_PID"
 
 fail=0
 wait "$SWARM_PID" || { echo "hub-crash-smoke: swarm FAILED (unsound or unconverged clients)"; fail=1; }

@@ -30,33 +30,9 @@
 #                         failure so CI can upload them
 set -eu
 
-BIN=${CLOCKSYNC:-_build/default/bin/clocksync.exe}
-DIR=$(mktemp -d)
-PIDS=""
+. "$(dirname "$0")/smoke_lib.sh"
+smoke_init 2
 
-cleanup() {
-  status=$?
-  for pid in $PIDS; do
-    kill "$pid" 2>/dev/null || true
-  done
-  for pid in $PIDS; do
-    wait "$pid" 2>/dev/null || true
-  done
-  if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
-    mkdir -p "$SMOKE_ARTIFACT_DIR"
-    # analyzer reports are always worth keeping; raw logs + traces only
-    # when an assertion failed
-    cp "$DIR"/*-analysis.txt "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
-    if [ "$status" -ne 0 ]; then
-      cp "$DIR"/*.log "$DIR"/*.jsonl "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
-    fi
-  fi
-  rm -rf "$DIR"
-}
-trap cleanup EXIT
-
-PORT_BASE=${NET_SMOKE_PORT_BASE:-20000}
-PORT=$((PORT_BASE + ($$ + 2) % 40000))
 CLIENTS=${HUB_SMOKE_CLIENTS:-50}
 NODES=$((CLIENTS + 1))
 DURATION=${HUB_SMOKE_DURATION:-24}
@@ -70,7 +46,7 @@ echo "hub-smoke: hub + $CLIENTS-client swarm on 127.0.0.1:$PORT (drop=$DROP)"
   --sample 2 --cohort 4 --max-delay 5000 --drop "$DROP" \
   --trace "$DIR/hub.jsonl" >"$DIR/hub.log" 2>&1 &
 HUB_PID=$!
-PIDS="$PIDS $HUB_PID"
+smoke_track "$HUB_PID"
 
 sleep 1
 

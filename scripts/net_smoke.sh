@@ -17,37 +17,9 @@
 #                         failure so CI can upload them
 set -eu
 
-BIN=${CLOCKSYNC:-_build/default/bin/clocksync.exe}
-DIR=$(mktemp -d)
-PIDS=""
+. "$(dirname "$0")/smoke_lib.sh"
+smoke_init 0
 
-# On any exit, reap whatever child processes are still alive: a failed
-# assertion must not leave an orphaned serve/peer squatting on the port.
-cleanup() {
-  status=$?
-  for pid in $PIDS; do
-    kill "$pid" 2>/dev/null || true
-  done
-  for pid in $PIDS; do
-    wait "$pid" 2>/dev/null || true
-  done
-  if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
-    mkdir -p "$SMOKE_ARTIFACT_DIR"
-    # analyzer reports are always worth keeping; raw logs + traces only
-    # when an assertion failed
-    cp "$DIR"/*-analysis.txt "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
-    if [ "$status" -ne 0 ]; then
-      cp "$DIR"/*.log "$DIR"/*.jsonl "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
-    fi
-  fi
-  rm -rf "$DIR"
-}
-trap cleanup EXIT
-
-# a throwaway socket would be nicer, but a randomized high port keeps
-# this POSIX-sh simple and collisions vanishingly rare
-PORT_BASE=${NET_SMOKE_PORT_BASE:-20000}
-PORT=$((PORT_BASE + $$ % 40000))
 DURATION=${NET_SMOKE_DURATION:-8}
 PEER_DURATION=$((DURATION - 2))
 DROP=${NET_SMOKE_DROP:-0.15}
@@ -58,7 +30,7 @@ echo "net-smoke: 3-process UDP session on 127.0.0.1:$PORT (drop=$DROP)"
   --sample 1 --drop "$DROP" --trace "$DIR/serve.jsonl" \
   >"$DIR/serve.log" 2>&1 &
 SERVE_PID=$!
-PIDS="$PIDS $SERVE_PID"
+smoke_track "$SERVE_PID"
 
 sleep 1
 
@@ -66,13 +38,13 @@ sleep 1
   --duration "$PEER_DURATION" --sample 1 --drop "$DROP" \
   --offset-ms=250 --skew-ppm=200 >"$DIR/peer1.log" 2>&1 &
 PEER1_PID=$!
-PIDS="$PIDS $PEER1_PID"
+smoke_track "$PEER1_PID"
 
 "$BIN" peer --server "127.0.0.1:$PORT" --id 2 --nodes 3 \
   --duration "$PEER_DURATION" --sample 1 --drop "$DROP" \
   --offset-ms=-400 --skew-ppm=-150 >"$DIR/peer2.log" 2>&1 &
 PEER2_PID=$!
-PIDS="$PIDS $PEER2_PID"
+smoke_track "$PEER2_PID"
 
 fail=0
 wait "$PEER1_PID" || { echo "net-smoke: peer 1 FAILED"; fail=1; }

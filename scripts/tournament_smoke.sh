@@ -1,0 +1,76 @@
+#!/bin/sh
+# Tournament smoke test: run a small scenario-family x algorithm grid in
+# one `clocksync tournament` invocation and gate on the paper's claims:
+#   - every family runs every algorithm on one shared seeded execution;
+#   - the optimal CSA must be sound in every cell (--assert-sound:
+#     sampled, and every interval contained the hidden true time);
+#   - in static (clean) families no baseline may strictly beat the CSA
+#     on median estimate width (--assert-leads-static — optimality);
+#   - each family's JSONL trace must re-analyze clean: every line
+#     parses, the recomputed aggregates match the summary trailer byte
+#     for byte, and estimates are present.
+# Exercises: the Tourney grid runner, Scenario churn compilation into
+# Link_cut faults, partition injection, per-family trace sinks, and the
+# analyze round trip over dynamic-topology event streams.
+#
+# Environment knobs:
+#   TOURNAMENT_SMOKE_NODES     grid size (default 5)
+#   TOURNAMENT_SMOKE_DURATION  per-family simulated seconds (default 8)
+#   SMOKE_ARTIFACT_DIR         if set, the grid JSON and analyzer
+#                              reports are copied there; logs + traces
+#                              are added on failure so CI can upload them
+set -eu
+
+. "$(dirname "$0")/smoke_lib.sh"
+smoke_init 4
+
+NODES=${TOURNAMENT_SMOKE_NODES:-5}
+DURATION=${TOURNAMENT_SMOKE_DURATION:-8}
+
+echo "tournament-smoke: $NODES nodes, ${DURATION}s per family, full grid"
+
+fail=0
+if ! "$BIN" tournament --nodes "$NODES" --duration "$DURATION" \
+    --trace-dir "$DIR/traces" --json "$DIR/tournament.json" \
+    --assert-sound --assert-leads-static \
+    >"$DIR/tournament.log" 2>&1; then
+  echo "tournament-smoke: tournament FAILED an assertion"
+  fail=1
+fi
+
+# every family must have produced a ranked row for every algorithm
+for family in static ntp-poll gossip churn partition-heal; do
+  for algo in optimal driftfree ntp cristian ftsp marzullo; do
+    if ! grep -q "^$family  *$algo " "$DIR/tournament.log"; then
+      echo "tournament-smoke: no cell for $family x $algo"
+      fail=1
+    fi
+  done
+done
+
+# the dynamic families must actually have exercised the loss machinery:
+# severed/partitioned messages surface as Section 3.3 losses
+for family in churn partition-heal; do
+  if grep -Eq "^$family +[0-9]+ messages \(0 lost\)" "$DIR/tournament.log"; then
+    echo "tournament-smoke: $family family lost no messages"
+    fail=1
+  fi
+done
+
+# close the trace loop per family: each stream must parse back, match
+# its summary trailer, and hold estimate samples
+for family in static ntp-poll gossip churn partition-heal; do
+  if ! "$BIN" analyze "$DIR/traces/$family.jsonl" --require-estimates \
+      >"$DIR/$family-analysis.txt" 2>&1; then
+    echo "tournament-smoke: $family trace analysis FAILED"
+    cat "$DIR/$family-analysis.txt"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "--- tournament ---"; cat "$DIR/tournament.log"
+  exit 1
+fi
+
+echo "tournament-smoke: OK (CSA sound in every cell, leads every static ranking, traces analyzed)"

@@ -84,6 +84,185 @@ let test_cristian_threshold () =
   Alcotest.(check bool) "contains truth" true
     (Interval.mem (q 20) (Rtt_estimator.estimate_at lax ~lt:(q 15)))
 
+(* ---------------------------------------------------------------- marzullo *)
+
+let test_marzullo_combine_unit () =
+  let iv a b = Interval.make (Interval.B (q a)) (Interval.B (q b)) in
+  (* the textbook example: two of three sources agree on [11,12] *)
+  let best, count = Marzullo.combine [ iv 8 12; iv 11 13; iv 14 15 ] in
+  Alcotest.(check int) "two sources agree" 2 count;
+  Alcotest.(check bool) "smallest agreeing region" true
+    (Interval.equal best (iv 11 12));
+  (* unanimous inputs degenerate to plain intersection *)
+  let best, count = Marzullo.combine [ iv 0 10; iv 4 20; iv 6 8 ] in
+  Alcotest.(check int) "unanimous" 3 count;
+  Alcotest.(check bool) "intersection" true (Interval.equal best (iv 6 8));
+  (* touching endpoints overlap (starts sort before ends) *)
+  let _, count = Marzullo.combine [ iv 0 5; iv 5 9 ] in
+  Alcotest.(check int) "touching counts as overlap" 2 count;
+  let _, count = Marzullo.combine [] in
+  Alcotest.(check int) "empty" 0 count
+
+(* Brute-force oracle on random finite intervals: the sweep's count must
+   equal the max point-overlap (attained at an input endpoint for closed
+   intervals), the returned region must lie in exactly that many inputs,
+   and no pair of endpoints spans a smaller region with the same
+   support. *)
+let test_marzullo_combine_oracle () =
+  let rng = Rng.create 4242 in
+  for _ = 1 to 200 do
+    let k = 1 + Rng.int rng 8 in
+    let ivs =
+      List.init k (fun _ ->
+          let a = Rng.int rng 40 and len = Rng.int rng 20 in
+          (q a, q (a + len)))
+    in
+    let endpoints = List.concat_map (fun (a, b) -> [ a; b ]) ivs in
+    let support x =
+      List.length
+        (List.filter (fun (a, b) -> Q.(a <= x) && Q.(x <= b)) ivs)
+    in
+    let oracle = List.fold_left (fun m x -> max m (support x)) 0 endpoints in
+    let best, count =
+      Marzullo.combine
+        (List.map (fun (a, b) -> Interval.make (Interval.B a) (Interval.B b)) ivs)
+    in
+    Alcotest.(check int) "count = max point overlap" oracle count;
+    let lo, hi =
+      match Interval.lo best, Interval.hi best with
+      | Interval.B lo, Interval.B hi -> (lo, hi)
+      | _ -> Alcotest.fail "finite inputs, finite best region"
+    in
+    let span_support a b =
+      List.length
+        (List.filter (fun (l, h) -> Q.(l <= a) && Q.(b <= h)) ivs)
+    in
+    Alcotest.(check int) "whole region in count inputs" count
+      (span_support lo hi);
+    (* A maximal overlap region is an intersection of its supporting
+       intervals, so its lo is an input lo, its hi an input hi, and
+       nudging either bound outward by any epsilon loses support (the
+       inputs are integers, so 1/2 is outward enough).  The sweep must
+       return the smallest such region. *)
+    let eps = Q.of_ints 1 2 in
+    let maximal a b =
+      span_support a b = count
+      && span_support (Q.sub a eps) b < count
+      && span_support a (Q.add b eps) < count
+    in
+    Alcotest.(check bool) "returned region is maximal" true (maximal lo hi);
+    let smallest =
+      List.fold_left
+        (fun acc (a, _) ->
+          List.fold_left
+            (fun acc (_, b) ->
+              if Q.(a <= b) && maximal a b then
+                match acc with
+                | Some w when Q.(w <= Q.sub b a) -> acc
+                | _ -> Some (Q.sub b a)
+              else acc)
+            acc ivs)
+        None ivs
+    in
+    match smallest with
+    | None -> Alcotest.fail "oracle found no maximal region"
+    | Some w ->
+      Alcotest.(check bool) "smallest maximal region" true
+        (Q.compare (Q.sub hi lo) w = 0)
+  done
+
+let test_marzullo_sample_sound () =
+  (* a flood from the source at lt 10 over transit [1,5]: any execution
+     puts the receive between real 11 and 15, and the sample is exactly
+     that window *)
+  let server = Marzullo.create spec2 ~me:0 ~lt0:(q 0) in
+  let client = Marzullo.create spec2 ~me:1 ~lt0:(q 0) in
+  Alcotest.(check bool) "unbounded before any sample" true
+    (Interval.equal (Marzullo.estimate_at client ~lt:(q 3)) Interval.full);
+  let w = Marzullo.on_send server ~dst:1 ~msg:1 ~lt:(q 10) in
+  Marzullo.on_recv client ~src:0 ~msg:1 ~lt:(q 8) w;
+  let est = Marzullo.estimate_at client ~lt:(q 8) in
+  Alcotest.(check bool) "contains every feasible truth" true
+    (Interval.mem (q 11) est && Interval.mem (q 15) est);
+  Alcotest.(check int) "one source" 1 (Marzullo.sources client);
+  Alcotest.(check int) "one sample" 1 (Marzullo.samples_accepted client);
+  (* the anchor drift-widens with local elapse but keeps the truth *)
+  let later = Marzullo.estimate_at client ~lt:(q 1008) in
+  Alcotest.(check bool) "sound much later" true
+    (Interval.mem (q 1011) later && Interval.mem (q 1015) later)
+
+(* ------------------------------------------------------------------ ftsp *)
+
+let test_ftsp_flood_sound () =
+  let server = Ftsp.create spec2 ~me:0 ~lt0:(q 0) in
+  let client = Ftsp.create spec2 ~me:1 ~lt0:(q 0) in
+  Alcotest.(check int) "source is its own root" 0 (Ftsp.root server);
+  let w = Ftsp.on_send server ~dst:1 ~msg:1 ~lt:(q 10) in
+  Ftsp.on_recv client ~src:0 ~msg:1 ~lt:(q 8) w;
+  Alcotest.(check int) "client adopted the lower root" 0 (Ftsp.root client);
+  Alcotest.(check int) "flood accepted" 1 (Ftsp.samples_accepted client);
+  let est = Ftsp.estimate_at client ~lt:(q 8) in
+  (* one-way flood over transit [1,5]: truth is in [11,15] *)
+  Alcotest.(check bool) "sound one-way sample" true
+    (Interval.mem (q 11) est && Interval.mem (q 15) est);
+  (* a replay of the same sequence number is ignored *)
+  Ftsp.on_recv client ~src:0 ~msg:1 ~lt:(q 9) w;
+  Alcotest.(check int) "stale seq rejected" 1 (Ftsp.samples_rejected client);
+  Alcotest.(check int) "not resampled" 1 (Ftsp.samples_accepted client)
+
+let test_ftsp_self_nomination () =
+  let server = Ftsp.create spec2 ~me:0 ~lt0:(q 0) in
+  let client = Ftsp.create spec2 ~me:1 ~lt0:(q 0) in
+  let w = Ftsp.on_send server ~dst:1 ~msg:1 ~lt:(q 10) in
+  Ftsp.on_recv client ~src:0 ~msg:1 ~lt:(q 8) w;
+  Alcotest.(check int) "root 0 adopted" 0 (Ftsp.root client);
+  (* root_timeout sends with no news from the root chain: the client
+     gives up on root 0 and nominates itself, exactly like FTSP *)
+  for i = 1 to Ftsp.root_timeout + 1 do
+    ignore (Ftsp.on_send client ~dst:0 ~msg:(10 + i) ~lt:(q (20 + i)))
+  done;
+  Alcotest.(check int) "self-nominated after timeout" 1 (Ftsp.root client);
+  (* hearing the lower root again re-adopts it instantly *)
+  let w2 = Ftsp.on_send server ~dst:1 ~msg:99 ~lt:(q 40) in
+  Ftsp.on_recv client ~src:0 ~msg:99 ~lt:(q 35) w2;
+  Alcotest.(check int) "lower root re-adopted" 0 (Ftsp.root client)
+
+(* Seeded churn keeps cutting ring links, isolated nodes may time out
+   and self-nominate; once the last heal has flooded through, every
+   node's election must have re-converged to the source (lowest id),
+   and the flood samples must have stayed sound throughout. *)
+let test_ftsp_election_converges_under_churn () =
+  let spec =
+    System_spec.uniform ~n:5 ~source:0 ~drift:(Drift.of_ppm 200)
+      ~transit:(Transit.of_q (Scenario.ms 1) (Scenario.ms 10))
+      ~links:(Topology.ring 5)
+  in
+  let r, nodes =
+    Engine.run_nodes
+      {
+        (Scenario.default ~spec
+           ~traffic:(Scenario.Ntp_poll { period = Scenario.ms 500 }))
+        with
+        Scenario.duration = Scenario.sec 15;
+        seed = 11;
+        run_ftsp = true;
+        churn = Some { Scenario.cuts = 4; min_down = None; max_down = None };
+      }
+  in
+  let ftsp = List.assoc "ftsp" r.Engine.per_algo in
+  Alcotest.(check bool) "ftsp sampled" true (ftsp.Engine.samples > 0);
+  Alcotest.(check int) "ftsp sound under churn" ftsp.Engine.samples
+    ftsp.Engine.contained;
+  Array.iter
+    (fun node ->
+      match node.Node_rt.ftsp with
+      | None -> Alcotest.fail "ftsp stack missing"
+      | Some f ->
+        Alcotest.(check int)
+          (Printf.sprintf "node %d elected the source" node.Node_rt.proc)
+          0 (Ftsp.root f))
+    nodes
+
 (* ---------------------------------------------------------------------- *)
 
 let compare_scenario ~traffic ~seed =
@@ -101,6 +280,8 @@ let compare_scenario ~traffic ~seed =
     run_cristian = true;
     cristian_rtt = Scenario.ms 25;
     driftfree_window = Scenario.sec 5;
+    run_ftsp = true;
+    run_marzullo = true;
   }
 
 (* Simulation-level comparison: all baselines sound on random executions,
@@ -186,6 +367,24 @@ let () =
           Alcotest.test_case "source exact" `Quick test_source_estimates_itself;
           Alcotest.test_case "cristian threshold filter" `Quick
             test_cristian_threshold;
+        ] );
+      ( "marzullo",
+        [
+          Alcotest.test_case "combiner on known inputs" `Quick
+            test_marzullo_combine_unit;
+          Alcotest.test_case "combiner vs brute-force oracle" `Quick
+            test_marzullo_combine_oracle;
+          Alcotest.test_case "one-way sample sound" `Quick
+            test_marzullo_sample_sound;
+        ] );
+      ( "ftsp",
+        [
+          Alcotest.test_case "flood sample sound, stale seq rejected" `Quick
+            test_ftsp_flood_sound;
+          Alcotest.test_case "self-nomination and re-adoption" `Quick
+            test_ftsp_self_nomination;
+          Alcotest.test_case "election converges under churn" `Slow
+            test_ftsp_election_converges_under_churn;
         ] );
       ( "driftfree",
         [

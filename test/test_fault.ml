@@ -182,7 +182,9 @@ let test_chaos_schedule () =
           (not (List.mem 0 island));
         Alcotest.(check bool) "island is proper" true
           (island <> [] && List.length island < 5)
-      | Fault.Injection.Leave _ | Fault.Injection.Join _ -> ())
+      | Fault.Injection.Leave _ | Fault.Injection.Join _ -> ()
+      | Fault.Injection.Link_cut _ ->
+        Alcotest.fail "Chaos.schedule never emits link cuts")
     evs;
   Alcotest.(check bool) "every crash got its restart" true
     (Hashtbl.length down = 0);
@@ -192,6 +194,59 @@ let test_chaos_schedule () =
       ignore
         (Fault.Chaos.schedule ~seed:1 ~nodes:2 ~protect:[ 0; 1 ]
            ~duration:(sec 10) ()))
+
+let test_link_churn_schedule () =
+  let duration = sec 100 in
+  (* deliberately unnormalized orientations: the generator must treat
+     (1,0) and (0,1) as the same undirected link *)
+  let links = [ (1, 0); (1, 2); (2, 0) ] in
+  let sched seed = Fault.Chaos.link_churn ~seed ~links ~duration ~cuts:8 () in
+  Alcotest.(check bool) "same seed, same churn" true (sched 5 = sched 5);
+  Alcotest.(check bool) "different seed, different churn" true
+    (sched 5 <> sched 6);
+  let evs = sched 5 in
+  Alcotest.(check bool) "some cuts survive the overlap filter" true (evs <> []);
+  Alcotest.(check bool) "sorted by time" true
+    (evs = Fault.Injection.by_time evs);
+  let windows = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Fault.Injection.Link_cut { at; heal; u; v } ->
+        Alcotest.(check bool) "endpoints normalized" true (u <= v);
+        Alcotest.(check bool) "cut is on a spec link" true
+          (List.exists (fun (a, b) -> (a, b) = (u, v) || (b, a) = (u, v)) links);
+        Alcotest.(check bool) "cut strictly inside the run" true
+          (Q.sign at > 0 && Q.compare heal duration < 0);
+        Alcotest.(check bool) "heals after it cuts" true
+          (Q.compare at heal < 0);
+        List.iter
+          (fun (a, b) ->
+            Alcotest.(check bool) "per-link down windows disjoint" true
+              (Q.compare heal a < 0 || Q.compare b at < 0))
+          (Option.value (Hashtbl.find_opt windows (u, v)) ~default:[]);
+        Hashtbl.replace windows (u, v)
+          ((at, heal)
+          :: Option.value (Hashtbl.find_opt windows (u, v)) ~default:[])
+      | ev -> Alcotest.failf "link_churn emitted %s" (Fault.Injection.label ev))
+    evs;
+  List.iter
+    (fun ev ->
+      match ev with
+      | Fault.Injection.Link_cut { u; v; _ } ->
+        Alcotest.(check bool) "protected link never cut" true ((u, v) <> (0, 1))
+      | _ -> ())
+    (Fault.Chaos.link_churn ~seed:5 ~links ~duration ~cuts:8
+       ~protect:[ (1, 0) ] ());
+  Alcotest.check_raises "all links protected"
+    (Invalid_argument "Fault.Chaos.link_churn: every link is protected")
+    (fun () ->
+      ignore
+        (Fault.Chaos.link_churn ~seed:1 ~links:[ (0, 1) ] ~duration
+           ~protect:[ (1, 0) ] ()));
+  Alcotest.check_raises "non-positive duration"
+    (Invalid_argument "Fault.Chaos.link_churn: non-positive duration")
+    (fun () -> ignore (Fault.Chaos.link_churn ~seed:1 ~links ~duration:(q 0) ()))
 
 (* --- simulator: crash-recovery equivalence ---------------------------- *)
 
@@ -425,6 +480,78 @@ let test_partition_sound () =
     (r.Engine.messages_lost > 0);
   Alcotest.(check int) "nobody crashed" 0 (Metrics.crashes m)
 
+(* Regression for the severed-edge fix: a cut must lose BOTH messages
+   already in flight when it lands and messages sent during the down
+   window — each through the Section 3.3 oracle, never a silent drop.
+   Second-scale transit bounds make the in-flight window explicit. *)
+let test_severed_edge_lost () =
+  let spec =
+    System_spec.uniform ~n:2 ~source:0 ~drift:(Drift.of_ppm 100)
+      ~transit:(Transit.of_q (sec 1) (sec 2))
+      ~links:[ (0, 1) ]
+  in
+  (* 0.5 s: in flight (delivery in [1.5, 2.5]) when the cut lands at 1 s;
+     1.2 s: sent inside the down window [1, 3];
+     4 s:   sent after the heal — must go through *)
+  let sends =
+    [ (Q.of_ints 1 2, 0, 1); (Q.of_ints 6 5, 0, 1); (sec 4, 0, 1) ]
+  in
+  let m = Metrics.create () in
+  let scenario =
+    {
+      (Scenario.default ~spec ~traffic:(Scenario.Script { sends })) with
+      Scenario.seed = 3;
+      duration = sec 8;
+      loss_prob = 0.;
+      (* unnormalized orientation on purpose: the engine keys dynamic
+         links by the normalized undirected pair *)
+      faults =
+        [ Fault.Injection.Link_cut { at = sec 1; heal = sec 3; u = 1; v = 0 } ];
+      trace = Metrics.sink m;
+    }
+  in
+  let r = Engine.run scenario in
+  Alcotest.(check int) "three sends" 3 r.Engine.messages_sent;
+  Alcotest.(check int) "severed + down-window sends lost" 2
+    r.Engine.messages_lost;
+  Alcotest.(check int) "no soundness failures" 0 r.Engine.soundness_failures;
+  Alcotest.(check int) "one cut traced" 1 (Metrics.link_cuts m);
+  Alcotest.(check int) "one heal traced" 1 (Metrics.link_heals m)
+
+let test_churn_scenario_sound () =
+  let m = Metrics.create () in
+  let scenario =
+    {
+      (churn_scenario ~faults:[] ~loss_prob:0. ~checkpoint:`Sync
+         ~trace:(Metrics.sink m))
+      with
+      Scenario.churn =
+        Some { Scenario.cuts = 6; min_down = None; max_down = None };
+    }
+  in
+  let r = Engine.run scenario in
+  Alcotest.(check int) "no soundness failures" 0 r.Engine.soundness_failures;
+  Alcotest.(check bool) "churn actually cut links" true
+    (Metrics.link_cuts m > 0);
+  Alcotest.(check int) "every cut heals inside the run" (Metrics.link_cuts m)
+    (Metrics.link_heals m);
+  Alcotest.(check int) "nobody crashed" 0 (Metrics.crashes m)
+
+let test_churn_refuses_validate () =
+  let scenario =
+    {
+      (churn_scenario ~faults:[] ~loss_prob:0. ~checkpoint:`Sync
+         ~trace:Trace.null)
+      with
+      Scenario.churn =
+        Some { Scenario.cuts = 2; min_down = None; max_down = None };
+      validate = true;
+    }
+  in
+  match Engine.run scenario with
+  | _ -> Alcotest.fail "churn + validate accepted"
+  | exception Invalid_argument _ -> ()
+
 let test_faults_refuse_validate () =
   let scenario =
     {
@@ -595,7 +722,11 @@ let () =
             test_store_node_mismatch;
         ] );
       ("policy", [ Alcotest.test_case "cadence" `Quick test_policy ]);
-      ("chaos", [ Alcotest.test_case "schedule shape" `Quick test_chaos_schedule ]);
+      ( "chaos",
+        [
+          Alcotest.test_case "schedule shape" `Quick test_chaos_schedule;
+          Alcotest.test_case "link churn shape" `Quick test_link_churn_schedule;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "on-disk checkpoints match in-memory" `Quick
@@ -604,8 +735,14 @@ let () =
           Alcotest.test_case "join/leave churn stays sound" `Quick
             test_churn_join_leave;
           Alcotest.test_case "partition stays sound" `Quick test_partition_sound;
+          Alcotest.test_case "severed edge surfaces as loss" `Quick
+            test_severed_edge_lost;
+          Alcotest.test_case "edge churn stays sound" `Quick
+            test_churn_scenario_sound;
           Alcotest.test_case "faults + validate refused" `Quick
             test_faults_refuse_validate;
+          Alcotest.test_case "churn + validate refused" `Quick
+            test_churn_refuses_validate;
         ] );
       ( "session",
         [

@@ -287,6 +287,8 @@ let all_events =
     Trace.Checkpoint { t = 10.; node = 1; bytes = 512 };
     Trace.Crash { t = 11.; node = 2 };
     Trace.Recover { t = 12.; node = 2 };
+    Trace.Link_down { t = 12.5; u = 1; v = 3 };
+    Trace.Link_up { t = 12.75; u = 1; v = 3 };
     Trace.Hub_cohort
       {
         t = 13.;
@@ -318,7 +320,7 @@ let test_event_round_trip () =
     all_events;
   (* every constructor appears exactly once above (estimates twice) *)
   let labels = List.sort_uniq compare (List.map Trace.label all_events) in
-  Alcotest.(check int) "all 19 constructors covered" 19 (List.length labels)
+  Alcotest.(check int) "all 21 constructors covered" 21 (List.length labels)
 
 let test_event_of_json_rejects () =
   let bad j =
