@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench-smoke bench-guard analyze-smoke net-smoke crash-smoke hub-smoke hub-crash-smoke tournament-smoke check fmt fmt-check clean
+.PHONY: all build test bench-smoke bench-guard analyze-smoke net-smoke crash-smoke hub-smoke hub-crash-smoke tournament-smoke check fmt fmt-check apalache clean
 
 all: build
 
@@ -26,13 +26,14 @@ bench-guard:
 	$(DUNE) exec bench/main.exe -- guard --json _build/bench_guard.json
 
 # round-trip the trace loop: a profiled simulator run writes a JSONL
-# trace, then `clocksync analyze` re-parses every line and recomputes
-# the aggregates, which must match the trailer byte for byte
+# trace, then `clocksync analyze` re-parses every line, recomputes the
+# aggregates (which must match the trailer byte for byte) and replays
+# the events through the protocol-conformance monitor
 analyze-smoke: build
 	$(DUNE) exec bin/clocksync.exe -- run -n 4 -d 10 --chaos 1 \
 	  --trace _build/analyze_smoke.jsonl --prof >/dev/null
 	$(DUNE) exec bin/clocksync.exe -- analyze _build/analyze_smoke.jsonl \
-	  --require-estimates
+	  --require-estimates --conform
 
 # 3-process localhost UDP session with injected loss; asserts every
 # printed peer interval contained the reference node's true time and
@@ -84,6 +85,20 @@ fmt-check:
 	  $(DUNE) build @fmt; \
 	else \
 	  echo "fmt-check: ocamlformat not installed, skipping"; \
+	fi
+
+# Model-check the Session reference spec (spec/Session.tla), from which
+# the lib/conform monitor rules are transcribed.  Best effort: the
+# sealed image does not ship a TLA+ toolchain, so this skips
+# (successfully) when no checker binary is present and never gates CI.
+apalache:
+	@if command -v apalache-mc >/dev/null 2>&1; then \
+	  apalache-mc check --inv=AllInvariants \
+	    --cinit=ConstInit spec/Session.tla || exit 1; \
+	elif command -v tlc >/dev/null 2>&1; then \
+	  tlc spec/Session.tla || exit 1; \
+	else \
+	  echo "apalache: no TLA+ checker installed, skipping"; \
 	fi
 
 clean:

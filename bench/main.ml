@@ -1427,6 +1427,100 @@ let e20_tournament () =
     cells families wall
     (float_of_int msgs /. wall)
 
+(* ---------------- E21: conformance-monitor overhead (live hub) *)
+
+(* The online protocol monitor (lib/conform) wraps the outermost trace
+   sink of serve/peer/hub, checking every event against the Session
+   spec's transition relation.  Its budget: a monitored hub must stay
+   within 1.05x the wall time of an unmonitored one on the E19
+   loopback-swarm workload (min-of-3 each, so scheduler noise cancels).
+   Also measured: the monitor's raw per-event check rate on a synthetic
+   send/receive stream, which bounds the cost independent of the hub. *)
+let e21_monitor_overhead () =
+  section "E21" "conformance monitor overhead: monitored vs bare hub";
+  let clients = 64 in
+  let run sink =
+    let r =
+      Swarm.run_loopback ~seed:7 ~clients ~cohort:4 ~duration:(q 8)
+        ~heartbeat:Q.one ~sink ()
+    in
+    if r.Swarm.converged < clients || r.Swarm.sound < clients then
+      failwith "E21: swarm did not fully converge"
+  in
+  (* bare and monitored runs alternate (min-of-N each) so slow drift in
+     machine load hits both sides equally instead of biasing the ratio *)
+  let reps = 4 in
+  let bare = ref infinity and monitored = ref infinity in
+  let violations = ref 0 in
+  for _ = 1 to reps do
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    run Trace.null;
+    bare := Float.min !bare (Unix.gettimeofday () -. t0);
+    Gc.compact ();
+    let st = Conform.create () in
+    let t0 = Unix.gettimeofday () in
+    run (Conform.monitor ~state:st Trace.null);
+    monitored := Float.min !monitored (Unix.gettimeofday () -. t0);
+    violations := !violations + Conform.violations st
+  done;
+  let bare = !bare and monitored = !monitored in
+  let ratio = monitored /. bare in
+  (* raw check rate, alternating sends and receives so both the floor
+     table and the accepted-set table are exercised *)
+  let st = Conform.create () in
+  let n = 200_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to n do
+    ignore
+      (Conform.check st
+         (Trace.Send
+            { t = float_of_int i; src = 0; dst = 1; msg = i; events = 1;
+              bytes = 32 }));
+    ignore
+      (Conform.check st
+         (Trace.Receive { t = float_of_int i; src = 0; dst = 1; msg = i }))
+  done;
+  let checks_per_s =
+    float_of_int (2 * n) /. (Unix.gettimeofday () -. t0)
+  in
+  let budget = 1.05 in
+  metric "monitor_overhead"
+    (J.Obj
+       [
+         ("clients", J.Int clients);
+         ("bare_wall_s", J.Float bare);
+         ("monitored_wall_s", J.Float monitored);
+         ("ratio", J.Float ratio);
+         ("budget_ratio", J.Float budget);
+         ("monitor_checks_per_s", J.Float checks_per_s);
+         ("violations", J.Int !violations);
+       ]);
+  Table.print
+    ~header:[ "hub"; "wall s"; "ratio"; "budget" ]
+    [
+      [ "bare"; Printf.sprintf "%.2f" bare; "1.00"; "" ];
+      [
+        "monitored"; Printf.sprintf "%.2f" monitored;
+        Printf.sprintf "%.3f" ratio; Printf.sprintf "%.2f" budget;
+      ];
+    ];
+  Format.printf "monitor raw rate: %.2e checks/s@." checks_per_s;
+  if !violations > 0 then
+    failwith
+      (Printf.sprintf "E21: monitored hub reported %d protocol violations"
+         !violations);
+  if ratio > budget then
+    failwith
+      (Printf.sprintf
+         "E21: monitored hub at %.3fx the bare wall time (budget %.2fx)"
+         ratio budget);
+  Format.printf
+    "@.the monitored hub stays within %.2fx of the bare run: the@.\
+     per-event check is two hashtable probes on the hot path, so the@.\
+     fabric and session work dominates.@."
+    budget
+
 (* ------------------------------------------------ bench-guard (CI) *)
 
 (* Conservative throughput floor for `make bench-guard` / CI: the fast
@@ -1574,6 +1668,7 @@ let all =
     ("E18", e18_two_tier_speedup);
     ("E19", e19_hub_capacity);
     ("E20", e20_tournament);
+    ("E21", e21_monitor_overhead);
     ("uB", microbenches);
   ]
 

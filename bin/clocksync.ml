@@ -199,21 +199,62 @@ let trace_file =
    optional wall-clock profiler and a Metrics aggregate the caller can
    expose live ([live_metrics] forces aggregation even without a trace
    file, for --stat-port). *)
-let with_obs ?(profile = false) ?(live_metrics = false) trace f =
+let with_obs ?(profile = false) ?(live_metrics = false) ?(monitor = false)
+    ?flight trace f =
   let m = Metrics.create () in
   let msink = Metrics.sink m in
   let mk_prof sink =
     if profile then Prof.make ~now:Unix.gettimeofday ~sink () else Prof.null
   in
+  (* flight recorder: an always-cheap ring of the last events, re-dumped
+     atomically on a cadence (and on any monitor violation), so a
+     kill -9 leaves a bounded decodable artifact even with no --trace *)
+  let flight = Option.map (fun path -> (Flight.create ~capacity:512 (), path)) flight in
+  let flight_dump () =
+    Option.iter
+      (fun (fr, path) -> try Flight.dump fr path with Sys_error _ -> ())
+      flight
+  in
+  let add_flight sink =
+    match flight with
+    | None -> sink
+    | Some (fr, _) ->
+      Trace.tee sink
+        (Trace.callback (fun ev ->
+             Flight.record fr ev;
+             (* re-dump on a cadence well under the ring capacity so a
+                kill -9 mid-run still leaves a recent window on disk *)
+             if Flight.recorded fr mod 64 = 0 then flight_dump ()))
+  in
+  (* the conformance monitor wraps the outermost sink: every event is
+     forwarded then checked, and violations are emitted back into the
+     same stream (JSONL + metrics + flight) as typed events.  When off,
+     the sink is simply not wrapped — zero cost, like Prof.null. *)
+  let add_monitor sink =
+    if not monitor then sink
+    else Conform.monitor ~on_violation:(fun _ _ -> flight_dump ()) sink
+  in
+  let finish_flight () =
+    match flight with
+    | Some (fr, path) when Flight.recorded fr > 0 ->
+      flight_dump ();
+      Format.printf "wrote %s@." path
+    | _ -> ()
+  in
   match trace with
   | None ->
-    let sink = if profile || live_metrics then msink else Trace.null in
-    f ~sink ~prof:(mk_prof sink) ~metrics:m
+    let base =
+      if profile || live_metrics || monitor then msink else Trace.null
+    in
+    let sink = add_monitor (add_flight base) in
+    Fun.protect ~finally:finish_flight (fun () ->
+        f ~sink ~prof:(mk_prof sink) ~metrics:m)
   | Some path ->
     let oc = open_out path in
-    let sink = Trace.tee (Trace.jsonl oc) msink in
+    let sink = add_monitor (add_flight (Trace.tee (Trace.jsonl oc) msink)) in
     Fun.protect
       ~finally:(fun () ->
+        finish_flight ();
         output_string oc (Json_out.to_line (Metrics.summary_json m));
         output_char oc '\n';
         close_out oc;
@@ -516,6 +557,34 @@ let stat_port_opt =
                the node runs.  Implies hot-path profiling, so \
                per-operation latency histograms are included.")
 
+let monitor_flag =
+  Arg.(value & flag & info [ "monitor" ]
+         ~doc:"Fold the Session conformance monitor over the live trace \
+               stream (lib/conform: the executable protocol spec).  A \
+               violated rule is emitted as a typed protocol_violation \
+               trace event, counted in the metrics (and the --stat-port \
+               exposition), dumped to the --flight recorder, and makes \
+               the process exit nonzero.")
+
+let flight_opt =
+  Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE"
+         ~doc:"Crash flight recorder: keep the last 512 trace events in \
+               a ring and re-dump them atomically to $(docv) on a \
+               cadence, on any --monitor violation, and at exit — a \
+               kill -9 leaves a bounded decodable artifact even when \
+               --trace is off (binary format; see DESIGN.md §15).")
+
+(* shared exit gate for --monitor runs: any violation the live monitor
+   flagged turns an otherwise-clean exit into a failure *)
+let monitor_verdict ~monitor ~metrics ok =
+  match ok with
+  | `Ok () when monitor && Metrics.protocol_violations metrics > 0 ->
+    `Error
+      ( false,
+        Printf.sprintf "%d protocol violation(s) flagged by the live monitor"
+          (Metrics.protocol_violations metrics) )
+  | r -> r
+
 (* the live stat endpoint, polled from the drive loop; [None] when
    --stat-port was not given *)
 let mk_stats ~stat_port ~metrics =
@@ -531,11 +600,11 @@ let mk_stats ~stat_port ~metrics =
 
 let serve_cmd =
   let action port nodes drift_ppm hi_ms duration sample heartbeat drop seed
-      checkpoint trace stat_port =
+      checkpoint trace stat_port monitor flight =
     if nodes < 2 then `Error (false, "need at least 2 nodes")
     else begin
       with_obs ~profile:(stat_port <> None) ~live_metrics:(stat_port <> None)
-        trace (fun ~sink ~prof ~metrics ->
+        ~monitor ?flight trace (fun ~sink ~prof ~metrics ->
           let spec = net_spec ~nodes ~drift_ppm ~hi_ms in
           match pin_epoch checkpoint with
           | Error m -> `Error (false, m)
@@ -593,7 +662,7 @@ let serve_cmd =
           Format.printf "reference node done (%s)@."
             (if all_done () then "all peers came up and said bye"
              else "duration elapsed");
-          `Ok ())
+          monitor_verdict ~monitor ~metrics (`Ok ()))
     end
   in
   let term =
@@ -601,7 +670,8 @@ let serve_cmd =
       ret
         (const action $ port_opt $ net_nodes $ net_drift $ net_hi_ms
        $ net_duration $ net_sample $ net_heartbeat $ net_drop $ seed
-       $ checkpoint_opt $ trace_file $ stat_port_opt))
+       $ checkpoint_opt $ trace_file $ stat_port_opt $ monitor_flag
+       $ flight_opt))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -628,7 +698,7 @@ let peer_cmd =
            ~doc:"Emulated clock rate error (must stay within --drift).")
   in
   let action server id nodes drift_ppm hi_ms duration sample heartbeat drop
-      offset_ms skew_ppm seed checkpoint trace stat_port =
+      offset_ms skew_ppm seed checkpoint trace stat_port monitor flight =
     match Udp.addr_of_string server with
     | Error m -> `Error (false, m)
     | Ok server_addr ->
@@ -639,7 +709,7 @@ let peer_cmd =
                         resulting intervals would be unsound")
       else begin
         with_obs ~profile:(stat_port <> None)
-          ~live_metrics:(stat_port <> None) trace
+          ~live_metrics:(stat_port <> None) ~monitor ?flight trace
           (fun ~sink ~prof ~metrics ->
             let spec = net_spec ~nodes ~drift_ppm ~hi_ms in
             match pin_epoch checkpoint with
@@ -717,7 +787,7 @@ let peer_cmd =
                               the reference time")
             else if !finite = 0 then
               `Error (false, "never converged to a finite interval")
-            else `Ok ())
+            else monitor_verdict ~monitor ~metrics (`Ok ()))
       end
   in
   let term =
@@ -725,7 +795,8 @@ let peer_cmd =
       ret
         (const action $ server $ id $ net_nodes $ net_drift $ net_hi_ms
        $ net_duration $ net_sample $ net_heartbeat $ net_drop $ offset_ms
-       $ skew_ppm $ seed $ checkpoint_opt $ trace_file $ stat_port_opt))
+       $ skew_ppm $ seed $ checkpoint_opt $ trace_file $ stat_port_opt
+       $ monitor_flag $ flight_opt))
   in
   Cmd.v
     (Cmd.info "peer"
@@ -779,12 +850,12 @@ let mk_cohort_session ~sink ~prof ~checkpoint cfg ~now ~idx ~members =
 
 let hub_cmd =
   let action port nodes drift_ppm hi_ms duration sample heartbeat drop seed
-      cohort burst checkpoint trace stat_port =
+      cohort burst checkpoint trace stat_port monitor flight =
     if nodes < 2 then `Error (false, "need at least 2 nodes")
     else if cohort < 1 then `Error (false, "--cohort must be >= 1")
     else begin
       with_obs ~profile:(stat_port <> None) ~live_metrics:(stat_port <> None)
-        trace (fun ~sink ~prof ~metrics ->
+        ~monitor ?flight trace (fun ~sink ~prof ~metrics ->
           let spec = net_spec ~nodes ~drift_ppm ~hi_ms in
           match pin_epoch checkpoint with
           | Error m -> `Error (false, m)
@@ -864,7 +935,7 @@ let hub_cmd =
             (if Swarm.Uhub.all_clients_done hub then
                "all clients came up and said bye"
              else "duration elapsed");
-          `Ok ())
+          monitor_verdict ~monitor ~metrics (`Ok ()))
     end
   in
   let term =
@@ -873,7 +944,7 @@ let hub_cmd =
         (const action $ port_opt $ net_nodes $ net_drift $ net_hi_ms
        $ net_duration $ net_sample $ net_heartbeat $ net_drop $ seed
        $ cohort_opt $ burst_opt $ checkpoint_opt $ trace_file
-       $ stat_port_opt))
+       $ stat_port_opt $ monitor_flag $ flight_opt))
   in
   Cmd.v
     (Cmd.info "hub"
@@ -992,7 +1063,9 @@ let analyze_cmd =
   let trace_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.jsonl"
            ~doc:"A trace written by $(b,run)/$(b,serve)/$(b,peer) \
-                 $(b,--trace) (a crash-truncated one is fine).")
+                 $(b,--trace) (a crash-truncated one is fine), or a \
+                 $(i,.flight) crash-recorder dump written by \
+                 $(b,--flight).")
   in
   let require_estimates =
     Arg.(value & flag & info [ "require-estimates" ]
@@ -1000,11 +1073,61 @@ let analyze_cmd =
                  tests use this to catch runs that silently never \
                  converged).")
   in
-  let action path require_estimates =
+  let conform =
+    Arg.(value & flag & info [ "conform" ]
+           ~doc:"Replay the trace against the executable Session protocol \
+                 spec (lib/conform) and fail on the first violating \
+                 event, reporting its rule and the monitor state at that \
+                 step.  Works on trailerless crash-victim traces too.")
+  in
+  let action path require_estimates conform =
+    if Filename.check_suffix path ".flight" then begin
+      (* a flight-recorder dump: a bounded binary ring of the run's last
+         events, left behind by --flight even when JSONL tracing was off
+         or the process was kill -9'd.  No summary trailer to check; the
+         FNV-1a total in the dump already vouched for integrity in
+         Flight.load.  Conformance replays in suffix mode: the window
+         may open mid-protocol, so rules needing pre-window history are
+         lifted. *)
+      match Flight.load path with
+      | Error m -> `Error (false, "flight dump: " ^ m)
+      | Ok events ->
+        let metrics = Metrics.create () in
+        let sink = Metrics.sink metrics in
+        List.iter (Trace.emit sink) events;
+        Format.printf "flight dump: %d events decoded (last-events ring)@."
+          (List.length events);
+        ignore require_estimates;
+        if not conform then `Ok ()
+        else begin
+          match Conform.run ~suffix:true events with
+          | Some r ->
+            print_endline (Conform.render_report r);
+            `Error (false, "flight dump violates the Session protocol spec")
+          | None ->
+            Format.printf "conformance: %d events replayed clean (suffix mode)@."
+              (List.length events);
+            `Ok ()
+        end
+    end
+    else
     match Analysis.read path with
     | Error m -> `Error (false, m)
     | Ok a ->
       print_string (Analysis.render a);
+      let conform_failure =
+        if not conform then None
+        else
+          match Conform.run a.Analysis.events with
+          | Some r ->
+            print_newline ();
+            print_endline (Conform.render_report r);
+            Some "trace violates the Session protocol spec"
+          | None ->
+            Format.printf "@.conformance: %d events replayed clean@."
+              (List.length a.Analysis.events);
+            None
+      in
       if a.Analysis.bad <> [] then
         `Error
           ( false,
@@ -1016,10 +1139,22 @@ let analyze_cmd =
         | Ok () ->
           if require_estimates && Analysis.estimate_samples a = 0 then
             `Error (false, "trace contains no estimate samples")
-          else `Ok ()
+          else if Metrics.soundness_failures a.Analysis.metrics > 0 then
+            `Error
+              ( false,
+                Printf.sprintf
+                  "%d soundness failure(s): optimal estimates missed the \
+                   true source time"
+                  (Metrics.soundness_failures a.Analysis.metrics) )
+          else
+            match conform_failure with
+            | Some m -> `Error (false, m)
+            | None -> `Ok ()
       end
   in
-  let term = Term.(ret (const action $ trace_arg $ require_estimates)) in
+  let term =
+    Term.(ret (const action $ trace_arg $ require_estimates $ conform))
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:

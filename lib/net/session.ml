@@ -452,6 +452,34 @@ let handle t ~now ~bytes (frame : Frame.t) =
             (* data implies the peer considers us up *)
             mark_established t p ~now
           | exception Invalid_argument m ->
+            (* the payload decoded but broke a CSA precondition.  One
+               precondition fails in healthy lossy operation: causal
+               closure, when the datagram carrying this payload's
+               dependencies was dropped and its retransmission has not
+               landed yet — dropping and waiting is the protocol's
+               answer, not a breach of it.  Anything else is the peer
+               violating the wire contract: emit the typed event (what
+               the conformance monitor and the metrics counter key on)
+               alongside the stringly net_drop kept for backward
+               compatibility. *)
+            let causal_gap =
+              let sub = "causally closed" in
+              let n = String.length m and k = String.length sub in
+              let rec scan i =
+                i + k <= n && (String.sub m i k = sub || scan (i + 1))
+              in
+              scan 0
+            in
+            if not causal_gap then
+              Trace.emit t.sink
+                (Trace.Protocol_violation
+                   {
+                     t = ft now;
+                     node = t.cfg.me;
+                     rule = "wire_contract";
+                     detail =
+                       Printf.sprintf "peer %d msg %d: %s" p.id msg m;
+                   });
             note_drop t ~now ("protocol violation: " ^ m)
           | exception Failure m -> note_drop t ~now ("bad payload: " ^ m)))
     | Frame.Ack { msg } ->

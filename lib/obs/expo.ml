@@ -82,6 +82,9 @@ let render (m : Metrics.t) =
     (Metrics.checkpoint_bytes m);
   counter "csync_crashes_total" "Node crashes." (Metrics.crashes m);
   counter "csync_recoveries_total" "Node recoveries." (Metrics.recoveries m);
+  counter "csync_protocol_violations_total"
+    "Session protocol rules broken (live conformance monitor)."
+    (Metrics.protocol_violations m);
   (match Metrics.hub_cohort_ids m with
   | [] -> ()
   | ids ->

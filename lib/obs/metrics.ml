@@ -49,6 +49,7 @@ type t = {
   mutable recoveries : int;
   mutable link_cuts : int;
   mutable link_heals : int;
+  mutable protocol_violations : int;
   algos : (string, acc) Hashtbl.t;
   mutable algo_order : string list; (* first-appearance order, reversed *)
   spans : (string, Histogram.t) Hashtbl.t;
@@ -87,6 +88,7 @@ let create () =
     recoveries = 0;
     link_cuts = 0;
     link_heals = 0;
+    protocol_violations = 0;
     algos = Hashtbl.create 8;
     algo_order = [];
     spans = Hashtbl.create 8;
@@ -150,6 +152,8 @@ let on_event t (ev : Trace.event) =
   | Trace.Recover _ -> t.recoveries <- t.recoveries + 1
   | Trace.Link_down _ -> t.link_cuts <- t.link_cuts + 1
   | Trace.Link_up _ -> t.link_heals <- t.link_heals + 1
+  | Trace.Protocol_violation _ ->
+    t.protocol_violations <- t.protocol_violations + 1
   | Trace.Hub_cohort { cohort; clients; established; frames; batched;
                        coalesced; _ } ->
     if not (Hashtbl.mem t.hub cohort) then
@@ -208,6 +212,7 @@ let crashes t = t.crashes
 let recoveries t = t.recoveries
 let link_cuts t = t.link_cuts
 let link_heals t = t.link_heals
+let protocol_violations t = t.protocol_violations
 let algo_names t = List.rev t.algo_order
 let span_names t = List.rev t.span_order
 let span_hist t name = Hashtbl.find_opt t.spans name
@@ -279,6 +284,7 @@ let summary_json t =
       ("recoveries", J.Int t.recoveries);
       ("link_cuts", J.Int t.link_cuts);
       ("link_heals", J.Int t.link_heals);
+      ("protocol_violations", J.Int t.protocol_violations);
       ( "algos",
         J.Obj
           (List.map

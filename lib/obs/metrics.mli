@@ -101,6 +101,11 @@ val link_cuts : t -> int
 
 val link_heals : t -> int
 
+val protocol_violations : t -> int
+(** [Protocol_violation] events: Session protocol rules broken, as
+    flagged by the live conformance monitor or by {!Session}'s own wire
+    contract checks (must stay 0 on a healthy run). *)
+
 (** {1 Hub aggregates}
 
     Latest per-cohort gauges from [Hub_cohort] events; empty unless a

@@ -40,6 +40,12 @@ type event =
       batched : int;
       coalesced : int;
     }
+  | Protocol_violation of {
+      t : float;
+      node : int;
+      rule : string;
+      detail : string;
+    }
   | Span of { name : string; dur : float }
 
 module type SINK = sig
@@ -99,6 +105,7 @@ let label = function
   | Link_down _ -> "link_down"
   | Link_up _ -> "link_up"
   | Hub_cohort _ -> "hub_cohort"
+  | Protocol_violation _ -> "protocol_violation"
   | Span _ -> "span"
 
 let json_of_event ev =
@@ -156,6 +163,11 @@ let json_of_event ev =
         ("clients", J.Int clients); ("established", J.Int established);
         ("frames", J.Int frames); ("batched", J.Int batched);
         ("coalesced", J.Int coalesced);
+      ]
+    | Protocol_violation { t; node; rule; detail } ->
+      [
+        ("t", J.Float t); ("node", J.Int node); ("rule", J.Str rule);
+        ("detail", J.Str detail);
       ]
     | Span { name; dur } -> [ ("name", J.Str name); ("dur", J.Float dur) ]
   in
@@ -310,6 +322,12 @@ let event_of_json (j : Json_out.t) : (event, string) result =
       Ok
         (Hub_cohort
            { t; cohort; clients; established; frames; batched; coalesced })
+    | "protocol_violation" ->
+      let* t = t "t" in
+      let* node = int "node" in
+      let* rule = str "rule" in
+      let* detail = str "detail" in
+      Ok (Protocol_violation { t; node; rule; detail })
     | "span" ->
       let* name = str "name" in
       let* dur = num ~null:Float.nan "dur" in

@@ -85,6 +85,17 @@ type event =
       (** hub runtime: one cohort's health gauges, emitted on the hub's
           sample cadence.  Counters are cumulative; consumers keep the
           latest value per cohort. *)
+  | Protocol_violation of {
+      t : float;
+      node : int;
+      rule : string;  (** stable identifier of the violated rule *)
+      detail : string;  (** human-readable context for the violation *)
+    }
+      (** conformance layer: the run broke a Session protocol rule.
+          Emitted by the live monitor ({!Conform} wrapped around a sink)
+          or by {!Session} itself when a peer's payload violates the
+          wire contract.  [rule] identifies the invariant (e.g.
+          ["dedup_monotone"]); [detail] carries the offending values. *)
   | Span of { name : string; dur : float }
       (** profiler: one timed hot-path operation ([name] is the
           operation label, e.g. ["agdp_insert"]; [dur] is wall-clock
@@ -134,4 +145,4 @@ val label : event -> string
     ["oracle_gc"], ["net_tx"], ["net_rx"], ["net_drop"], ["peer_up"],
     ["peer_down"], ["retransmit"], ["checkpoint"], ["crash"],
     ["recover"], ["link_down"], ["link_up"], ["hub_cohort"],
-    ["span"]. *)
+    ["protocol_violation"], ["span"]. *)

@@ -30,7 +30,7 @@ DROP=${NET_SMOKE_DROP:-0.15}
 echo "crash-smoke: UDP session on 127.0.0.1:$PORT (drop=$DROP), peer will be kill -9'd"
 
 "$BIN" serve --port "$PORT" --nodes 2 --duration "$DURATION" \
-  --sample 1 --drop "$DROP" --trace "$DIR/serve.jsonl" \
+  --sample 1 --drop "$DROP" --trace "$DIR/serve.jsonl" --monitor \
   >"$DIR/serve.log" 2>&1 &
 SERVE_PID=$!
 smoke_track "$SERVE_PID"
@@ -40,7 +40,8 @@ sleep 1
 "$BIN" peer --server "127.0.0.1:$PORT" --id 1 --nodes 2 \
   --duration $((DURATION - 2)) --sample 1 --drop "$DROP" \
   --offset-ms=250 --skew-ppm=200 --checkpoint "$CKPT" \
-  --trace "$DIR/peer-run1.jsonl" >"$DIR/peer-run1.log" 2>&1 &
+  --trace "$DIR/peer-run1.jsonl" --flight "$DIR/peer-run1.flight" \
+  >"$DIR/peer-run1.log" 2>&1 &
 PEER_PID=$!
 smoke_track "$PEER_PID"
 
@@ -97,8 +98,9 @@ if grep -q '"reason":"frame:' "$DIR/serve.jsonl"; then
 fi
 
 # Close the trace loop.  The reference node ran to completion, so its
-# trace must parse completely, match its trailer, and hold estimates.
-if ! "$BIN" analyze "$DIR/serve.jsonl" --require-estimates \
+# trace must parse completely, match its trailer, hold estimates, and
+# replay clean through the Session protocol spec.
+if ! "$BIN" analyze "$DIR/serve.jsonl" --require-estimates --conform \
     >"$DIR/serve-analysis.txt" 2>&1; then
   echo "crash-smoke: serve trace analysis FAILED"
   cat "$DIR/serve-analysis.txt"
@@ -107,11 +109,29 @@ fi
 # The first peer run was kill -9'd mid-write: its trace has no summary
 # trailer and may end in a cut line, but every complete line must still
 # parse (the JSONL sink flushes per line) — the analyzer treats the
-# ragged tail as truncation, never as a bad line.
-if ! "$BIN" analyze "$DIR/peer-run1.jsonl" \
+# ragged tail as truncation, never as a bad line — and the victim's
+# partial event stream must itself be protocol-conformant.
+if ! "$BIN" analyze "$DIR/peer-run1.jsonl" --conform \
     >"$DIR/peer-run1-analysis.txt" 2>&1; then
   echo "crash-smoke: killed peer's trace analysis FAILED"
   cat "$DIR/peer-run1-analysis.txt"
+  fail=1
+fi
+# The victim's crash flight recorder: kill -9 must still leave a
+# decodable bounded ring of its last events (re-dumped on a cadence),
+# and that window must be conformant too (suffix mode).
+if ! "$BIN" analyze "$DIR/peer-run1.flight" --conform \
+    >"$DIR/peer-run1-flight-analysis.txt" 2>&1; then
+  echo "crash-smoke: victim's flight dump missing, undecodable, or nonconformant"
+  cat "$DIR/peer-run1-flight-analysis.txt"
+  fail=1
+fi
+# The recovered run's trace spans restore + re-handshake; it must also
+# replay conformant (recovery exemptions engage on its Recover event).
+if ! "$BIN" analyze "$DIR/peer-run2.jsonl" --conform \
+    >"$DIR/peer-run2-analysis.txt" 2>&1; then
+  echo "crash-smoke: recovered peer's trace analysis FAILED"
+  cat "$DIR/peer-run2-analysis.txt"
   fail=1
 fi
 
@@ -122,4 +142,4 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 
-echo "crash-smoke: OK (peer recovered from kill -9, every post-recovery sample contained, traces analyzed)"
+echo "crash-smoke: OK (peer recovered from kill -9, every post-recovery sample contained, traces + flight dump conformant)"

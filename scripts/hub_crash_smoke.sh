@@ -33,9 +33,12 @@ DROP=${HUB_SMOKE_DROP:-0.05}
 
 echo "hub-crash-smoke: hub + $CLIENTS-client swarm on 127.0.0.1:$PORT (drop=$DROP), hub will be kill -9'd"
 
+# run 1 traces nothing to JSONL: the crash flight recorder is its only
+# observability artifact, exactly the "kill -9 with tracing off still
+# leaves a bounded decodable window" scenario it exists for
 "$BIN" hub --port "$PORT" --nodes "$NODES" --duration 40 --sample 2 \
   --cohort 4 --max-delay 5000 --drop "$DROP" --checkpoint "$CKPT" \
-  >"$DIR/hub-run1.log" 2>&1 &
+  --flight "$DIR/hub-run1.flight" >"$DIR/hub-run1.log" 2>&1 &
 HUB_PID=$!
 smoke_track "$HUB_PID"
 
@@ -85,9 +88,21 @@ if ! grep -q "swarm: $CLIENTS clients — $CLIENTS established, $CLIENTS converg
 fi
 
 # the restarted hub's trace spans the restore; it must analyze clean
-if ! "$BIN" analyze "$DIR/hub-run2.jsonl" >"$DIR/hub-run2-analysis.txt" 2>&1; then
+# and replay conformant (its Recover events engage the recovery
+# exemptions for pre-crash inflight)
+if ! "$BIN" analyze "$DIR/hub-run2.jsonl" --conform \
+    >"$DIR/hub-run2-analysis.txt" 2>&1; then
   echo "hub-crash-smoke: restarted hub's trace analysis FAILED"
   cat "$DIR/hub-run2-analysis.txt"
+  fail=1
+fi
+# the kill -9'd hub had no JSONL trace at all — its flight dump must
+# still exist, decode (FNV total intact), and replay conformant in
+# suffix mode: that bounded window is the whole post-mortem story
+if ! "$BIN" analyze "$DIR/hub-run1.flight" --conform \
+    >"$DIR/hub-run1-flight-analysis.txt" 2>&1; then
+  echo "hub-crash-smoke: victim's flight dump missing, undecodable, or nonconformant"
+  cat "$DIR/hub-run1-flight-analysis.txt"
   fail=1
 fi
 
@@ -98,4 +113,4 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 
-echo "hub-crash-smoke: OK (hub recovered all cohorts from kill -9; every client stayed sound)"
+echo "hub-crash-smoke: OK (hub recovered all cohorts from kill -9; every client stayed sound; victim left a conformant flight dump)"

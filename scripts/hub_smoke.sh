@@ -44,7 +44,8 @@ echo "hub-smoke: hub + $CLIENTS-client swarm on 127.0.0.1:$PORT (drop=$DROP)"
 # every client has said bye
 "$BIN" hub --port "$PORT" --nodes "$NODES" --duration $((DURATION + 12)) \
   --sample 2 --cohort 4 --max-delay 5000 --drop "$DROP" \
-  --trace "$DIR/hub.jsonl" >"$DIR/hub.log" 2>&1 &
+  --trace "$DIR/hub.jsonl" --monitor --flight "$DIR/hub.flight" \
+  >"$DIR/hub.log" 2>&1 &
 HUB_PID=$!
 smoke_track "$HUB_PID"
 
@@ -84,11 +85,20 @@ if grep -q '"reason":"frame:' "$DIR/hub.jsonl"; then
 fi
 
 # Close the trace loop: the hub's JSONL stream must parse back
-# completely and match its summary trailer.  (No --require-estimates:
-# the hub serves estimates, the clients compute them.)
-if ! "$BIN" analyze "$DIR/hub.jsonl" >"$DIR/hub-analysis.txt" 2>&1; then
+# completely, match its summary trailer, and replay clean through the
+# Session protocol spec.  (No --require-estimates: the hub serves
+# estimates, the clients compute them.)
+if ! "$BIN" analyze "$DIR/hub.jsonl" --conform \
+    >"$DIR/hub-analysis.txt" 2>&1; then
   echo "hub-smoke: trace analysis FAILED"
   cat "$DIR/hub-analysis.txt"
+  fail=1
+fi
+# the flight recorder must have left a decodable ring of the last events
+if ! "$BIN" analyze "$DIR/hub.flight" --conform \
+    >"$DIR/hub-flight-analysis.txt" 2>&1; then
+  echo "hub-smoke: flight dump missing, undecodable, or nonconformant"
+  cat "$DIR/hub-flight-analysis.txt"
   fail=1
 fi
 # ... and the per-cohort gauges must have made it into the trace and
@@ -104,4 +114,4 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 
-echo "hub-smoke: OK ($CLIENTS clients through one socket: all established, converged, sound; trace analyzed)"
+echo "hub-smoke: OK ($CLIENTS clients through one socket: all established, converged, sound; trace analyzed + conformant)"

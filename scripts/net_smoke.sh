@@ -28,6 +28,7 @@ echo "net-smoke: 3-process UDP session on 127.0.0.1:$PORT (drop=$DROP)"
 
 "$BIN" serve --port "$PORT" --nodes 3 --duration "$DURATION" \
   --sample 1 --drop "$DROP" --trace "$DIR/serve.jsonl" \
+  --monitor --flight "$DIR/serve.flight" \
   >"$DIR/serve.log" 2>&1 &
 SERVE_PID=$!
 smoke_track "$SERVE_PID"
@@ -87,12 +88,22 @@ fi
 
 # Close the trace loop: the reference node's JSONL stream must parse
 # back completely, its recomputed aggregates must match the summary
-# trailer byte for byte, and a session that exchanged data must have
-# produced estimate samples.
-if ! "$BIN" analyze "$DIR/serve.jsonl" --require-estimates \
+# trailer byte for byte, a session that exchanged data must have
+# produced estimate samples, and the whole event stream must replay
+# clean through the Session protocol spec.  (The run itself already
+# monitored live via --monitor: a violation would have failed serve.)
+if ! "$BIN" analyze "$DIR/serve.jsonl" --require-estimates --conform \
     >"$DIR/serve-analysis.txt" 2>&1; then
   echo "net-smoke: trace analysis FAILED"
   cat "$DIR/serve-analysis.txt"
+  fail=1
+fi
+
+# the flight recorder must have left a decodable ring of the last events
+if ! "$BIN" analyze "$DIR/serve.flight" --conform \
+    >"$DIR/serve-flight-analysis.txt" 2>&1; then
+  echo "net-smoke: flight dump missing, undecodable, or nonconformant"
+  cat "$DIR/serve-flight-analysis.txt"
   fail=1
 fi
 
@@ -103,4 +114,4 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 
-echo "net-smoke: OK (both peers converged, every sample contained, trace analyzed)"
+echo "net-smoke: OK (both peers converged, every sample contained, trace analyzed + conformant)"

@@ -32,10 +32,12 @@ smoke_cleanup() {
   done
   if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
     mkdir -p "$SMOKE_ARTIFACT_DIR"
-    # analyzer reports and result JSON are always worth keeping; raw
-    # logs + traces only when an assertion failed
-    cp "$DIR"/*-analysis.txt "$DIR"/*.json "$SMOKE_ARTIFACT_DIR"/ \
-      2>/dev/null || true
+    # analyzer reports, result JSON and crash flight dumps are always
+    # worth keeping (the flight ring is tiny and is the only artifact a
+    # kill -9 victim leaves); raw logs + traces only when an assertion
+    # failed
+    cp "$DIR"/*-analysis.txt "$DIR"/*.json "$DIR"/*.flight \
+      "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
     if [ "$status" -ne 0 ]; then
       cp "$DIR"/*.log "$DIR"/*.jsonl "$DIR"/traces/*.jsonl \
         "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true

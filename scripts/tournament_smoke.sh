@@ -58,10 +58,12 @@ for family in churn partition-heal; do
 done
 
 # close the trace loop per family: each stream must parse back, match
-# its summary trailer, and hold estimate samples
+# its summary trailer, hold estimate samples, and replay clean through
+# the Session protocol spec — including the dynamic families, whose
+# churn/partition loss verdicts exercise the recovery-aware rules
 for family in static ntp-poll gossip churn partition-heal; do
   if ! "$BIN" analyze "$DIR/traces/$family.jsonl" --require-estimates \
-      >"$DIR/$family-analysis.txt" 2>&1; then
+      --conform >"$DIR/$family-analysis.txt" 2>&1; then
     echo "tournament-smoke: $family trace analysis FAILED"
     cat "$DIR/$family-analysis.txt"
     fail=1
@@ -73,4 +75,4 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 
-echo "tournament-smoke: OK (CSA sound in every cell, leads every static ranking, traces analyzed)"
+echo "tournament-smoke: OK (CSA sound in every cell, leads every static ranking, traces analyzed + conformant)"

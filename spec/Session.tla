@@ -1,0 +1,167 @@
+--------------------------- MODULE Session ---------------------------
+(***********************************************************************)
+(* Reference specification of the clocksync Session protocol           *)
+(* (lib/net/session.ml) as a transition system over the observable     *)
+(* trace events of lib/obs/trace.ml.  The executable OCaml monitor in  *)
+(* lib/conform/conform.ml is a direct transcription of the invariants  *)
+(* below; DESIGN.md section 15 carries the rule-by-rule mapping table. *)
+(*                                                                     *)
+(* The model abstracts timestamps away (the OCaml monitor checks the   *)
+(* time_monotone rule directly on the float stream) and models the     *)
+(* per-link message-id allocator, the loss/retransmit verdict machine, *)
+(* the peer liveness alternation, and crash/recover attribution.       *)
+(*                                                                     *)
+(* Checked best-effort with Apalache (`make apalache`); the target     *)
+(* skips when the checker binary is absent, so CI never blocks on it.  *)
+(***********************************************************************)
+EXTENDS Integers, FiniteSets
+
+CONSTANTS
+  \* @type: Set(Int);
+  Nodes,       \* participating node ids
+  \* @type: Int;
+  MaxMsg       \* bound on message ids explored by the checker
+
+VARIABLES
+  \* @type: Int -> Int;          per (src,dst) pair: highest id sent
+  sendFloor,
+  \* @type: Set(Int);            (src,dst,msg) triples accepted so far
+  received,
+  \* @type: Set(Int);            message ids ever sent (any link)
+  sent,
+  \* @type: Set(Int);            message ids with a loss verdict
+  lost,
+  \* @type: Set(Int);            peers currently marked up
+  peersUp,
+  \* @type: Set(Int);            nodes currently crashed
+  crashed,
+  \* @type: Bool;                a Recover was observed (restored run)
+  recovered
+
+vars == <<sendFloor, received, sent, lost, peersUp, crashed, recovered>>
+
+\* Encode a (src,dst) link and a (src,dst,msg) acceptance as integers so
+\* Apalache's integer-keyed functions stay simple.
+Link(s, d)   == s * 1000 + d
+Acc(s, d, m) == (s * 1000 + d) * (MaxMsg + 1) + m
+
+Init ==
+  /\ sendFloor = [l \in {Link(s, d) : s, d \in Nodes} |-> 0]
+  /\ received  = {}
+  /\ sent      = {}
+  /\ lost      = {}
+  /\ peersUp   = {}
+  /\ crashed   = {}
+  /\ recovered = FALSE
+
+(***********************************************************************)
+(* Transitions: one per observable trace event.  Preconditions are the *)
+(* protocol obligations; the monitor reports the matching rule slug    *)
+(* whenever an implementation trace takes a step whose precondition    *)
+(* fails.                                                              *)
+(***********************************************************************)
+
+\* rule: send_id_monotone / crashed_node_active.  Ids on a link strictly
+\* increase even across crash-recovery because the session checkpoints
+\* its allocator before every externalization (write-ahead discipline).
+Send(s, d, m) ==
+  /\ s \in Nodes /\ d \in Nodes /\ m \in 1..MaxMsg
+  /\ s \notin crashed
+  /\ m > sendFloor[Link(s, d)]
+  /\ sendFloor' = [sendFloor EXCEPT ![Link(s, d)] = m]
+  /\ sent' = sent \union {m}
+  /\ UNCHANGED <<received, lost, peersUp, crashed, recovered>>
+
+\* rule: receive_unique / crashed_node_active.  A (src,dst,msg) triple
+\* is accepted at most once; ordering is NOT required (simulator delay
+\* policies may reorder deliveries).
+Receive(s, d, m) ==
+  /\ s \in Nodes /\ d \in Nodes /\ m \in 1..MaxMsg
+  /\ d \notin crashed
+  /\ Acc(s, d, m) \notin received
+  /\ received' = received \union {Acc(s, d, m)}
+  /\ UNCHANGED <<sendFloor, sent, lost, peersUp, crashed, recovered>>
+
+\* rule: lost_requires_send.  A loss verdict names a message this run
+\* sent -- unless the session was restored from a checkpoint
+\* (recovered), in which case pre-trace inflight may be re-declared.
+Lost(m) ==
+  /\ m \in 1..MaxMsg
+  /\ m \in sent \/ recovered
+  /\ lost' = lost \union {m}
+  /\ UNCHANGED <<sendFloor, received, sent, peersUp, crashed, recovered>>
+
+\* rule: retransmit_requires_lost.
+Retransmit(m) ==
+  /\ m \in lost
+  /\ UNCHANGED vars
+
+\* rule: peer_down_not_up.  Within ONE session, liveness edges strictly
+\* alternate (modelled here as a set).  The OCaml monitor observes the
+\* join of many sessions over one sink, so it checks the counting
+\* closure of this relation: each PeerUp adds a token, each PeerDown
+\* must consume one, and a duplicate PeerUp is unobservable.
+PeerUp(p) ==
+  /\ p \notin peersUp
+  /\ peersUp' = peersUp \union {p}
+  /\ UNCHANGED <<sendFloor, received, sent, lost, crashed, recovered>>
+
+PeerDown(p) ==
+  /\ p \in peersUp
+  /\ peersUp' = peersUp \ {p}
+  /\ UNCHANGED <<sendFloor, received, sent, lost, crashed, recovered>>
+
+\* rule: crash_crashed.
+Crash(n) ==
+  /\ n \in Nodes /\ n \notin crashed
+  /\ crashed' = crashed \union {n}
+  /\ UNCHANGED <<sendFloor, received, sent, lost, peersUp, recovered>>
+
+\* Recover doubles as late join: no prior Crash is required.
+Recover(n) ==
+  /\ n \in Nodes
+  /\ crashed' = crashed \ {n}
+  /\ recovered' = TRUE
+  /\ UNCHANGED <<sendFloor, received, sent, lost, peersUp>>
+
+Next ==
+  \/ \E s, d \in Nodes : \E m \in 1..MaxMsg : Send(s, d, m)
+  \/ \E s, d \in Nodes : \E m \in 1..MaxMsg : Receive(s, d, m)
+  \/ \E m \in 1..MaxMsg : Lost(m)
+  \/ \E m \in 1..MaxMsg : Retransmit(m)
+  \/ \E p \in Nodes : PeerUp(p)
+  \/ \E p \in Nodes : PeerDown(p)
+  \/ \E n \in Nodes : Crash(n)
+  \/ \E n \in Nodes : Recover(n)
+
+Spec == Init /\ [][Next]_vars
+
+(***********************************************************************)
+(* Invariants.  These are sanity bounds on the state machine itself    *)
+(* (the rule preconditions are enforced as guards above, so any trace  *)
+(* of Spec satisfies them by construction).                            *)
+(***********************************************************************)
+
+TypeOK ==
+  /\ \A l \in DOMAIN sendFloor : sendFloor[l] \in 0..MaxMsg
+  /\ lost \subseteq 1..MaxMsg
+  /\ crashed \subseteq Nodes
+  /\ peersUp \subseteq Nodes
+
+\* Every loss verdict in a never-restored run names a sent message.
+LostWereSent == ~recovered => lost \subseteq sent
+
+\* A crashed node is never marked as a live peer of itself (crash and
+\* peer liveness are disjoint state machines; this pins they stay so).
+CrashedBounded == crashed \subseteq Nodes
+
+AllInvariants == TypeOK /\ LostWereSent /\ CrashedBounded
+
+\* Constant instantiation for `apalache-mc check --cinit=ConstInit`:
+\* a 3-node system with a small message-id bound keeps the bounded
+\* exploration tractable while still covering every transition kind.
+ConstInit ==
+  /\ Nodes = 0..2
+  /\ MaxMsg = 3
+
+=======================================================================

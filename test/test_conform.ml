@@ -1,0 +1,206 @@
+(* Conformance monitor (lib/conform): a known-good simulator trace
+   replays clean, every seeded mutation of it is flagged with the right
+   rule, and the online monitor wrapper emits typed violations into the
+   wrapped stream exactly once. *)
+
+let clean_trace =
+  lazy
+    (let spec =
+       System_spec.uniform ~n:3 ~source:0 ~drift:(Drift.of_ppm 100)
+         ~transit:(Transit.of_q (Scenario.ms 1) (Scenario.ms 10))
+         ~links:(Topology.star 3)
+     in
+     let events = ref [] in
+     let scenario =
+       {
+         (Scenario.default ~spec
+            ~traffic:(Scenario.Ntp_poll { period = Scenario.sec 1 }))
+         with
+         Scenario.duration = Scenario.sec 10;
+         trace = Trace.callback (fun ev -> events := ev :: !events);
+         seed = 23;
+       }
+     in
+     ignore (Engine.run scenario);
+     List.rev !events)
+
+let test_clean_trace_conforms () =
+  let evs = Lazy.force clean_trace in
+  Alcotest.(check bool) "trace is non-trivial" true (List.length evs > 100);
+  match Conform.run evs with
+  | None -> ()
+  | Some r -> Alcotest.fail (Conform.render_report r)
+
+(* every mutation must be flagged, and with the rule it was built to
+   trip (structural rules are checked before the timestamp rule, so
+   appending out-of-order events still reports the structural slug) *)
+let find_first f evs =
+  match List.find_opt f evs with
+  | Some ev -> ev
+  | None -> Alcotest.fail "expected event shape missing from clean trace"
+
+let mutations : (string * (Trace.event list -> Trace.event list) * string) list
+    =
+  [
+    ( "duplicate a receive",
+      (fun evs ->
+        evs
+        @ [ find_first (function Trace.Receive _ -> true | _ -> false) evs ]),
+      "receive_unique" );
+    ( "replay a send id",
+      (fun evs ->
+        evs @ [ find_first (function Trace.Send _ -> true | _ -> false) evs ]),
+      "send_id_monotone" );
+    ( "flip containment on an optimal estimate",
+      (fun evs ->
+        let flipped = ref false in
+        List.map
+          (function
+            | Trace.Estimate ({ algo = "optimal"; contained = true; _ } as e)
+              when not !flipped ->
+              flipped := true;
+              Trace.Estimate { e with contained = false }
+            | ev -> ev)
+          evs),
+      "optimal_uncontained" );
+    ( "loss verdict for a message never sent",
+      (fun evs -> evs @ [ Trace.Lost { t = Float.nan; msg = 987_654_321 } ]),
+      "lost_requires_send" );
+    ( "retransmit without a loss verdict",
+      (fun evs ->
+        evs @ [ Trace.Retransmit { t = Float.nan; peer = 1; msg = 42 } ]),
+      "retransmit_requires_lost" );
+    ( "peer down that never came up",
+      (fun evs -> evs @ [ Trace.Peer_down { t = Float.nan; peer = 9 } ]),
+      "peer_down_not_up" );
+    ( "more downs than ups for one peer",
+      (fun evs ->
+        evs
+        @ [
+            Trace.Peer_up { t = Float.nan; peer = 9 };
+            Trace.Peer_down { t = Float.nan; peer = 9 };
+            Trace.Peer_down { t = Float.nan; peer = 9 };
+          ]),
+      "peer_down_not_up" );
+    ( "crash a crashed node",
+      (fun evs ->
+        evs
+        @ [
+            Trace.Crash { t = Float.nan; node = 1 };
+            Trace.Crash { t = Float.nan; node = 1 };
+          ]),
+      "crash_crashed" );
+    ( "activity from a crashed node",
+      (fun evs ->
+        evs
+        @ [
+            Trace.Crash { t = Float.nan; node = 1 };
+            Trace.Estimate
+              {
+                t = Float.nan;
+                node = 1;
+                algo = "optimal";
+                width = 1.;
+                contained = true;
+              };
+          ]),
+      "crashed_node_active" );
+    ( "reorder: move the last event first",
+      (fun evs ->
+        match List.rev evs with
+        | last :: _ -> last :: evs
+        | [] -> evs),
+      "time_monotone" );
+    ( "an already-reported violation",
+      (fun evs ->
+        evs
+        @ [
+            Trace.Protocol_violation
+              { t = Float.nan; node = 0; rule = "wire_contract"; detail = "x" };
+          ]),
+      "reported_wire_contract" );
+  ]
+
+let test_mutations_flagged () =
+  let evs = Lazy.force clean_trace in
+  List.iter
+    (fun (name, mutate, want_rule) ->
+      match Conform.run (mutate evs) with
+      | None -> Alcotest.failf "mutation %S replayed clean" name
+      | Some r ->
+        Alcotest.(check string) name want_rule r.Conform.violation.Conform.rule)
+    mutations
+
+(* the reorder mutation really does depend on the timestamp rule: the
+   same displaced event replayed with structural rules alone would pass,
+   so pin that the clean trace has increasing finite timestamps *)
+let test_reorder_needs_monotone () =
+  let evs = Lazy.force clean_trace in
+  match List.rev evs with
+  | [] -> Alcotest.fail "empty trace"
+  | last :: _ -> (
+    match Conform.run (last :: evs) with
+    | Some { Conform.index; _ } ->
+      Alcotest.(check bool) "violation is at or after the displaced event" true
+        (index >= 1)
+    | None -> Alcotest.fail "reorder not flagged")
+
+(* ---- online monitor ---- *)
+
+let test_monitor_emits_typed_violation () =
+  let collected = ref [] in
+  let m = Metrics.create () in
+  let base =
+    Trace.tee (Metrics.sink m)
+      (Trace.callback (fun ev -> collected := ev :: !collected))
+  in
+  let calls = ref 0 in
+  let sink = Conform.monitor ~on_violation:(fun _ _ -> incr calls) base in
+  Trace.emit sink (Trace.Receive { t = 1.; src = 1; dst = 0; msg = 5 });
+  Trace.emit sink (Trace.Receive { t = 2.; src = 1; dst = 0; msg = 5 });
+  Alcotest.(check int) "metrics counted the violation" 1
+    (Metrics.protocol_violations m);
+  Alcotest.(check int) "on_violation fired once" 1 !calls;
+  (match !collected with
+  | Trace.Protocol_violation { rule; node; _ } :: Trace.Receive _ :: _ ->
+    Alcotest.(check string) "rule" "receive_unique" rule;
+    Alcotest.(check int) "attributed to the receiving node" 0 node
+  | _ -> Alcotest.fail "expected the violation right after the duplicate");
+  (* incoming violation events (e.g. Session's own wire_contract) are
+     forwarded and counted but never re-flagged *)
+  let before = List.length !collected in
+  Trace.emit sink
+    (Trace.Protocol_violation
+       { t = 3.; node = 0; rule = "wire_contract"; detail = "d" });
+  Alcotest.(check int) "forwarded exactly once" (before + 1)
+    (List.length !collected);
+  Alcotest.(check int) "counted by metrics" 2 (Metrics.protocol_violations m);
+  Alcotest.(check int) "no second on_violation" 1 !calls
+
+let test_monitor_passes_clean_stream () =
+  let m = Metrics.create () in
+  let sink = Conform.monitor (Metrics.sink m) in
+  List.iter (Trace.emit sink) (Lazy.force clean_trace);
+  Alcotest.(check int) "no violations on the clean trace" 0
+    (Metrics.protocol_violations m)
+
+let () =
+  Alcotest.run "conform"
+    [
+      ( "offline",
+        [
+          Alcotest.test_case "clean sim trace replays clean" `Quick
+            test_clean_trace_conforms;
+          Alcotest.test_case "every seeded mutation is flagged" `Quick
+            test_mutations_flagged;
+          Alcotest.test_case "reorder is caught by timestamps" `Quick
+            test_reorder_needs_monotone;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "emits typed violations once" `Quick
+            test_monitor_emits_typed_violation;
+          Alcotest.test_case "clean stream stays clean" `Quick
+            test_monitor_passes_clean_stream;
+        ] );
+    ]

@@ -299,6 +299,13 @@ let all_events =
         batched = 512;
         coalesced = 64;
       };
+    Trace.Protocol_violation
+      {
+        t = 13.5;
+        node = 1;
+        rule = "receive_unique";
+        detail = "msg 7 from 2 accepted \"twice\"\n";
+      };
     Trace.Span { name = "agdp_insert"; dur = 3.2e-05 };
   ]
 
@@ -320,7 +327,7 @@ let test_event_round_trip () =
     all_events;
   (* every constructor appears exactly once above (estimates twice) *)
   let labels = List.sort_uniq compare (List.map Trace.label all_events) in
-  Alcotest.(check int) "all 21 constructors covered" 21 (List.length labels)
+  Alcotest.(check int) "all 22 constructors covered" 22 (List.length labels)
 
 let test_event_of_json_rejects () =
   let bad j =
@@ -543,6 +550,85 @@ let test_external_metrics_match_result () =
   Alcotest.(check int) "optimal contained" opt_r.Engine.contained
     opt_m.Metrics.contained
 
+(* ---- flight recorder ---- *)
+
+(* nan timestamps break structural equality; compare via the exact
+   JSONL rendering, as the event round-trip test does *)
+let render_events evs =
+  List.map (fun ev -> Json_out.to_line (Trace.json_of_event ev)) evs
+
+let test_flight_ring () =
+  let fr = Flight.create ~capacity:3 () in
+  Alcotest.(check (list string)) "empty" [] (render_events (Flight.events fr));
+  List.iteri
+    (fun i _ -> Flight.record fr (Trace.Lost { t = float_of_int i; msg = i }))
+    [ (); (); (); (); () ];
+  Alcotest.(check int) "recorded counts everything" 5 (Flight.recorded fr);
+  Alcotest.(check (list string))
+    "last capacity events, oldest first"
+    (render_events
+       [ Trace.Lost { t = 2.; msg = 2 }; Trace.Lost { t = 3.; msg = 3 };
+         Trace.Lost { t = 4.; msg = 4 } ])
+    (render_events (Flight.events fr))
+
+let test_flight_dump_load () =
+  let fr = Flight.create ~capacity:8 () in
+  List.iter (Flight.record fr) all_events;
+  let path = Filename.temp_file "flight" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Flight.dump fr path;
+      match Flight.load path with
+      | Error m -> Alcotest.fail m
+      | Ok evs ->
+        Alcotest.(check (list string))
+          "dump/load round-trips the retained suffix"
+          (render_events (Flight.events fr))
+          (render_events evs));
+  match Flight.load path with
+  | Ok _ -> Alcotest.fail "loading a deleted file should fail"
+  | Error _ -> ()
+
+(* dump of ANY event sequence decodes to the exact last-N suffix *)
+let prop_flight_round_trip =
+  QCheck.Test.make ~name:"flight ring round-trips any sequence" ~count:300
+    QCheck.(
+      pair (int_range 1 8)
+        (list_of_size Gen.(int_bound 40) (oneofl all_events)))
+    (fun (capacity, evs) ->
+      let fr = Flight.create ~capacity () in
+      List.iter (Flight.record fr) evs;
+      let n = List.length evs in
+      let expected =
+        List.filteri (fun i _ -> i >= n - min n capacity) evs
+      in
+      match Flight.decode (Flight.encode (Flight.events fr)) with
+      | Error _ -> false
+      | Ok got ->
+        render_events got = render_events expected
+        && Flight.recorded fr = n)
+
+(* truncated-at-any-byte (and bit-flipped-anywhere) dumps fail loudly *)
+let test_flight_total () =
+  let data = Flight.encode all_events in
+  let n = String.length data in
+  for len = 0 to n - 1 do
+    match Flight.decode (String.sub data 0 len) with
+    | Ok _ -> Alcotest.failf "truncation to %d bytes decoded" len
+    | Error _ -> ()
+  done;
+  for i = 0 to n - 1 do
+    let b = Bytes.of_string data in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+    match Flight.decode (Bytes.to_string b) with
+    | Ok _ -> Alcotest.failf "bit flip at byte %d decoded" i
+    | Error _ -> ()
+  done;
+  match Flight.decode (data ^ "x") with
+  | Ok _ -> Alcotest.fail "trailing bytes decoded"
+  | Error _ -> ()
+
 let () =
   Alcotest.run "obs"
     [
@@ -577,6 +663,15 @@ let () =
         ] );
       ( "prof",
         [ Alcotest.test_case "start/stop/span" `Quick test_prof ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring keeps the last N" `Quick test_flight_ring;
+          Alcotest.test_case "dump/load round-trip" `Quick
+            test_flight_dump_load;
+          QCheck_alcotest.to_alcotest prop_flight_round_trip;
+          Alcotest.test_case "corrupt dumps fail loudly" `Quick
+            test_flight_total;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "counters" `Quick test_counters;
